@@ -1,0 +1,55 @@
+// Ablation A5 — sleeping-interval ramp shape. §3.4 prescribes "a specified
+// sleeping strategy such as a linearly increasing sleeping time"; this
+// bench quantifies that design choice against an exponential ramp (reaches
+// the maximum in ~log₂ steps — saves wake-ups, costs delay early) and a
+// fixed interval (no ramp: lowest delay per joule early, no adaptation).
+#include "bench_common.hpp"
+
+#include "node/sleep_policy.hpp"
+
+namespace {
+
+using pas::bench::SeriesTable;
+using pas::node::RampKind;
+
+void run_ramp(benchmark::State& state, RampKind ramp) {
+  const double max_sleep = static_cast<double>(state.range(0));
+  pas::world::PaperSetupOverrides o;
+  o.policy = pas::core::Policy::kPas;
+  o.max_sleep_s = max_sleep;
+  pas::world::ScenarioConfig cfg = pas::world::paper_scenario(o);
+  cfg.protocol.sleep.kind = ramp;
+
+  pas::world::ReplicatedMetrics agg;
+  for (auto _ : state) {
+    agg = pas::world::run_replicated(cfg, pas::bench::kReplications);
+  }
+  state.counters["delay_s"] = agg.delay_s.mean;
+  state.counters["energy_J"] = agg.energy_j.mean;
+  const std::string label = pas::node::to_string(ramp);
+  SeriesTable::instance().add(max_sleep, "delay_" + label, agg.delay_s.mean);
+  SeriesTable::instance().add(max_sleep, "energy_" + label, agg.energy_j.mean);
+}
+
+void BM_Ramp_Linear(benchmark::State& state) {
+  run_ramp(state, RampKind::kLinear);
+}
+void BM_Ramp_Exponential(benchmark::State& state) {
+  run_ramp(state, RampKind::kExponential);
+}
+void BM_Ramp_Fixed(benchmark::State& state) {
+  run_ramp(state, RampKind::kFixed);
+}
+
+void register_sweep(benchmark::internal::Benchmark* b) {
+  b->Arg(5)->Arg(10)->Arg(20)->Arg(40)->Unit(benchmark::kMillisecond)->Iterations(1);
+}
+
+BENCHMARK(BM_Ramp_Linear)->Apply(register_sweep);
+BENCHMARK(BM_Ramp_Exponential)->Apply(register_sweep);
+BENCHMARK(BM_Ramp_Fixed)->Apply(register_sweep);
+
+}  // namespace
+
+PAS_BENCH_MAIN("Ablation A5 — sleep ramp shape (PAS, T_alert = 20 s)",
+               "max_sleep_s", 3)

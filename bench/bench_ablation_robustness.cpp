@@ -1,0 +1,68 @@
+// Ablation A2 — the paper's §5 future work, measured: imperfect channels
+// and node failures vs PAS delay/energy (Figure-4 scenario, max sleep 20 s,
+// T_alert 20 s).
+//
+// Expected: detection never breaks (sensing is radio-independent); delay
+// degrades gracefully as loss/failures thin out the alert belt; energy
+// *falls* slightly with loss (fewer deliveries => fewer alerted nodes).
+#include "bench_common.hpp"
+
+namespace {
+
+using pas::bench::SeriesTable;
+
+pas::world::ReplicatedMetrics run_lossy(double loss_percent,
+                                        double failure_percent) {
+  pas::world::PaperSetupOverrides o;
+  o.policy = pas::core::Policy::kPas;
+  pas::world::ScenarioConfig cfg = pas::world::paper_scenario(o);
+  if (loss_percent > 0.0) {
+    cfg.channel = pas::world::ChannelKind::kBernoulli;
+    cfg.channel_loss = loss_percent / 100.0;
+  }
+  if (failure_percent > 0.0) {
+    cfg.failures.fraction = failure_percent / 100.0;
+    cfg.failures.window_start_s = 0.0;
+    cfg.failures.window_end_s = 75.0;
+  }
+  return pas::world::run_replicated(cfg, pas::bench::kReplications);
+}
+
+void BM_Robustness_ChannelLoss(benchmark::State& state) {
+  const double loss = static_cast<double>(state.range(0));
+  pas::world::ReplicatedMetrics agg;
+  for (auto _ : state) {
+    agg = run_lossy(loss, 0.0);
+  }
+  state.counters["delay_s"] = agg.delay_s.mean;
+  state.counters["energy_J"] = agg.energy_j.mean;
+  state.counters["missed"] = agg.mean_missed;
+  SeriesTable::instance().add(loss, "delay_loss", agg.delay_s.mean);
+  SeriesTable::instance().add(loss, "energy_loss", agg.energy_j.mean);
+}
+
+void BM_Robustness_NodeFailures(benchmark::State& state) {
+  const double failures = static_cast<double>(state.range(0));
+  pas::world::ReplicatedMetrics agg;
+  for (auto _ : state) {
+    agg = run_lossy(0.0, failures);
+  }
+  state.counters["delay_s"] = agg.delay_s.mean;
+  state.counters["energy_J"] = agg.energy_j.mean;
+  SeriesTable::instance().add(failures, "delay_failures", agg.delay_s.mean);
+  SeriesTable::instance().add(failures, "energy_failures", agg.energy_j.mean);
+}
+
+void register_sweep(benchmark::internal::Benchmark* b) {
+  b->Arg(0)->Arg(10)->Arg(30)->Arg(50)->Unit(benchmark::kMillisecond)->Iterations(1);
+}
+
+BENCHMARK(BM_Robustness_ChannelLoss)->Apply(register_sweep);
+BENCHMARK(BM_Robustness_NodeFailures)->Apply(register_sweep);
+
+}  // namespace
+
+PAS_BENCH_MAIN(
+    "Ablation A2 — robustness: channel loss %% / node failure %% vs PAS "
+    "delay & energy",
+    "percent", 3)

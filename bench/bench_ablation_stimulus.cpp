@@ -1,0 +1,62 @@
+// Ablation A3 — stimulus-model sensitivity: the Figure-4 comparison under
+// the analytic radial front, the advection–diffusion PDE, and the Gaussian
+// plume. PAS's assumptions (outward normal spreading) hold for all three,
+// so the qualitative ordering PAS ≤ SAS on delay must be model-independent.
+#include "bench_common.hpp"
+
+namespace {
+
+using pas::bench::SeriesTable;
+using pas::core::Policy;
+using pas::world::StimulusKind;
+
+pas::world::ReplicatedMetrics run_model(Policy policy, StimulusKind kind) {
+  pas::world::PaperSetupOverrides o;
+  o.policy = policy;
+  o.stimulus = kind;
+  pas::world::ScenarioConfig cfg = pas::world::paper_scenario(o);
+  if (kind == StimulusKind::kPde) {
+    cfg.pde.nx = 64;  // keep the sweep quick; resolution tested elsewhere
+    cfg.pde.ny = 64;
+  }
+  return pas::world::run_replicated(cfg, pas::bench::kReplications);
+}
+
+void run_bench(benchmark::State& state, Policy policy, StimulusKind kind,
+               double x) {
+  pas::world::ReplicatedMetrics agg;
+  for (auto _ : state) {
+    agg = run_model(policy, kind);
+  }
+  state.counters["delay_s"] = agg.delay_s.mean;
+  state.counters["energy_J"] = agg.energy_j.mean;
+  SeriesTable::instance().add(
+      x, std::string("delay_") + std::string(pas::core::to_string(policy)),
+      agg.delay_s.mean);
+  SeriesTable::instance().add(
+      x, std::string("energy_") + std::string(pas::core::to_string(policy)),
+      agg.energy_j.mean);
+}
+
+// x encodes the model: 1 = radial, 2 = pde, 3 = plume.
+void BM_Stimulus_PAS(benchmark::State& state) {
+  const auto kind = static_cast<StimulusKind>(state.range(0) - 1);
+  run_bench(state, Policy::kPas, kind, static_cast<double>(state.range(0)));
+}
+void BM_Stimulus_SAS(benchmark::State& state) {
+  const auto kind = static_cast<StimulusKind>(state.range(0) - 1);
+  run_bench(state, Policy::kSas, kind, static_cast<double>(state.range(0)));
+}
+
+void register_models(benchmark::internal::Benchmark* b) {
+  b->Arg(1)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond)->Iterations(1);
+}
+
+BENCHMARK(BM_Stimulus_PAS)->Apply(register_models);
+BENCHMARK(BM_Stimulus_SAS)->Apply(register_models);
+
+}  // namespace
+
+PAS_BENCH_MAIN(
+    "Ablation A3 — stimulus model sensitivity (1=radial, 2=pde, 3=plume)",
+    "model_id", 3)

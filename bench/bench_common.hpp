@@ -1,0 +1,96 @@
+// Shared infrastructure for the figure/table benches.
+//
+// Each bench binary registers one google-benchmark per sweep point; the
+// benchmark body runs the replicated scenario and reports the paper metric
+// as a counter. Results are also accumulated into a SeriesTable that the
+// custom main prints after the benchmark run — the same rows/series as the
+// paper's figure, ready to diff against EXPERIMENTS.md.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "io/table.hpp"
+#include "world/paper_setup.hpp"
+#include "world/sweep.hpp"
+
+namespace pas::bench {
+
+/// Replications per sweep point. The PAS-vs-SAS delay gap is ~5% against a
+/// ~25% per-run coefficient of variation, so figure series need ~30 seeds
+/// to come out smooth; a full figure still runs in a few seconds.
+inline constexpr std::size_t kReplications = 30;
+
+/// Collects series values keyed by (x, series-name) for the end-of-run
+/// figure printout.
+class SeriesTable {
+ public:
+  void add(double x, const std::string& series, double value) {
+    data_[x][series] = value;
+    series_names_.insert(series);
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  void print(std::ostream& os, const std::string& title,
+             const std::string& x_name, int precision = 3) const {
+    if (data_.empty()) return;
+    os << '\n' << title << '\n';
+    std::vector<std::string> columns{x_name};
+    columns.insert(columns.end(), series_names_.begin(), series_names_.end());
+    io::Table table(columns);
+    for (const auto& [x, row] : data_) {
+      std::vector<std::string> cells{io::fixed(x, 1)};
+      for (const auto& name : series_names_) {
+        const auto it = row.find(name);
+        cells.push_back(it == row.end() ? "-" : io::fixed(it->second, precision));
+      }
+      table.add_row(std::move(cells));
+    }
+    table.print(os);
+    os.flush();
+  }
+
+  /// Singleton per bench binary.
+  static SeriesTable& instance() {
+    static SeriesTable table;
+    return table;
+  }
+
+ private:
+  std::map<double, std::map<std::string, double>> data_;
+  std::set<std::string> series_names_;
+};
+
+/// Runs one sweep point of the paper scenario.
+inline world::ReplicatedMetrics run_point(core::Policy policy,
+                                          double max_sleep_s,
+                                          double alert_threshold_s,
+                                          std::size_t reps = kReplications) {
+  world::PaperSetupOverrides o;
+  o.policy = policy;
+  o.max_sleep_s = max_sleep_s;
+  o.alert_threshold_s = alert_threshold_s;
+  return world::run_replicated(world::paper_scenario(o), reps);
+}
+
+}  // namespace pas::bench
+
+/// Custom main: run benchmarks, then print the accumulated figure series.
+#define PAS_BENCH_MAIN(title, x_name, precision)                          \
+  int main(int argc, char** argv) {                                       \
+    ::benchmark::Initialize(&argc, argv);                                 \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;   \
+    ::benchmark::RunSpecifiedBenchmarks();                                \
+    ::benchmark::Shutdown();                                              \
+    ::pas::bench::SeriesTable::instance().print(std::cout, title, x_name, \
+                                                precision);               \
+    return 0;                                                             \
+  }

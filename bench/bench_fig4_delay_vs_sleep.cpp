@@ -1,0 +1,50 @@
+// Figure 4 — average detection delay vs maximum sleeping interval,
+// series NS / PAS / SAS (30 nodes, 10 m range, T_alert = 20 s).
+//
+// Expected shape (paper §4.2): NS is identically zero; PAS and SAS grow
+// roughly linearly with the maximum sleeping interval and then flatten;
+// PAS stays below SAS at every point.
+#include "bench_common.hpp"
+
+namespace {
+
+using pas::bench::SeriesTable;
+using pas::core::Policy;
+
+constexpr double kAlertThreshold = 20.0;
+
+void run_fig4(benchmark::State& state, Policy policy) {
+  const double max_sleep = static_cast<double>(state.range(0));
+  pas::world::ReplicatedMetrics agg;
+  for (auto _ : state) {
+    agg = pas::bench::run_point(policy, max_sleep, kAlertThreshold);
+  }
+  state.counters["delay_s"] = agg.delay_s.mean;
+  state.counters["delay_ci95"] = agg.delay_s.ci95_half;
+  state.counters["energy_J"] = agg.energy_j.mean;
+  SeriesTable::instance().add(max_sleep,
+                              std::string("delay_") +
+                                  std::string(pas::core::to_string(policy)),
+                              agg.delay_s.mean);
+}
+
+void BM_Fig4_NS(benchmark::State& state) { run_fig4(state, Policy::kNeverSleep); }
+void BM_Fig4_PAS(benchmark::State& state) { run_fig4(state, Policy::kPas); }
+void BM_Fig4_SAS(benchmark::State& state) { run_fig4(state, Policy::kSas); }
+
+constexpr std::int64_t kSweep[] = {5, 10, 15, 20, 25, 30, 35, 40};
+
+void register_sweep(benchmark::internal::Benchmark* b) {
+  for (const auto v : kSweep) b->Arg(v);
+  b->Unit(benchmark::kMillisecond)->Iterations(1);
+}
+
+BENCHMARK(BM_Fig4_NS)->Apply(register_sweep);
+BENCHMARK(BM_Fig4_PAS)->Apply(register_sweep);
+BENCHMARK(BM_Fig4_SAS)->Apply(register_sweep);
+
+}  // namespace
+
+PAS_BENCH_MAIN(
+    "Figure 4 — detection delay (s) vs maximum sleeping interval (s)",
+    "max_sleep_s", 3)

@@ -1,0 +1,38 @@
+// Figure 5 — PAS average detection delay vs alert-time threshold
+// (30 nodes, 10 m range, max sleep 20 s).
+//
+// Expected shape (paper §4.2): delay decreases as the threshold grows
+// (paper: 1.73 s → 1.5 s over 10 s → 30 s) — the knob NS and SAS lack.
+#include "bench_common.hpp"
+
+namespace {
+
+using pas::bench::SeriesTable;
+using pas::core::Policy;
+
+constexpr double kMaxSleep = 20.0;
+
+void BM_Fig5_PAS(benchmark::State& state) {
+  const double alert = static_cast<double>(state.range(0));
+  pas::world::ReplicatedMetrics agg;
+  for (auto _ : state) {
+    agg = pas::bench::run_point(Policy::kPas, kMaxSleep, alert);
+  }
+  state.counters["delay_s"] = agg.delay_s.mean;
+  state.counters["delay_ci95"] = agg.delay_s.ci95_half;
+  SeriesTable::instance().add(alert, "delay_PAS", agg.delay_s.mean);
+}
+
+BENCHMARK(BM_Fig5_PAS)
+    ->Arg(10)
+    ->Arg(15)
+    ->Arg(20)
+    ->Arg(25)
+    ->Arg(30)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+
+PAS_BENCH_MAIN("Figure 5 — PAS detection delay (s) vs alert-time threshold (s)",
+               "alert_time_s", 3)

@@ -1,0 +1,50 @@
+// Figure 6 — average per-node energy vs maximum sleeping interval,
+// series NS / PAS / SAS (30 nodes, 10 m range, T_alert = 20 s, 150 s run).
+//
+// Expected shape (paper §4.3): NS is flat and highest (never sleeps); PAS
+// and SAS fall as the maximum sleeping interval grows; PAS sits slightly
+// above SAS ("a PAS sensor activates not only its neighbors but also some
+// far-away sensors; however, the difference is trivial").
+#include "bench_common.hpp"
+
+namespace {
+
+using pas::bench::SeriesTable;
+using pas::core::Policy;
+
+constexpr double kAlertThreshold = 20.0;
+
+void run_fig6(benchmark::State& state, Policy policy) {
+  const double max_sleep = static_cast<double>(state.range(0));
+  pas::world::ReplicatedMetrics agg;
+  for (auto _ : state) {
+    agg = pas::bench::run_point(policy, max_sleep, kAlertThreshold);
+  }
+  state.counters["energy_J"] = agg.energy_j.mean;
+  state.counters["energy_ci95"] = agg.energy_j.ci95_half;
+  state.counters["active_frac"] = agg.active_fraction.mean;
+  SeriesTable::instance().add(max_sleep,
+                              std::string("energy_") +
+                                  std::string(pas::core::to_string(policy)),
+                              agg.energy_j.mean);
+}
+
+void BM_Fig6_NS(benchmark::State& state) { run_fig6(state, Policy::kNeverSleep); }
+void BM_Fig6_PAS(benchmark::State& state) { run_fig6(state, Policy::kPas); }
+void BM_Fig6_SAS(benchmark::State& state) { run_fig6(state, Policy::kSas); }
+
+constexpr std::int64_t kSweep[] = {5, 10, 15, 20, 25, 30, 35, 40};
+
+void register_sweep(benchmark::internal::Benchmark* b) {
+  for (const auto v : kSweep) b->Arg(v);
+  b->Unit(benchmark::kMillisecond)->Iterations(1);
+}
+
+BENCHMARK(BM_Fig6_NS)->Apply(register_sweep);
+BENCHMARK(BM_Fig6_PAS)->Apply(register_sweep);
+BENCHMARK(BM_Fig6_SAS)->Apply(register_sweep);
+
+}  // namespace
+
+PAS_BENCH_MAIN("Figure 6 — energy (J/node) vs maximum sleeping interval (s)",
+               "max_sleep_s", 4)

@@ -1,0 +1,40 @@
+// Figure 7 — PAS average per-node energy vs alert-time threshold
+// (30 nodes, 10 m range, max sleep 20 s, 150 s run).
+//
+// Expected shape (paper §4.3): energy varies greatly (grows) with the
+// threshold — a larger alert belt keeps more sensors awake ahead of the
+// front, trading energy for the Figure 5 delay gains.
+#include "bench_common.hpp"
+
+namespace {
+
+using pas::bench::SeriesTable;
+using pas::core::Policy;
+
+constexpr double kMaxSleep = 20.0;
+
+void BM_Fig7_PAS(benchmark::State& state) {
+  const double alert = static_cast<double>(state.range(0));
+  pas::world::ReplicatedMetrics agg;
+  for (auto _ : state) {
+    agg = pas::bench::run_point(Policy::kPas, kMaxSleep, alert);
+  }
+  state.counters["energy_J"] = agg.energy_j.mean;
+  state.counters["energy_ci95"] = agg.energy_j.ci95_half;
+  state.counters["active_frac"] = agg.active_fraction.mean;
+  SeriesTable::instance().add(alert, "energy_PAS", agg.energy_j.mean);
+}
+
+BENCHMARK(BM_Fig7_PAS)
+    ->Arg(10)
+    ->Arg(15)
+    ->Arg(20)
+    ->Arg(25)
+    ->Arg(30)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+
+PAS_BENCH_MAIN("Figure 7 — PAS energy (J/node) vs alert-time threshold (s)",
+               "alert_time_s", 4)

@@ -1,0 +1,90 @@
+// Microbenchmarks A4 — simulator-kernel throughput and parallel-sweep
+// scaling: the costs everything else in this repository is built on.
+#include <benchmark/benchmark.h>
+
+#include "runtime/parallel_for.hpp"
+#include "runtime/thread_pool.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "world/paper_setup.hpp"
+#include "world/scenario.hpp"
+#include "world/sweep.hpp"
+
+namespace {
+
+void BM_EventQueue_PushPop(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  pas::sim::Pcg32 rng(1, 1);
+  for (auto _ : state) {
+    pas::sim::EventQueue q;
+    for (std::size_t i = 0; i < n; ++i) {
+      q.push(rng.uniform(0.0, 1e6), [] {});
+    }
+    while (!q.empty()) {
+      benchmark::DoNotOptimize(q.pop().time);
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_EventQueue_PushPop)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_Simulator_EventStorm(benchmark::State& state) {
+  // Self-rescheduling event chain: measures per-event dispatch overhead.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    pas::sim::Simulator sim;
+    std::size_t remaining = n;
+    std::function<void()> tick = [&] {
+      if (--remaining > 0) sim.schedule_in(0.001, tick);
+    };
+    sim.schedule_in(0.001, tick);
+    sim.run();
+    benchmark::DoNotOptimize(sim.executed_events());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_Simulator_EventStorm)->Arg(10000)->Arg(100000);
+
+void BM_Scenario_SingleRun(benchmark::State& state) {
+  // One full paper-scenario simulation, the unit of every sweep.
+  pas::world::PaperSetupOverrides o;
+  o.policy = pas::core::Policy::kPas;
+  const auto cfg = pas::world::paper_scenario(o);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    auto run_cfg = cfg;
+    run_cfg.seed = seed++;
+    benchmark::DoNotOptimize(pas::world::run_scenario(run_cfg).metrics);
+  }
+}
+BENCHMARK(BM_Scenario_SingleRun)->Unit(benchmark::kMillisecond);
+
+void BM_Sweep_Parallel(benchmark::State& state) {
+  // Replicated sweep over the thread pool: should scale with cores until
+  // memory bandwidth binds.
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  pas::world::PaperSetupOverrides o;
+  const auto cfg = pas::world::paper_scenario(o);
+  for (auto _ : state) {
+    pas::runtime::ThreadPool pool(threads);
+    benchmark::DoNotOptimize(
+        pas::world::run_replicated(cfg, 16, &pool).energy_j.mean);
+  }
+  state.SetItemsProcessed(16 * state.iterations());
+}
+BENCHMARK(BM_Sweep_Parallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_Pcg32_Uniform(benchmark::State& state) {
+  pas::sim::Pcg32 rng(42, 1);
+  double acc = 0.0;
+  for (auto _ : state) {
+    acc += rng.uniform01();
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_Pcg32_Uniform);
+
+}  // namespace
+
+BENCHMARK_MAIN();

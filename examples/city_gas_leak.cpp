@@ -1,0 +1,68 @@
+// Emergency-response sizing: the paper's §3.4 example — "the spreading of
+// noxious gas in a city is highly emergent. In this case, the alert area
+// should be enlarged to minimize detecting delays. In a less hazardous
+// case, we can reduce the alert area to cut down energy consumption."
+//
+// This example runs a fast gas front against a sweep of alert-time
+// thresholds and prints the delay/energy trade-off so an operator can pick
+// T_alert for their hazard class.
+//
+//   $ ./city_gas_leak [--speed V] [--reps N] [--threads N]
+#include <iostream>
+
+#include "io/cli.hpp"
+#include "io/table.hpp"
+#include "runtime/thread_pool.hpp"
+#include "world/paper_setup.hpp"
+#include "world/sweep.hpp"
+
+int main(int argc, char** argv) {
+  double speed = 0.9;  // a fast, hazardous release
+  std::int64_t reps = 10;
+  std::int64_t threads = 0;
+
+  pas::io::Cli cli("city_gas_leak",
+                   "size the PAS alert area for an emergent gas release");
+  cli.add_double("speed", &speed, "mean front speed (m/s)");
+  cli.add_int("reps", &reps, "replications per threshold");
+  cli.add_int("threads", &threads, "worker threads (0 = all cores)");
+  if (!cli.parse(argc, argv)) return cli.status() == 0 ? 0 : 2;
+
+  pas::runtime::ThreadPool pool(static_cast<std::size_t>(threads));
+
+  std::cout << "gas release at the depot corner, front speed " << speed
+            << " m/s; sweeping T_alert...\n\n";
+
+  pas::io::Table table({"T_alert_s", "avg_delay_s", "p95_delay_ci", "energy_J",
+                        "active_frac", "alerts/run"});
+  for (const double alert : {5.0, 10.0, 15.0, 20.0, 30.0, 40.0}) {
+    pas::world::PaperSetupOverrides o;
+    o.policy = pas::core::Policy::kPas;
+    o.alert_threshold_s = alert;
+    pas::world::ScenarioConfig cfg = pas::world::paper_scenario(o);
+    cfg.radial.base_speed = speed;
+    // A fast front crosses the field quickly; keep the observation window
+    // matched so energy is comparable across thresholds.
+    cfg.duration_s = 120.0;
+
+    const auto agg = pas::world::run_replicated(
+        cfg, static_cast<std::size_t>(reps), &pool);
+    double alerts = 0.0;
+    for (const auto& r : agg.runs) {
+      alerts += static_cast<double>(r.protocol.alert_entries);
+    }
+    table.add_row({pas::io::fixed(alert, 0),
+                   pas::io::fixed(agg.delay_s.mean, 3),
+                   "±" + pas::io::fixed(agg.delay_s.ci95_half, 3),
+                   pas::io::fixed(agg.energy_j.mean, 3),
+                   pas::io::fixed(agg.active_fraction.mean, 3),
+                   pas::io::fixed(alerts / static_cast<double>(reps), 1)});
+  }
+  table.print(std::cout);
+
+  std::cout <<
+      "\nreading the table: a hazardous release wants a large T_alert (low\n"
+      "delay, more energy); routine monitoring wants a small one. The knob\n"
+      "is exactly the paper's emergency-adaptability claim (Figs 5 & 7).\n";
+  return 0;
+}

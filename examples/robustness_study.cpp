@@ -1,0 +1,105 @@
+// Robustness study: the paper's §5 future work — sensor failure and
+// imperfect communication — measured on the full protocol. Sweeps a grid of
+// (channel loss, failure fraction) and reports delay/energy/missed counts;
+// optionally writes the grid as CSV for plotting.
+//
+//   $ ./robustness_study [--reps N] [--threads N] [--csv out.csv]
+//                        [--gilbert]
+#include <fstream>
+#include <iostream>
+
+#include "io/cli.hpp"
+#include "io/csv.hpp"
+#include "io/table.hpp"
+#include "runtime/thread_pool.hpp"
+#include "world/paper_setup.hpp"
+#include "world/sweep.hpp"
+
+int main(int argc, char** argv) {
+  std::int64_t reps = 8;
+  std::int64_t threads = 0;
+  std::string csv_path;
+  bool gilbert = false;
+
+  pas::io::Cli cli("robustness_study",
+                   "PAS under lossy channels and node failures");
+  cli.add_int("reps", &reps, "replications per grid point");
+  cli.add_int("threads", &threads, "worker threads (0 = all cores)");
+  cli.add_string("csv", &csv_path, "write the sweep grid to this CSV file");
+  cli.add_flag("gilbert", &gilbert,
+               "use the bursty Gilbert-Elliott channel instead of Bernoulli");
+  if (!cli.parse(argc, argv)) return cli.status() == 0 ? 0 : 2;
+
+  pas::runtime::ThreadPool pool(static_cast<std::size_t>(threads));
+  std::ofstream csv_file;
+  std::unique_ptr<pas::io::CsvWriter> csv;
+  if (!csv_path.empty()) {
+    csv_file.open(csv_path);
+    if (!csv_file) {
+      std::cerr << "cannot open " << csv_path << '\n';
+      return 1;
+    }
+    csv = std::make_unique<pas::io::CsvWriter>(csv_file);
+    csv->header({"loss_pct", "failure_pct", "delay_s", "delay_ci95",
+                 "energy_j", "missed", "deliveries", "dropped"});
+  }
+
+  std::cout << "channel: " << (gilbert ? "gilbert-elliott (bursty)" : "bernoulli")
+            << ", " << reps << " replications per point\n\n";
+  pas::io::Table table({"loss_%", "fail_%", "delay_s", "ci95", "energy_J",
+                        "missed/run", "drop_rate"});
+
+  for (const double loss : {0.0, 10.0, 30.0, 50.0}) {
+    for (const double fail : {0.0, 10.0, 25.0}) {
+      pas::world::PaperSetupOverrides o;
+      o.policy = pas::core::Policy::kPas;
+      pas::world::ScenarioConfig cfg = pas::world::paper_scenario(o);
+      if (loss > 0.0) {
+        if (gilbert) {
+          cfg.channel = pas::world::ChannelKind::kGilbertElliott;
+          // Scale the bad-state dwell so the long-run loss tracks `loss`.
+          cfg.gilbert = {.p_good_to_bad = 0.05,
+                         .p_bad_to_good = 0.05 * (100.0 - loss) / loss,
+                         .loss_good = 0.0,
+                         .loss_bad = 1.0};
+        } else {
+          cfg.channel = pas::world::ChannelKind::kBernoulli;
+          cfg.channel_loss = loss / 100.0;
+        }
+      }
+      cfg.failures.fraction = fail / 100.0;
+      cfg.failures.window_start_s = 0.0;
+      cfg.failures.window_end_s = 75.0;
+
+      const auto agg = pas::world::run_replicated(
+          cfg, static_cast<std::size_t>(reps), &pool);
+      double deliveries = 0.0, dropped = 0.0;
+      for (const auto& r : agg.runs) {
+        deliveries += static_cast<double>(r.network.deliveries);
+        dropped += static_cast<double>(r.network.dropped_channel);
+      }
+      const double drop_rate =
+          deliveries + dropped > 0.0 ? dropped / (deliveries + dropped) : 0.0;
+
+      table.add_row({pas::io::fixed(loss, 0), pas::io::fixed(fail, 0),
+                     pas::io::fixed(agg.delay_s.mean, 3),
+                     "±" + pas::io::fixed(agg.delay_s.ci95_half, 3),
+                     pas::io::fixed(agg.energy_j.mean, 3),
+                     pas::io::fixed(agg.mean_missed, 2),
+                     pas::io::fixed(drop_rate, 3)});
+      if (csv) {
+        csv->row_values({loss, fail, agg.delay_s.mean, agg.delay_s.ci95_half,
+                         agg.energy_j.mean, agg.mean_missed, deliveries,
+                         dropped});
+      }
+    }
+  }
+  table.print(std::cout);
+  if (csv) std::cout << "\nwrote " << csv->rows_written() << " rows to " << csv_path << '\n';
+
+  std::cout <<
+      "\nexpected pattern: detection survives loss (sensing is local); delay\n"
+      "degrades gracefully; failures thin the network and raise delay more\n"
+      "than loss does. This quantifies the paper's section-5 future work.\n";
+  return 0;
+}

@@ -1,0 +1,72 @@
+#include "core/analysis.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace pas::core {
+
+double expected_delay_s(sim::Duration interval_s,
+                        sim::Duration awake_window_s) {
+  if (interval_s < 0.0 || awake_window_s < 0.0) {
+    throw std::invalid_argument("expected_delay_s: negative durations");
+  }
+  const double cycle = interval_s + awake_window_s;
+  if (cycle <= 0.0) return 0.0;
+  return (interval_s / cycle) * interval_s / 2.0;
+}
+
+double duty_cycle_power_w(const energy::PowerProfile& profile,
+                          sim::Duration interval_s,
+                          sim::Duration awake_window_s,
+                          std::size_t request_bits) {
+  if (interval_s <= 0.0 || awake_window_s < 0.0) {
+    throw std::invalid_argument("duty_cycle_power_w: bad durations");
+  }
+  const double cycle = interval_s + awake_window_s;
+  const double energy_per_cycle =
+      profile.sleep_w * interval_s +
+      profile.total_active_w() * awake_window_s +
+      2.0 * profile.transition_energy() + profile.tx_energy(request_bits);
+  return energy_per_cycle / cycle;
+}
+
+double lifetime_s(double capacity_j, double power_w) {
+  if (capacity_j < 0.0 || power_w < 0.0) {
+    throw std::invalid_argument("lifetime_s: negative inputs");
+  }
+  if (power_w == 0.0) return std::numeric_limits<double>::infinity();
+  return capacity_j / power_w;
+}
+
+sim::Duration interval_for_delay(sim::Duration target_delay_s,
+                                 sim::Duration awake_window_s) {
+  if (target_delay_s < 0.0 || awake_window_s < 0.0) {
+    throw std::invalid_argument("interval_for_delay: negative inputs");
+  }
+  if (target_delay_s == 0.0) return 0.0;
+  // Solve L²/(2(L+w)) = d  ⇔  L² − 2dL − 2dw = 0 (positive root).
+  const double d = target_delay_s, w = awake_window_s;
+  return d + std::sqrt(d * d + 2.0 * d * w);
+}
+
+sim::Duration interval_at(const node::SleepSchedule& schedule,
+                          sim::Duration t_since_safe) {
+  schedule.validate();
+  if (t_since_safe < 0.0) {
+    throw std::invalid_argument("interval_at: negative time");
+  }
+  sim::Duration interval = schedule.initial_s;
+  sim::Duration elapsed = 0.0;
+  // Walk the ramp; each interval is slept once before growing.
+  for (int guard = 0; guard < 1000000; ++guard) {
+    elapsed += interval;
+    if (elapsed >= t_since_safe) return interval;
+    const sim::Duration nxt = schedule.next(interval);
+    if (nxt == interval && interval >= schedule.max_s) return interval;
+    interval = nxt;
+  }
+  return interval;
+}
+
+}  // namespace pas::core

@@ -1,0 +1,102 @@
+#include "core/estimation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pas::core {
+
+std::optional<geom::Vec2> actual_velocity(
+    geom::Vec2 x_position, sim::Time x_detected_at,
+    std::span<const PeerObservation> peers, sim::Duration min_dt_s) {
+  geom::Vec2 sum{};
+  int n = 0;
+  for (const PeerObservation& peer : peers) {
+    if (peer.state != NodeState::kCovered) continue;
+    if (peer.detected_at >= x_detected_at) continue;  // not an earlier front
+    if (peer.detected_at == sim::kNever) continue;
+    const geom::Vec2 ix = x_position - peer.position;
+    if (ix.norm2() == 0.0) continue;  // co-located peer carries no direction
+    const sim::Duration dt = x_detected_at - peer.detected_at;
+    if (dt < min_dt_s) continue;  // tangential chord: no propagation signal
+    sum += ix / dt;
+    ++n;
+  }
+  if (n == 0) return std::nullopt;
+  return sum / static_cast<double>(n);
+}
+
+std::optional<geom::Vec2> expected_velocity(
+    std::span<const PeerObservation> peers) {
+  geom::Vec2 sum{};
+  int n = 0;
+  for (const PeerObservation& peer : peers) {
+    if (!peer.velocity_valid) continue;
+    if (peer.state == NodeState::kSafe) continue;  // formula 2: covered/alert
+    sum += peer.velocity;
+    ++n;
+  }
+  if (n == 0) return std::nullopt;
+  return sum / static_cast<double>(n);
+}
+
+sim::Time predict_arrival(geom::Vec2 x_position, sim::Time now,
+                          std::span<const PeerObservation> peers,
+                          const PredictionPolicy& policy) {
+  sim::Time best = sim::kNever;
+  for (const PeerObservation& peer : peers) {
+    const bool covered = peer.state == NodeState::kCovered;
+    const bool alert = peer.state == NodeState::kAlert;
+    if (!covered && !(alert && policy.use_alert_peers)) continue;
+    if (!peer.velocity_valid) continue;
+    const double speed = peer.velocity.norm();
+    if (speed <= 0.0) continue;
+
+    const geom::Vec2 ix = x_position - peer.position;
+    const double dist = ix.norm();
+    if (dist == 0.0) {
+      // The front is at X's own position right now.
+      return now;
+    }
+
+    double travel;
+    if (policy.cosine_projection) {
+      const double cos_phi = geom::cos_included_angle(peer.velocity, ix);
+      if (cos_phi <= 0.0) continue;  // front moving away from X
+      travel = dist * cos_phi / speed;
+    } else {
+      travel = dist / speed;
+    }
+
+    // When does the front pass the peer? Covered: its detection. Alert: its
+    // own prediction, else the time we heard from it.
+    sim::Time ref;
+    if (covered) {
+      ref = peer.detected_at != sim::kNever ? peer.detected_at
+                                            : peer.received_at;
+    } else {
+      ref = peer.predicted_arrival != sim::kNever ? peer.predicted_arrival
+                                                  : peer.received_at;
+    }
+    const sim::Time estimate = ref + travel;
+    // Falsified prediction: the front should have arrived well before now
+    // but did not (X would have sensed it) — discard rather than treat the
+    // stimulus as perpetually imminent.
+    if (estimate < now - policy.overdue_tolerance_s) continue;
+    best = std::min(best, estimate);
+  }
+  return best;
+}
+
+bool significant_change(sim::Time previous_abs, sim::Time new_abs,
+                        sim::Time now, double rel,
+                        sim::Duration abs_floor_s) {
+  const bool prev_known = previous_abs != sim::kNever;
+  const bool new_known = new_abs != sim::kNever;
+  if (prev_known != new_known) return true;
+  if (!new_known) return false;
+  const sim::Duration remaining = std::max(0.0, previous_abs - now);
+  const sim::Duration tolerance = std::max(abs_floor_s, rel * remaining);
+  return std::abs(new_abs - previous_abs) > tolerance;
+}
+
+}  // namespace pas::core

@@ -1,0 +1,28 @@
+#include "core/observation.hpp"
+
+#include <algorithm>
+
+namespace pas::core {
+
+std::vector<PeerObservation> PeerTable::snapshot() const {
+  std::vector<PeerObservation> out;
+  out.reserve(entries_.size());
+  for (const auto& [id, obs] : entries_) out.push_back(obs);
+  std::sort(out.begin(), out.end(),
+            [](const PeerObservation& a, const PeerObservation& b) {
+              return a.id < b.id;
+            });
+  return out;
+}
+
+void PeerTable::expire_older_than(sim::Time cutoff) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.received_at < cutoff) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace pas::core

@@ -1,0 +1,61 @@
+// Neighbor knowledge base.
+//
+// Each node keeps the most recent RESPONSE from every neighbor. The
+// estimation functions (estimation.hpp) consume snapshots of this table;
+// the table itself is a thin keyed store.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/state.hpp"
+#include "geom/vec2.hpp"
+#include "sim/time.hpp"
+
+namespace pas::core {
+
+/// What one node knows about one neighbor, from its latest RESPONSE.
+struct PeerObservation {
+  std::uint32_t id = 0;
+  geom::Vec2 position{};
+  NodeState state = NodeState::kSafe;
+  /// Estimated front velocity at the peer (valid only when velocity_valid).
+  geom::Vec2 velocity{};
+  bool velocity_valid = false;
+  /// Peer's own predicted arrival time (absolute; kNever when unknown).
+  sim::Time predicted_arrival = sim::kNever;
+  /// When the peer detected the stimulus (absolute; covered peers only).
+  sim::Time detected_at = sim::kNever;
+  /// When this observation was received.
+  sim::Time received_at = 0.0;
+};
+
+class PeerTable {
+ public:
+  /// Inserts or replaces the entry for `obs.id`.
+  void update(const PeerObservation& obs) { entries_[obs.id] = obs; }
+
+  [[nodiscard]] std::optional<PeerObservation> find(std::uint32_t id) const {
+    const auto it = entries_.find(id);
+    if (it == entries_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+  void clear() noexcept { entries_.clear(); }
+
+  /// Snapshot ordered by neighbor id (deterministic iteration for
+  /// reproducible estimation regardless of hash order).
+  [[nodiscard]] std::vector<PeerObservation> snapshot() const;
+
+  /// Drops observations received before `cutoff`.
+  void expire_older_than(sim::Time cutoff);
+
+ private:
+  std::unordered_map<std::uint32_t, PeerObservation> entries_;
+};
+
+}  // namespace pas::core

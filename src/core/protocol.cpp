@@ -1,0 +1,416 @@
+#include "core/protocol.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/estimation.hpp"
+
+namespace pas::core {
+
+Protocol::Protocol(sim::Simulator& simulator, net::Network& network,
+                   std::vector<node::SensorNode>& nodes,
+                   const stimulus::StimulusModel& model,
+                   const stimulus::ArrivalMap& arrivals,
+                   ProtocolConfig config, const sim::SeedSequence& seeds,
+                   const node::FailurePlan* failures, sim::TraceLog* trace)
+    : simulator_(simulator),
+      network_(network),
+      nodes_(nodes),
+      model_(model),
+      arrivals_(arrivals),
+      config_(std::move(config)),
+      failures_(failures),
+      trace_(trace),
+      wake_rng_(seeds.stream(sim::SeedSequence::kProtocol)) {
+  config_.validate();
+  if (nodes_.size() != network_.size() || nodes_.size() != arrivals_.size()) {
+    throw std::invalid_argument(
+        "Protocol: nodes, network and arrival map sizes must agree");
+  }
+  runtime_.resize(nodes_.size());
+}
+
+void Protocol::trace(sim::TraceCategory cat, std::uint32_t i,
+                     std::string text) {
+  if (trace_ != nullptr) {
+    trace_->record(simulator_.now(), cat, i, std::move(text));
+  }
+}
+
+void Protocol::start() {
+  if (started_) throw std::logic_error("Protocol::start called twice");
+  started_ = true;
+
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+    Runtime& rt = runtime_[i];
+    rt.sleep_interval = config_.sleep.initial_s;
+
+    network_.set_rx_handler(
+        i, [this, i](const net::Message& msg) { on_message(i, msg); });
+
+    if (config_.sleeps()) {
+      // Enter the duty cycle immediately; first wake is jittered so the
+      // network does not sample in lock-step.
+      const sim::Duration first =
+          config_.jitter_initial_wake
+              ? wake_rng_.uniform(0.0, config_.sleep.initial_s)
+              : config_.sleep.initial_s;
+      nodes_[i].asleep = true;
+      nodes_[i].meter.set_mode(energy::PowerMode::kSleep, simulator_.now());
+      network_.set_listening(i, false);
+      rt.wake_event = simulator_.schedule_in(first, [this, i] { on_wake(i); });
+    } else {
+      nodes_[i].asleep = false;
+      network_.set_listening(i, true);
+    }
+
+    if (const sim::Time arrival = arrivals_.at(i); arrival < sim::kNever) {
+      simulator_.schedule_at(arrival, [this, i] { on_arrival(i); });
+    }
+    if (failures_ != nullptr) {
+      if (const sim::Time death = failures_->death_time(i);
+          death < sim::kNever) {
+        simulator_.schedule_at(death, [this, i] { on_failure(i); });
+      }
+    }
+  }
+}
+
+void Protocol::on_arrival(std::uint32_t i) {
+  if (nodes_[i].failed) return;
+  // Active sensors detect immediately (§4.1); sleeping sensors miss the
+  // instant and detect at their next wake-up's sensing step.
+  if (!nodes_[i].asleep) detect(i);
+}
+
+void Protocol::detect(std::uint32_t i) {
+  node::SensorNode& n = nodes_[i];
+  Runtime& rt = runtime_[i];
+  if (rt.state == NodeState::kCovered) return;
+
+  if (!n.has_detected()) n.detected = simulator_.now();
+  rt.last_seen_covered = simulator_.now();
+  cancel_pending(i);
+  set_state(i, NodeState::kCovered);
+  ++stats_.covered_entries;
+  trace(sim::TraceCategory::kDetection, i, "detected stimulus");
+
+  if (config_.sleeps()) {
+    // Gather covered neighbors' detection times to compute the actual
+    // velocity (formula 1), then advertise the new state.
+    send_request(i);
+    rt.estimate_event = simulator_.schedule_in(
+        config_.response_wait_s, [this, i] { on_covered_estimate(i); });
+  }
+  rt.covered_check_event = simulator_.schedule_in(
+      config_.covered_timeout_s * 0.5, [this, i] { on_covered_check(i); });
+}
+
+void Protocol::on_covered_estimate(std::uint32_t i) {
+  Runtime& rt = runtime_[i];
+  if (nodes_[i].failed || rt.state != NodeState::kCovered) return;
+
+  if (config_.observation_ttl_s > 0.0) {
+    rt.table.expire_older_than(simulator_.now() - config_.observation_ttl_s);
+  }
+  const auto peers = rt.table.snapshot();
+  if (const auto actual =
+          actual_velocity(nodes_[i].position, nodes_[i].detected, peers)) {
+    rt.velocity = *actual;
+    rt.velocity_valid = true;
+    std::ostringstream os;
+    os << "actual velocity " << rt.velocity;
+    trace(sim::TraceCategory::kMisc, i, os.str());
+  }
+  // else: keep any expected-velocity estimate from the alert phase; the
+  // very first covered node (at the source) has neither.
+  send_response(i);
+}
+
+void Protocol::on_covered_check(std::uint32_t i) {
+  Runtime& rt = runtime_[i];
+  if (nodes_[i].failed || rt.state != NodeState::kCovered) return;
+
+  if (model_.covered(nodes_[i].position, simulator_.now())) {
+    rt.last_seen_covered = simulator_.now();
+  } else if (simulator_.now() - rt.last_seen_covered >=
+             config_.covered_timeout_s) {
+    // Stimulus receded: detection timeout elapsed, back to safe (Fig 3).
+    ++stats_.covered_timeouts;
+    trace(sim::TraceCategory::kState, i, "covered timeout -> safe");
+    demote_to_safe(i);
+    return;
+  }
+  rt.covered_check_event = simulator_.schedule_in(
+      config_.covered_timeout_s * 0.5, [this, i] { on_covered_check(i); });
+}
+
+void Protocol::on_wake(std::uint32_t i) {
+  node::SensorNode& n = nodes_[i];
+  Runtime& rt = runtime_[i];
+  if (n.failed || rt.state != NodeState::kSafe) return;
+
+  ++stats_.wakeups;
+  n.asleep = false;
+  n.meter.set_mode(energy::PowerMode::kActive, simulator_.now());
+  network_.set_listening(i, true);
+  trace(sim::TraceCategory::kSleep, i, "woke up");
+
+  if (model_.covered(n.position, simulator_.now())) {
+    detect(i);
+    return;
+  }
+
+  send_request(i);
+  rt.awaiting_eval = true;
+  rt.eval_event = simulator_.schedule_in(config_.response_wait_s,
+                                         [this, i] { on_safe_evaluate(i); });
+}
+
+void Protocol::on_safe_evaluate(std::uint32_t i) {
+  node::SensorNode& n = nodes_[i];
+  Runtime& rt = runtime_[i];
+  if (n.failed || rt.state != NodeState::kSafe || n.asleep) return;
+  rt.awaiting_eval = false;
+
+  refresh_estimates(i);
+
+  const sim::Time now = simulator_.now();
+  if (trace_ != nullptr && trace_->enabled()) {
+    std::ostringstream os;
+    os << "eval: pred=" << rt.predicted_arrival << " now=" << now
+       << " peers=" << rt.table.size();
+    for (const auto& p : rt.table.snapshot()) {
+      os << " [" << p.id << ":" << to_string(p.state)
+         << " v=" << p.velocity << (p.velocity_valid ? "" : "(inv)")
+         << " det=" << p.detected_at << "]";
+    }
+    trace(sim::TraceCategory::kMisc, i, os.str());
+  }
+  if (rt.predicted_arrival != sim::kNever &&
+      rt.predicted_arrival - now <= config_.alert_threshold_s) {
+    enter_alert(i);
+    return;
+  }
+
+  // Uneventful wake-up: lengthen the sleeping interval (§3.4) and sleep.
+  rt.sleep_interval = config_.sleep.next(rt.sleep_interval);
+  go_to_sleep(i);
+}
+
+void Protocol::enter_alert(std::uint32_t i) {
+  Runtime& rt = runtime_[i];
+  set_state(i, NodeState::kAlert);
+  ++stats_.alert_entries;
+  rt.sleep_interval = config_.sleep.initial_s;  // restart schedule on return
+  rt.recheck_event = simulator_.schedule_in(config_.alert_recheck_s,
+                                            [this, i] { on_alert_recheck(i); });
+  if (config_.alert_nodes_participate()) maybe_push_response(i);
+}
+
+void Protocol::on_alert_recheck(std::uint32_t i) {
+  node::SensorNode& n = nodes_[i];
+  Runtime& rt = runtime_[i];
+  if (n.failed || rt.state != NodeState::kAlert) return;
+
+  refresh_estimates(i);
+
+  const sim::Time now = simulator_.now();
+  if (rt.predicted_arrival == sim::kNever ||
+      rt.predicted_arrival - now > config_.alert_threshold_s) {
+    ++stats_.alert_exits;
+    trace(sim::TraceCategory::kState, i, "arrival receded -> safe");
+    demote_to_safe(i);
+    return;
+  }
+  if (config_.alert_nodes_participate()) maybe_push_response(i);
+  rt.recheck_event = simulator_.schedule_in(config_.alert_recheck_s,
+                                            [this, i] { on_alert_recheck(i); });
+}
+
+void Protocol::demote_to_safe(std::uint32_t i) {
+  Runtime& rt = runtime_[i];
+  cancel_pending(i);
+  set_state(i, NodeState::kSafe);
+  rt.predicted_arrival = sim::kNever;
+  rt.sleep_interval = config_.sleep.initial_s;
+  if (config_.sleeps()) {
+    go_to_sleep(i);
+  }
+}
+
+void Protocol::go_to_sleep(std::uint32_t i) {
+  node::SensorNode& n = nodes_[i];
+  Runtime& rt = runtime_[i];
+  n.asleep = true;
+  n.meter.set_mode(energy::PowerMode::kSleep, simulator_.now());
+  network_.set_listening(i, false);
+  std::ostringstream os;
+  os << "sleeping for " << rt.sleep_interval << "s";
+  trace(sim::TraceCategory::kSleep, i, os.str());
+  rt.wake_event = simulator_.schedule_in(rt.sleep_interval,
+                                         [this, i] { on_wake(i); });
+}
+
+void Protocol::send_request(std::uint32_t i) {
+  net::Message msg;
+  msg.type = net::MessageType::kRequest;
+  network_.broadcast(i, msg);
+  ++stats_.requests_sent;
+  trace(sim::TraceCategory::kMessage, i, "REQUEST");
+}
+
+void Protocol::send_response(std::uint32_t i) {
+  const Runtime& rt = runtime_[i];
+  net::Message msg;
+  msg.type = net::MessageType::kResponse;
+  msg.payload.position = nodes_[i].position;
+  msg.payload.state = encode(rt.state);
+  msg.payload.velocity = rt.velocity;
+  msg.payload.velocity_valid = rt.velocity_valid;
+  msg.payload.predicted_arrival = rt.state == NodeState::kCovered
+                                      ? nodes_[i].detected
+                                      : rt.predicted_arrival;
+  msg.payload.detected_at = nodes_[i].detected;
+  network_.broadcast(i, msg);
+  ++stats_.responses_sent;
+  trace(sim::TraceCategory::kMessage, i, "RESPONSE");
+}
+
+void Protocol::maybe_push_response(std::uint32_t i) {
+  Runtime& rt = runtime_[i];
+  const sim::Time now = simulator_.now();
+  if (now - rt.last_push_time < config_.min_push_gap_s) return;
+  if (!significant_change(rt.last_pushed_prediction, rt.predicted_arrival, now,
+                          config_.rebroadcast_rel_change,
+                          config_.rebroadcast_abs_floor_s)) {
+    return;
+  }
+  rt.last_push_time = now;
+  rt.last_pushed_prediction = rt.predicted_arrival;
+  send_response(i);
+  ++stats_.responses_pushed;
+}
+
+void Protocol::refresh_estimates(std::uint32_t i) {
+  Runtime& rt = runtime_[i];
+  if (config_.observation_ttl_s > 0.0) {
+    rt.table.expire_older_than(simulator_.now() - config_.observation_ttl_s);
+  }
+  const auto peers = rt.table.snapshot();
+  if (rt.state != NodeState::kCovered) {
+    if (const auto expected = expected_velocity(peers)) {
+      rt.velocity = *expected;
+      rt.velocity_valid = true;
+    }
+  }
+  rt.predicted_arrival = predict_arrival(nodes_[i].position, simulator_.now(),
+                                         peers, config_.prediction(rt.state));
+}
+
+void Protocol::on_message(std::uint32_t i, const net::Message& msg) {
+  node::SensorNode& n = nodes_[i];
+  Runtime& rt = runtime_[i];
+  if (n.failed || n.asleep) return;  // radio is off; network also filters
+  ++stats_.messages_received;
+
+  if (msg.type == net::MessageType::kRequest) {
+    // §3.2: covered and alert sensors answer REQUESTs. Under SAS only
+    // covered sensors carry stimulus information, so alert nodes stay quiet.
+    if (rt.state == NodeState::kCovered ||
+        (rt.state == NodeState::kAlert && config_.alert_nodes_participate())) {
+      send_response(i);
+    }
+    return;
+  }
+
+  // RESPONSE: fold the peer's info into the table.
+  PeerObservation obs;
+  obs.id = msg.sender;
+  obs.position = msg.payload.position;
+  obs.state = decode_state(msg.payload.state);
+  obs.velocity = msg.payload.velocity;
+  obs.velocity_valid = msg.payload.velocity_valid;
+  obs.predicted_arrival = msg.payload.predicted_arrival;
+  obs.detected_at = msg.payload.detected_at;
+  obs.received_at = simulator_.now();
+  rt.table.update(obs);
+
+  if (rt.state == NodeState::kCovered && !rt.velocity_valid) {
+    // This node detected with no earlier-covered neighbor in earshot (e.g.
+    // near-simultaneous detections): keep trying as information arrives —
+    // first the paper's formula 1, else adopt the neighborhood's expected
+    // velocity so downstream predictions are not starved.
+    const auto peers = rt.table.snapshot();
+    if (const auto actual =
+            actual_velocity(nodes_[i].position, nodes_[i].detected, peers)) {
+      rt.velocity = *actual;
+      rt.velocity_valid = true;
+    } else if (const auto expected = expected_velocity(peers)) {
+      rt.velocity = *expected;
+      rt.velocity_valid = true;
+    }
+    if (rt.velocity_valid && config_.sleeps()) send_response(i);
+    return;
+  }
+
+  if (rt.state == NodeState::kAlert) {
+    // §3.2 alert behaviour: re-calculate on every RESPONSE; push own update
+    // when the expectation changed significantly; fall back to safe when
+    // the arrival receded beyond the threshold.
+    refresh_estimates(i);
+    const sim::Time now = simulator_.now();
+    if (rt.predicted_arrival == sim::kNever ||
+        rt.predicted_arrival - now > config_.alert_threshold_s) {
+      ++stats_.alert_exits;
+      trace(sim::TraceCategory::kState, i, "arrival receded -> safe");
+      demote_to_safe(i);
+      return;
+    }
+    if (config_.alert_nodes_participate()) maybe_push_response(i);
+  }
+  // Safe nodes awaiting evaluation act at their eval event; covered nodes
+  // only use RESPONSEs via the estimate event.
+}
+
+void Protocol::on_failure(std::uint32_t i) {
+  node::SensorNode& n = nodes_[i];
+  if (n.failed) return;
+  n.failed = true;
+  ++stats_.failures;
+  cancel_pending(i);
+  network_.set_failed(i);
+  // A dead node draws (approximately) nothing; meter it as sleeping, which
+  // at 15 µW is negligible over any run we evaluate.
+  n.meter.set_mode(energy::PowerMode::kSleep, simulator_.now());
+  n.asleep = true;
+  trace(sim::TraceCategory::kFailure, i, "node failed");
+}
+
+void Protocol::cancel_pending(std::uint32_t i) {
+  Runtime& rt = runtime_[i];
+  simulator_.cancel(rt.wake_event);
+  simulator_.cancel(rt.eval_event);
+  simulator_.cancel(rt.recheck_event);
+  simulator_.cancel(rt.estimate_event);
+  simulator_.cancel(rt.covered_check_event);
+  rt.awaiting_eval = false;
+}
+
+void Protocol::set_state(std::uint32_t i, NodeState next) {
+  Runtime& rt = runtime_[i];
+  if (rt.state == next) return;
+  std::ostringstream os;
+  os << to_string(rt.state) << " -> " << to_string(next);
+  trace(sim::TraceCategory::kState, i, os.str());
+  rt.state = next;
+}
+
+std::size_t Protocol::count_in_state(NodeState s) const {
+  return static_cast<std::size_t>(
+      std::count_if(runtime_.begin(), runtime_.end(),
+                    [s](const Runtime& rt) { return rt.state == s; }));
+}
+
+}  // namespace pas::core

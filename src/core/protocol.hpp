@@ -1,0 +1,146 @@
+// The PAS protocol engine (paper §3), also running SAS and NS as policy
+// degenerations (§3.4: "By greatly reducing the threshold value of alert
+// time, PAS can degenerate into SAS"; we additionally disable alert-node
+// participation and the cosine projection for a faithful SAS).
+//
+// One Protocol instance drives every node of one simulated network:
+//   * safe nodes duty-cycle: wake → sense → REQUEST → evaluate → alert or
+//     sleep longer (linearly increasing interval);
+//   * alert nodes stay awake, answer REQUESTs, re-evaluate predictions on
+//     new RESPONSEs and periodically, and push significantly changed
+//     predictions (PAS only);
+//   * covered nodes stay awake, estimate the actual front velocity from
+//     earlier-covered neighbors (formula 1), advertise it, and fall back to
+//     safe after a detection timeout when the stimulus recedes.
+//
+// Detection semantics follow §4.1: an *active* node detects the stimulus the
+// instant it arrives (scheduled from the ground-truth ArrivalMap); a
+// sleeping node only detects when it next wakes while the stimulus is
+// present. Detection delay is detect − arrival.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/observation.hpp"
+#include "core/state.hpp"
+#include "net/network.hpp"
+#include "node/failure_model.hpp"
+#include "node/sensor_node.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+#include "stimulus/arrival_map.hpp"
+#include "stimulus/field.hpp"
+
+namespace pas::core {
+
+struct ProtocolStats {
+  std::uint64_t wakeups = 0;
+  std::uint64_t requests_sent = 0;
+  std::uint64_t responses_sent = 0;
+  std::uint64_t responses_pushed = 0;
+  std::uint64_t messages_received = 0;
+  std::uint64_t alert_entries = 0;
+  std::uint64_t alert_exits = 0;
+  std::uint64_t covered_entries = 0;
+  std::uint64_t covered_timeouts = 0;
+  std::uint64_t failures = 0;
+};
+
+class Protocol {
+ public:
+  /// All referenced objects must outlive the Protocol. `trace` may be null.
+  Protocol(sim::Simulator& simulator, net::Network& network,
+           std::vector<node::SensorNode>& nodes,
+           const stimulus::StimulusModel& model,
+           const stimulus::ArrivalMap& arrivals, ProtocolConfig config,
+           const sim::SeedSequence& seeds,
+           const node::FailurePlan* failures = nullptr,
+           sim::TraceLog* trace = nullptr);
+
+  Protocol(const Protocol&) = delete;
+  Protocol& operator=(const Protocol&) = delete;
+
+  /// Schedules initial wake-ups, stimulus arrivals and failures. Call once,
+  /// before Simulator::run_until.
+  void start();
+
+  [[nodiscard]] NodeState state_of(std::uint32_t id) const {
+    return runtime_.at(id).state;
+  }
+  [[nodiscard]] sim::Time predicted_arrival_of(std::uint32_t id) const {
+    return runtime_.at(id).predicted_arrival;
+  }
+  [[nodiscard]] bool velocity_valid_of(std::uint32_t id) const {
+    return runtime_.at(id).velocity_valid;
+  }
+  [[nodiscard]] geom::Vec2 velocity_of(std::uint32_t id) const {
+    return runtime_.at(id).velocity;
+  }
+
+  [[nodiscard]] std::size_t count_in_state(NodeState s) const;
+
+  [[nodiscard]] const ProtocolStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const ProtocolConfig& config() const noexcept { return config_; }
+
+ private:
+  struct Runtime {
+    NodeState state = NodeState::kSafe;
+    sim::Duration sleep_interval = 0.0;
+    PeerTable table;
+    geom::Vec2 velocity{};
+    bool velocity_valid = false;
+    sim::Time predicted_arrival = sim::kNever;
+    sim::Time last_pushed_prediction = sim::kNever;
+    sim::Time last_push_time = -1e18;
+    sim::Time last_seen_covered = sim::kNever;
+    bool awaiting_eval = false;
+    sim::EventId wake_event;
+    sim::EventId eval_event;
+    sim::EventId recheck_event;
+    sim::EventId estimate_event;
+    sim::EventId covered_check_event;
+  };
+
+  // Event handlers.
+  void on_arrival(std::uint32_t i);
+  void on_wake(std::uint32_t i);
+  void on_safe_evaluate(std::uint32_t i);
+  void on_alert_recheck(std::uint32_t i);
+  void on_covered_estimate(std::uint32_t i);
+  void on_covered_check(std::uint32_t i);
+  void on_message(std::uint32_t i, const net::Message& msg);
+  void on_failure(std::uint32_t i);
+
+  // Actions.
+  void detect(std::uint32_t i);
+  void enter_alert(std::uint32_t i);
+  void demote_to_safe(std::uint32_t i);
+  void go_to_sleep(std::uint32_t i);
+  void send_request(std::uint32_t i);
+  void send_response(std::uint32_t i);
+  void maybe_push_response(std::uint32_t i);
+  /// Recomputes expected velocity + predicted arrival from the peer table.
+  void refresh_estimates(std::uint32_t i);
+  void cancel_pending(std::uint32_t i);
+  void set_state(std::uint32_t i, NodeState next);
+
+  void trace(sim::TraceCategory cat, std::uint32_t i, std::string text);
+
+  sim::Simulator& simulator_;
+  net::Network& network_;
+  std::vector<node::SensorNode>& nodes_;
+  const stimulus::StimulusModel& model_;
+  const stimulus::ArrivalMap& arrivals_;
+  ProtocolConfig config_;
+  const node::FailurePlan* failures_;
+  sim::TraceLog* trace_;
+  sim::Pcg32 wake_rng_;
+  std::vector<Runtime> runtime_;
+  ProtocolStats stats_;
+  bool started_ = false;
+};
+
+}  // namespace pas::core

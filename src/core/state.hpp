@@ -1,0 +1,37 @@
+// Node states (paper §3.2, Fig 3).
+#pragma once
+
+#include <cstdint>
+
+namespace pas::core {
+
+/// The three PAS sensor states.
+///
+///   safe    — far from the front (expected arrival > threshold); sleeps.
+///   alert   — expected arrival below the alert-time threshold; active.
+///   covered — has detected the stimulus at its own position; active.
+enum class NodeState : std::uint8_t {
+  kSafe = 0,
+  kAlert = 1,
+  kCovered = 2,
+};
+
+[[nodiscard]] constexpr const char* to_string(NodeState s) noexcept {
+  switch (s) {
+    case NodeState::kSafe: return "safe";
+    case NodeState::kAlert: return "alert";
+    case NodeState::kCovered: return "covered";
+  }
+  return "?";
+}
+
+/// On-air encoding used in the RESPONSE state byte.
+[[nodiscard]] constexpr std::uint8_t encode(NodeState s) noexcept {
+  return static_cast<std::uint8_t>(s);
+}
+
+[[nodiscard]] constexpr NodeState decode_state(std::uint8_t b) noexcept {
+  return b <= 2 ? static_cast<NodeState>(b) : NodeState::kSafe;
+}
+
+}  // namespace pas::core

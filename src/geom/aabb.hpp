@@ -1,0 +1,52 @@
+// Axis-aligned bounding box (the monitored region).
+#pragma once
+
+#include <algorithm>
+
+#include "geom/vec2.hpp"
+
+namespace pas::geom {
+
+struct Aabb {
+  Vec2 lo{0.0, 0.0};
+  Vec2 hi{0.0, 0.0};
+
+  constexpr Aabb() noexcept = default;
+  constexpr Aabb(Vec2 low, Vec2 high) noexcept : lo(low), hi(high) {}
+
+  [[nodiscard]] static constexpr Aabb square(double side) noexcept {
+    return Aabb{{0.0, 0.0}, {side, side}};
+  }
+
+  [[nodiscard]] constexpr double width() const noexcept { return hi.x - lo.x; }
+  [[nodiscard]] constexpr double height() const noexcept { return hi.y - lo.y; }
+  [[nodiscard]] constexpr double area() const noexcept { return width() * height(); }
+  [[nodiscard]] constexpr Vec2 center() const noexcept {
+    return {(lo.x + hi.x) * 0.5, (lo.y + hi.y) * 0.5};
+  }
+
+  [[nodiscard]] constexpr bool contains(Vec2 p) const noexcept {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
+  }
+
+  /// Closest point inside the box to `p`.
+  [[nodiscard]] constexpr Vec2 clamp(Vec2 p) const noexcept {
+    return {std::clamp(p.x, lo.x, hi.x), std::clamp(p.y, lo.y, hi.y)};
+  }
+
+  /// Squared distance from `p` to the box (0 when inside).
+  [[nodiscard]] constexpr double distance2(Vec2 p) const noexcept {
+    const Vec2 c = clamp(p);
+    return geom::distance2(p, c);
+  }
+
+  /// Grows the box by `margin` on every side.
+  [[nodiscard]] constexpr Aabb inflated(double margin) const noexcept {
+    return Aabb{{lo.x - margin, lo.y - margin}, {hi.x + margin, hi.y + margin}};
+  }
+
+  /// Diagonal length — an upper bound on any in-region distance.
+  [[nodiscard]] double diagonal() const noexcept { return (hi - lo).norm(); }
+};
+
+}  // namespace pas::geom

@@ -1,0 +1,121 @@
+#include "geom/kdtree.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace pas::geom {
+
+KdTree::KdTree(std::vector<Vec2> points) : points_(std::move(points)) {
+  if (points_.empty()) return;
+  std::vector<std::uint32_t> ids(points_.size());
+  std::iota(ids.begin(), ids.end(), 0U);
+  nodes_.reserve(points_.size());
+  root_ = build(ids, 0, ids.size(), 0);
+}
+
+std::int32_t KdTree::build(std::vector<std::uint32_t>& ids, std::size_t lo,
+                           std::size_t hi, int depth) {
+  if (lo >= hi) return -1;
+  const std::uint8_t axis = static_cast<std::uint8_t>(depth % 2);
+  const std::size_t mid = lo + (hi - lo) / 2;
+  std::nth_element(ids.begin() + static_cast<std::ptrdiff_t>(lo),
+                   ids.begin() + static_cast<std::ptrdiff_t>(mid),
+                   ids.begin() + static_cast<std::ptrdiff_t>(hi),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return axis == 0 ? points_[a].x < points_[b].x
+                                      : points_[a].y < points_[b].y;
+                   });
+  const auto self = static_cast<std::int32_t>(nodes_.size());
+  nodes_.push_back(Node{ids[mid], -1, -1, axis});
+  const std::int32_t l = build(ids, lo, mid, depth + 1);
+  const std::int32_t r = build(ids, mid + 1, hi, depth + 1);
+  nodes_[static_cast<std::size_t>(self)].left = l;
+  nodes_[static_cast<std::size_t>(self)].right = r;
+  return self;
+}
+
+std::uint32_t KdTree::nearest(Vec2 q) const {
+  if (points_.empty()) throw std::logic_error("KdTree::nearest on empty tree");
+  double best_d2 = std::numeric_limits<double>::infinity();
+  std::uint32_t best = 0;
+  nearest_impl(root_, q, best_d2, best);
+  return best;
+}
+
+void KdTree::nearest_impl(std::int32_t node, Vec2 q, double& best_d2,
+                          std::uint32_t& best) const {
+  if (node < 0) return;
+  const Node& n = nodes_[static_cast<std::size_t>(node)];
+  const Vec2 p = points_[n.point];
+  const double d2 = distance2(p, q);
+  if (d2 < best_d2) {
+    best_d2 = d2;
+    best = n.point;
+  }
+  const double delta = n.axis == 0 ? q.x - p.x : q.y - p.y;
+  const std::int32_t near = delta < 0.0 ? n.left : n.right;
+  const std::int32_t far = delta < 0.0 ? n.right : n.left;
+  nearest_impl(near, q, best_d2, best);
+  if (delta * delta < best_d2) nearest_impl(far, q, best_d2, best);
+}
+
+std::vector<std::uint32_t> KdTree::knearest(Vec2 q, std::size_t k) const {
+  std::vector<std::pair<double, std::uint32_t>> heap;  // max-heap on distance
+  if (k == 0 || points_.empty()) return {};
+  heap.reserve(k + 1);
+  knearest_impl(root_, q, k, heap);
+  std::sort_heap(heap.begin(), heap.end());
+  std::vector<std::uint32_t> out;
+  out.reserve(heap.size());
+  for (const auto& [d2, id] : heap) out.push_back(id);
+  return out;
+}
+
+void KdTree::knearest_impl(
+    std::int32_t node, Vec2 q, std::size_t k,
+    std::vector<std::pair<double, std::uint32_t>>& heap) const {
+  if (node < 0) return;
+  const Node& n = nodes_[static_cast<std::size_t>(node)];
+  const Vec2 p = points_[n.point];
+  const double d2 = distance2(p, q);
+  if (heap.size() < k) {
+    heap.emplace_back(d2, n.point);
+    std::push_heap(heap.begin(), heap.end());
+  } else if (d2 < heap.front().first) {
+    std::pop_heap(heap.begin(), heap.end());
+    heap.back() = {d2, n.point};
+    std::push_heap(heap.begin(), heap.end());
+  }
+  const double delta = n.axis == 0 ? q.x - p.x : q.y - p.y;
+  const std::int32_t near = delta < 0.0 ? n.left : n.right;
+  const std::int32_t far = delta < 0.0 ? n.right : n.left;
+  knearest_impl(near, q, k, heap);
+  const double worst =
+      heap.size() < k ? std::numeric_limits<double>::infinity() : heap.front().first;
+  if (delta * delta < worst) knearest_impl(far, q, k, heap);
+}
+
+std::vector<std::uint32_t> KdTree::query_radius(Vec2 q, double radius) const {
+  std::vector<std::uint32_t> out;
+  if (radius < 0.0 || points_.empty()) return out;
+  radius_impl(root_, q, radius * radius, out);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void KdTree::radius_impl(std::int32_t node, Vec2 q, double r2,
+                         std::vector<std::uint32_t>& out) const {
+  if (node < 0) return;
+  const Node& n = nodes_[static_cast<std::size_t>(node)];
+  const Vec2 p = points_[n.point];
+  if (distance2(p, q) <= r2) out.push_back(n.point);
+  const double delta = n.axis == 0 ? q.x - p.x : q.y - p.y;
+  const std::int32_t near = delta < 0.0 ? n.left : n.right;
+  const std::int32_t far = delta < 0.0 ? n.right : n.left;
+  radius_impl(near, q, r2, out);
+  if (delta * delta <= r2) radius_impl(far, q, r2, out);
+}
+
+}  // namespace pas::geom

@@ -1,0 +1,53 @@
+// Static k-d tree over a fixed 2-D point set.
+//
+// Complements GridIndex: the grid wins for fixed-radius radio queries, the
+// k-d tree wins for nearest-neighbor and k-NN queries used by deployment
+// diagnostics (connectivity, coverage spacing) where radii vary widely.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/vec2.hpp"
+
+namespace pas::geom {
+
+class KdTree {
+ public:
+  explicit KdTree(std::vector<Vec2> points);
+
+  [[nodiscard]] std::size_t size() const noexcept { return points_.size(); }
+  [[nodiscard]] const std::vector<Vec2>& points() const noexcept { return points_; }
+
+  /// Index of the nearest point to `q`. Pre: size() > 0.
+  [[nodiscard]] std::uint32_t nearest(Vec2 q) const;
+
+  /// Indices of the k nearest points, closest first.
+  [[nodiscard]] std::vector<std::uint32_t> knearest(Vec2 q, std::size_t k) const;
+
+  /// Indices (ascending) of points within `radius` of `q`.
+  [[nodiscard]] std::vector<std::uint32_t> query_radius(Vec2 q, double radius) const;
+
+ private:
+  struct Node {
+    std::uint32_t point = 0;   // index into points_
+    std::int32_t left = -1;    // child node indices, -1 = leaf edge
+    std::int32_t right = -1;
+    std::uint8_t axis = 0;     // 0 = x, 1 = y
+  };
+
+  std::int32_t build(std::vector<std::uint32_t>& ids, std::size_t lo,
+                     std::size_t hi, int depth);
+  void nearest_impl(std::int32_t node, Vec2 q, double& best_d2,
+                    std::uint32_t& best) const;
+  void knearest_impl(std::int32_t node, Vec2 q, std::size_t k,
+                     std::vector<std::pair<double, std::uint32_t>>& heap) const;
+  void radius_impl(std::int32_t node, Vec2 q, double r2,
+                   std::vector<std::uint32_t>& out) const;
+
+  std::vector<Vec2> points_;
+  std::vector<Node> nodes_;
+  std::int32_t root_ = -1;
+};
+
+}  // namespace pas::geom

@@ -1,0 +1,66 @@
+#include "geom/polyline.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace pas::geom {
+
+double point_segment_distance(Vec2 p, Vec2 a, Vec2 b) noexcept {
+  const Vec2 ab = b - a;
+  const double len2 = ab.norm2();
+  if (len2 <= 0.0) return distance(p, a);
+  double t = (p - a).dot(ab) / len2;
+  if (t < 0.0) t = 0.0;
+  if (t > 1.0) t = 1.0;
+  return distance(p, a + ab * t);
+}
+
+double Polyline::length() const noexcept {
+  if (points.size() < 2) return 0.0;
+  double total = 0.0;
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    total += distance(points[i - 1], points[i]);
+  }
+  if (closed) total += distance(points.back(), points.front());
+  return total;
+}
+
+double Polyline::signed_area() const noexcept {
+  if (points.size() < 3) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const Vec2 a = points[i];
+    const Vec2 b = points[(i + 1) % points.size()];
+    sum += a.cross(b);
+  }
+  return 0.5 * sum;
+}
+
+bool Polyline::contains(Vec2 p) const noexcept {
+  if (points.size() < 3) return false;
+  bool inside = false;
+  for (std::size_t i = 0, j = points.size() - 1; i < points.size(); j = i++) {
+    const Vec2 a = points[i], b = points[j];
+    const bool crosses = (a.y > p.y) != (b.y > p.y);
+    if (crosses) {
+      const double x_at = a.x + (p.y - a.y) * (b.x - a.x) / (b.y - a.y);
+      if (p.x < x_at) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+double Polyline::distance_to(Vec2 p) const noexcept {
+  if (points.empty()) return std::numeric_limits<double>::infinity();
+  if (points.size() == 1) return distance(p, points.front());
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    best = std::min(best, point_segment_distance(p, points[i - 1], points[i]));
+  }
+  if (closed) {
+    best = std::min(best, point_segment_distance(p, points.back(), points.front()));
+  }
+  return best;
+}
+
+}  // namespace pas::geom

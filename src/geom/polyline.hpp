@@ -1,0 +1,38 @@
+// Polyline / closed-contour utilities.
+//
+// Stimulus models expose their boundary as a polyline (e.g. extracted by
+// marching squares); examples render it, and tests check geometric
+// invariants (front grows outward, area is monotone).
+#pragma once
+
+#include <vector>
+
+#include "geom/vec2.hpp"
+
+namespace pas::geom {
+
+struct Polyline {
+  std::vector<Vec2> points;
+  bool closed = false;
+
+  [[nodiscard]] std::size_t size() const noexcept { return points.size(); }
+  [[nodiscard]] bool empty() const noexcept { return points.empty(); }
+
+  /// Total arc length (including the closing segment when closed).
+  [[nodiscard]] double length() const noexcept;
+
+  /// Signed area by the shoelace formula (only meaningful when closed).
+  /// Positive for counter-clockwise winding.
+  [[nodiscard]] double signed_area() const noexcept;
+
+  /// Point-in-polygon by ray casting (only meaningful when closed).
+  [[nodiscard]] bool contains(Vec2 p) const noexcept;
+
+  /// Minimum distance from `p` to any segment of the polyline.
+  [[nodiscard]] double distance_to(Vec2 p) const noexcept;
+};
+
+/// Distance from point `p` to segment [a, b].
+[[nodiscard]] double point_segment_distance(Vec2 p, Vec2 a, Vec2 b) noexcept;
+
+}  // namespace pas::geom

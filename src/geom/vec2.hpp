@@ -1,0 +1,93 @@
+// 2-D vector/point type used throughout the library.
+//
+// Positions are in meters; velocities in meters/second. Vec2 is a value type
+// with constexpr arithmetic so geometry-heavy code (arrival prediction,
+// §3.3 of the paper) stays allocation-free and inlineable.
+#pragma once
+
+#include <cmath>
+#include <ostream>
+
+namespace pas::geom {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2() noexcept = default;
+  constexpr Vec2(double px, double py) noexcept : x(px), y(py) {}
+
+  constexpr Vec2 operator+(Vec2 o) const noexcept { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const noexcept { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const noexcept { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const noexcept { return {x / s, y / s}; }
+  constexpr Vec2 operator-() const noexcept { return {-x, -y}; }
+
+  constexpr Vec2& operator+=(Vec2 o) noexcept { x += o.x; y += o.y; return *this; }
+  constexpr Vec2& operator-=(Vec2 o) noexcept { x -= o.x; y -= o.y; return *this; }
+  constexpr Vec2& operator*=(double s) noexcept { x *= s; y *= s; return *this; }
+  constexpr Vec2& operator/=(double s) noexcept { x /= s; y /= s; return *this; }
+
+  constexpr bool operator==(const Vec2&) const noexcept = default;
+
+  [[nodiscard]] constexpr double dot(Vec2 o) const noexcept { return x * o.x + y * o.y; }
+  /// z-component of the 3-D cross product (signed parallelogram area).
+  [[nodiscard]] constexpr double cross(Vec2 o) const noexcept { return x * o.y - y * o.x; }
+  [[nodiscard]] constexpr double norm2() const noexcept { return x * x + y * y; }
+  [[nodiscard]] double norm() const noexcept { return std::sqrt(norm2()); }
+
+  /// Unit vector; returns (0,0) for the zero vector.
+  [[nodiscard]] Vec2 normalized() const noexcept {
+    const double n = norm();
+    return n > 0.0 ? Vec2{x / n, y / n} : Vec2{};
+  }
+
+  /// Angle from +x axis in (-pi, pi].
+  [[nodiscard]] double angle() const noexcept { return std::atan2(y, x); }
+
+  /// Counter-clockwise rotation by `radians`.
+  [[nodiscard]] Vec2 rotated(double radians) const noexcept {
+    const double c = std::cos(radians), s = std::sin(radians);
+    return {x * c - y * s, x * s + y * c};
+  }
+
+  [[nodiscard]] static Vec2 from_polar(double r, double theta) noexcept {
+    return {r * std::cos(theta), r * std::sin(theta)};
+  }
+};
+
+constexpr Vec2 operator*(double s, Vec2 v) noexcept { return v * s; }
+
+[[nodiscard]] inline double distance(Vec2 a, Vec2 b) noexcept { return (a - b).norm(); }
+[[nodiscard]] constexpr double distance2(Vec2 a, Vec2 b) noexcept { return (a - b).norm2(); }
+
+/// Included angle between two vectors in [0, pi]; 0 if either is zero.
+[[nodiscard]] inline double included_angle(Vec2 a, Vec2 b) noexcept {
+  const double na = a.norm(), nb = b.norm();
+  if (na <= 0.0 || nb <= 0.0) return 0.0;
+  double c = a.dot(b) / (na * nb);
+  if (c > 1.0) c = 1.0;
+  if (c < -1.0) c = -1.0;
+  return std::acos(c);
+}
+
+/// cos of the included angle; 0 if either vector is zero.
+[[nodiscard]] inline double cos_included_angle(Vec2 a, Vec2 b) noexcept {
+  const double na = a.norm(), nb = b.norm();
+  if (na <= 0.0 || nb <= 0.0) return 0.0;
+  double c = a.dot(b) / (na * nb);
+  if (c > 1.0) c = 1.0;
+  if (c < -1.0) c = -1.0;
+  return c;
+}
+
+/// Linear interpolation a + t*(b-a).
+[[nodiscard]] constexpr Vec2 lerp(Vec2 a, Vec2 b, double t) noexcept {
+  return a + (b - a) * t;
+}
+
+inline std::ostream& operator<<(std::ostream& os, Vec2 v) {
+  return os << '(' << v.x << ", " << v.y << ')';
+}
+
+}  // namespace pas::geom

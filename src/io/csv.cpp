@@ -1,0 +1,74 @@
+#include "io/csv.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <stdexcept>
+
+namespace pas::io {
+
+std::string format_double(double v) {
+  if (std::isnan(v)) return "nan";
+  if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  if (ec != std::errc{}) return "0";
+  return std::string(buf, ptr);
+}
+
+std::string CsvWriter::escape(std::string_view field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (const char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+void CsvWriter::header(std::initializer_list<std::string_view> columns) {
+  std::vector<std::string> cols;
+  cols.reserve(columns.size());
+  for (const auto c : columns) cols.emplace_back(c);
+  header(cols);
+}
+
+void CsvWriter::header(const std::vector<std::string>& columns) {
+  if (header_written_) {
+    throw std::logic_error("CsvWriter: header written twice");
+  }
+  columns_ = columns.size();
+  header_written_ = true;
+  write_row(columns);
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  if (header_written_ && cells.size() != columns_) {
+    throw std::logic_error("CsvWriter: row width does not match header");
+  }
+  write_row(cells);
+  ++rows_;
+}
+
+void CsvWriter::row_values(const std::vector<double>& values) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (const double v : values) cells.push_back(format_double(v));
+  row(cells);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  bool first = true;
+  for (const auto& c : cells) {
+    if (!first) os_ << ',';
+    os_ << escape(c);
+    first = false;
+  }
+  os_ << '\n';
+}
+
+}  // namespace pas::io

@@ -1,0 +1,118 @@
+#include "io/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <stdexcept>
+
+namespace pas::io {
+
+Json& Json::operator[](const std::string& key) {
+  if (is_null()) value_ = JsonObject{};
+  auto* obj = std::get_if<JsonObject>(&value_);
+  if (obj == nullptr) {
+    throw std::logic_error("Json::operator[]: not an object");
+  }
+  return (*obj)[key];
+}
+
+void Json::push_back(Json v) {
+  if (is_null()) value_ = JsonArray{};
+  auto* arr = std::get_if<JsonArray>(&value_);
+  if (arr == nullptr) {
+    throw std::logic_error("Json::push_back: not an array");
+  }
+  arr->push_back(std::move(v));
+}
+
+void Json::escape_into(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+namespace {
+void append_number(std::string& out, double d) {
+  if (std::isnan(d) || std::isinf(d)) {
+    out += "null";  // JSON has no NaN/Inf; null is the conventional stand-in.
+    return;
+  }
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), d);
+  out.append(buf, ptr);
+}
+}  // namespace
+
+void Json::dump_impl(std::string& out, int indent, int depth) const {
+  const auto newline = [&](int d) {
+    if (indent >= 0) {
+      out.push_back('\n');
+      out.append(static_cast<std::size_t>(indent * d), ' ');
+    }
+  };
+  if (const auto* b = std::get_if<bool>(&value_)) {
+    out += *b ? "true" : "false";
+  } else if (const auto* d = std::get_if<double>(&value_)) {
+    append_number(out, *d);
+  } else if (const auto* s = std::get_if<std::string>(&value_)) {
+    escape_into(out, *s);
+  } else if (const auto* arr = std::get_if<JsonArray>(&value_)) {
+    if (arr->empty()) {
+      out += "[]";
+      return;
+    }
+    out.push_back('[');
+    bool first = true;
+    for (const auto& v : *arr) {
+      if (!first) out.push_back(',');
+      first = false;
+      newline(depth + 1);
+      v.dump_impl(out, indent, depth + 1);
+    }
+    newline(depth);
+    out.push_back(']');
+  } else if (const auto* obj = std::get_if<JsonObject>(&value_)) {
+    if (obj->empty()) {
+      out += "{}";
+      return;
+    }
+    out.push_back('{');
+    bool first = true;
+    for (const auto& [k, v] : *obj) {
+      if (!first) out.push_back(',');
+      first = false;
+      newline(depth + 1);
+      escape_into(out, k);
+      out.push_back(':');
+      if (indent >= 0) out.push_back(' ');
+      v.dump_impl(out, indent, depth + 1);
+    }
+    newline(depth);
+    out.push_back('}');
+  } else {
+    out += "null";
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_impl(out, indent, 0);
+  return out;
+}
+
+}  // namespace pas::io

@@ -1,0 +1,57 @@
+// Minimal JSON value + serializer (output only).
+//
+// Examples dump scenario configuration and results as JSON for downstream
+// tooling. Writing (not parsing) is all the library needs, so this stays a
+// ~150-line value type instead of a vendored dependency.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace pas::io {
+
+class Json;
+using JsonArray = std::vector<Json>;
+using JsonObject = std::map<std::string, Json>;  // ordered keys => stable output
+
+class Json {
+ public:
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}
+  Json(bool b) : value_(b) {}
+  Json(double d) : value_(d) {}
+  Json(int i) : value_(static_cast<double>(i)) {}
+  Json(std::int64_t i) : value_(static_cast<double>(i)) {}
+  Json(std::size_t i) : value_(static_cast<double>(i)) {}
+  Json(const char* s) : value_(std::string(s)) {}
+  Json(std::string s) : value_(std::move(s)) {}
+  Json(JsonArray a) : value_(std::move(a)) {}
+  Json(JsonObject o) : value_(std::move(o)) {}
+
+  [[nodiscard]] bool is_null() const noexcept { return std::holds_alternative<std::nullptr_t>(value_); }
+  [[nodiscard]] bool is_object() const noexcept { return std::holds_alternative<JsonObject>(value_); }
+  [[nodiscard]] bool is_array() const noexcept { return std::holds_alternative<JsonArray>(value_); }
+
+  /// Object element access; creates the object/key as needed.
+  Json& operator[](const std::string& key);
+
+  /// Appends to an array (converts null to array first).
+  void push_back(Json v);
+
+  /// Serialises compactly (indent < 0) or pretty-printed with `indent`
+  /// spaces per level.
+  [[nodiscard]] std::string dump(int indent = -1) const;
+
+ private:
+  void dump_impl(std::string& out, int indent, int depth) const;
+  static void escape_into(std::string& out, std::string_view s);
+
+  std::variant<std::nullptr_t, bool, double, std::string, JsonArray, JsonObject> value_;
+};
+
+}  // namespace pas::io

@@ -1,0 +1,44 @@
+#include "metrics/boundary.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pas::metrics {
+
+std::vector<geom::Vec2> estimate_boundary_points(
+    const std::vector<geom::Vec2>& positions, const std::vector<bool>& covered,
+    double range) {
+  if (positions.size() != covered.size()) {
+    throw std::invalid_argument(
+        "estimate_boundary_points: positions/covered size mismatch");
+  }
+  std::vector<geom::Vec2> points;
+  const double r2 = range * range;
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    if (!covered[i]) continue;
+    for (std::size_t j = 0; j < positions.size(); ++j) {
+      if (covered[j] || i == j) continue;
+      if (geom::distance2(positions[i], positions[j]) <= r2) {
+        points.push_back(geom::lerp(positions[i], positions[j], 0.5));
+      }
+    }
+  }
+  return points;
+}
+
+BoundaryAccuracy boundary_accuracy(const std::vector<geom::Vec2>& estimated,
+                                   const geom::Polyline& truth) {
+  BoundaryAccuracy acc;
+  if (estimated.empty() || truth.empty()) return acc;
+  double sum = 0.0;
+  for (const geom::Vec2 p : estimated) {
+    const double d = truth.distance_to(p);
+    sum += d;
+    acc.max_error_m = std::max(acc.max_error_m, d);
+  }
+  acc.samples = estimated.size();
+  acc.mean_error_m = sum / static_cast<double>(acc.samples);
+  return acc;
+}
+
+}  // namespace pas::metrics

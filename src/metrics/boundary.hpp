@@ -1,0 +1,38 @@
+// Estimated stimulus boundary and its accuracy.
+//
+// The point of a DS-monitoring deployment is to report *where the stimulus
+// is*. This module reconstructs the boundary the network would report —
+// midpoints of covered↔uncovered node pairs within radio range (the
+// standard event-contour estimate, cf. Iso-Map [8] in the paper's related
+// work) — and scores it against the ground-truth boundary.
+#pragma once
+
+#include <vector>
+
+#include "geom/polyline.hpp"
+#include "geom/vec2.hpp"
+
+namespace pas::metrics {
+
+/// Boundary sample points implied by the network's coverage knowledge:
+/// for every pair (covered node, uncovered node) within `range` of each
+/// other, the midpoint is a boundary witness. Returns an empty vector when
+/// coverage is uniform (all covered or none).
+[[nodiscard]] std::vector<geom::Vec2> estimate_boundary_points(
+    const std::vector<geom::Vec2>& positions, const std::vector<bool>& covered,
+    double range);
+
+struct BoundaryAccuracy {
+  std::size_t samples = 0;
+  /// Mean distance from estimated points to the true boundary (m).
+  double mean_error_m = 0.0;
+  /// Worst estimated point (m).
+  double max_error_m = 0.0;
+};
+
+/// Distance statistics from estimated boundary points to the reference
+/// boundary polyline. Zero samples yields a zeroed result.
+[[nodiscard]] BoundaryAccuracy boundary_accuracy(
+    const std::vector<geom::Vec2>& estimated, const geom::Polyline& truth);
+
+}  // namespace pas::metrics

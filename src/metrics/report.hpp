@@ -1,0 +1,85 @@
+// Per-run metric extraction.
+//
+// The two paper metrics (§4.1):
+//   * average detection delay  — mean over nodes of (detection − arrival);
+//     active nodes contribute 0, sleeping nodes their wake-up lag;
+//   * average energy consumption — mean per-node energy over the run,
+//     controller + communication.
+// plus enough breakdown (per-state energy, message counts, percentiles) to
+// explain *why* a policy behaves as it does.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "net/network.hpp"
+#include "node/sensor_node.hpp"
+#include "sim/time.hpp"
+
+namespace pas::metrics {
+
+struct NodeOutcome {
+  std::uint32_t id = 0;
+  geom::Vec2 position{};
+  sim::Time arrival = sim::kNever;
+  sim::Time detected = sim::kNever;
+  /// detected − arrival; only meaningful when detected (see `was_detected`).
+  double delay_s = 0.0;
+  bool was_reached = false;
+  bool was_detected = false;
+  bool failed = false;
+  double energy_j = 0.0;
+  double energy_sleep_j = 0.0;
+  double energy_active_j = 0.0;
+  double energy_tx_j = 0.0;
+  double energy_transition_j = 0.0;
+  double active_s = 0.0;
+  double sleep_s = 0.0;
+  std::uint64_t transitions = 0;
+  std::uint64_t tx_count = 0;
+};
+
+struct RunMetrics {
+  std::size_t node_count = 0;
+  double duration_s = 0.0;
+
+  // Detection delay over reached-and-detected, non-failed nodes.
+  double avg_delay_s = 0.0;
+  double max_delay_s = 0.0;
+  double p95_delay_s = 0.0;
+  std::size_t reached = 0;
+  std::size_t detected = 0;
+  /// Reached early enough to have woken again, yet never detected — a real
+  /// protocol miss.
+  std::size_t missed = 0;
+  /// Reached so close to the end of the run that a sleeping node need not
+  /// have woken again (arrival after the censor cutoff) and undetected —
+  /// right-censored, not a protocol failure.
+  std::size_t censored = 0;
+
+  // Energy over all nodes (failed nodes included up to their death).
+  double avg_energy_j = 0.0;
+  double total_energy_j = 0.0;
+  double avg_energy_tx_j = 0.0;
+  double avg_active_fraction = 0.0;  // share of the run spent active
+
+  net::Network::Stats network{};
+  core::ProtocolStats protocol{};
+};
+
+/// Builds outcome rows from finalized nodes. Call node.meter.finalize(end)
+/// before this (run_scenario does).
+[[nodiscard]] std::vector<NodeOutcome> collect_outcomes(
+    const std::vector<node::SensorNode>& nodes);
+
+/// Aggregates outcomes into the run-level metrics. Undetected nodes whose
+/// arrival falls after `censor_cutoff_s` count as censored rather than
+/// missed (run_scenario passes duration − max-sleep − slack; pass
+/// `duration_s` to disable censoring).
+[[nodiscard]] RunMetrics summarize(const std::vector<NodeOutcome>& outcomes,
+                                   double duration_s, double censor_cutoff_s,
+                                   const net::Network::Stats& network,
+                                   const core::ProtocolStats& protocol);
+
+}  // namespace pas::metrics

@@ -1,0 +1,70 @@
+#include "metrics/stats.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pas::metrics {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+Summary Summary::of(std::span<const double> values) {
+  RunningStats rs;
+  for (const double v : values) rs.add(v);
+  Summary s;
+  s.n = rs.count();
+  s.mean = rs.mean();
+  s.stddev = rs.stddev();
+  s.min = rs.min();
+  s.max = rs.max();
+  s.ci95_half =
+      s.n > 1 ? 1.96 * s.stddev / std::sqrt(static_cast<double>(s.n)) : 0.0;
+  return s;
+}
+
+double quantile_sorted(std::span<const double> sorted, double q) {
+  if (sorted.empty()) {
+    throw std::invalid_argument("quantile_sorted: empty sample");
+  }
+  if (q <= 0.0) return sorted.front();
+  if (q >= 1.0) return sorted.back();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+double quantile(std::vector<double> values, double q) {
+  std::sort(values.begin(), values.end());
+  return quantile_sorted(values, q);
+}
+
+}  // namespace pas::metrics

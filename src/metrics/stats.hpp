@@ -1,0 +1,59 @@
+// Summary statistics for experiment aggregation.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace pas::metrics {
+
+/// Welford's online mean/variance plus min/max.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  /// Merges another accumulator (parallel reduction).
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const noexcept { return n_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ > 0 ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept {
+    return mean_ * static_cast<double>(n_);
+  }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// One-shot summary of a sample.
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  /// Normal-approximation 95% confidence half-width (1.96·s/√n).
+  double ci95_half = 0.0;
+
+  [[nodiscard]] static Summary of(std::span<const double> values);
+};
+
+/// Linear-interpolated quantile, q in [0, 1]. `sorted` must be ascending.
+[[nodiscard]] double quantile_sorted(std::span<const double> sorted, double q);
+
+/// Convenience: copies, sorts, and takes the quantile.
+[[nodiscard]] double quantile(std::vector<double> values, double q);
+
+}  // namespace pas::metrics

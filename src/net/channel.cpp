@@ -1,0 +1,42 @@
+#include "net/channel.hpp"
+
+#include <stdexcept>
+
+namespace pas::net {
+
+BernoulliLossChannel::BernoulliLossChannel(double loss) : loss_(loss) {
+  if (loss < 0.0 || loss >= 1.0) {
+    throw std::invalid_argument("BernoulliLossChannel: loss must be in [0,1)");
+  }
+}
+
+bool BernoulliLossChannel::deliver(std::uint32_t, std::uint32_t,
+                                   sim::Pcg32& rng) {
+  return !rng.bernoulli(loss_);
+}
+
+GilbertElliottChannel::GilbertElliottChannel(Params params) : params_(params) {
+  const auto bad_prob = [](double p) { return p < 0.0 || p > 1.0; };
+  if (bad_prob(params.p_good_to_bad) || bad_prob(params.p_bad_to_good) ||
+      bad_prob(params.loss_good) || bad_prob(params.loss_bad)) {
+    throw std::invalid_argument(
+        "GilbertElliottChannel: probabilities must be in [0,1]");
+  }
+}
+
+bool GilbertElliottChannel::deliver(std::uint32_t from, std::uint32_t to,
+                                    sim::Pcg32& rng) {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(from) << 32U) | static_cast<std::uint64_t>(to);
+  bool& bad = link_bad_[key];
+  // Evolve the link state once per delivery attempt.
+  if (bad) {
+    if (rng.bernoulli(params_.p_bad_to_good)) bad = false;
+  } else {
+    if (rng.bernoulli(params_.p_good_to_bad)) bad = true;
+  }
+  const double loss = bad ? params_.loss_bad : params_.loss_good;
+  return !rng.bernoulli(loss);
+}
+
+}  // namespace pas::net

@@ -1,0 +1,60 @@
+// Protocol messages (§3.2 of the paper).
+//
+//   REQUEST  — no payload; asks neighbors for stimulus information.
+//   RESPONSE — sender's location, state, estimated spread velocity, predicted
+//              arrival time, and (for covered nodes) its detection time.
+//
+// The net layer is protocol-agnostic: the node state travels as a raw byte
+// that pas::core maps to its NodeState enum; this keeps net below core in
+// the layering.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "geom/vec2.hpp"
+#include "sim/time.hpp"
+
+namespace pas::net {
+
+enum class MessageType : std::uint8_t {
+  kRequest,
+  kResponse,
+};
+
+[[nodiscard]] constexpr const char* to_string(MessageType t) noexcept {
+  return t == MessageType::kRequest ? "REQUEST" : "RESPONSE";
+}
+
+/// RESPONSE payload. Sizes below follow a plausible on-air encoding; they
+/// only matter through tx-time and energy, not through parsing (messages are
+/// passed in-memory inside the simulator).
+struct ResponsePayload {
+  geom::Vec2 position{};           // 8 B (two half-precision-ish fixed point)
+  std::uint8_t state = 0;          // 1 B
+  geom::Vec2 velocity{};           // 8 B estimated spread velocity vector
+  bool velocity_valid = false;     // (flag bit inside state byte on air)
+  sim::Time predicted_arrival = sim::kNever;  // 4 B
+  sim::Time detected_at = sim::kNever;        // 4 B (covered nodes only)
+};
+
+struct Message {
+  MessageType type = MessageType::kRequest;
+  std::uint32_t sender = 0;
+  sim::Time sent_at = 0.0;
+  ResponsePayload payload{};  // meaningful only for kResponse
+
+  /// 802.15.4-style MAC/PHY framing overhead per packet.
+  static constexpr std::size_t kHeaderBytes = 12;
+  /// Encoded RESPONSE payload size.
+  static constexpr std::size_t kResponsePayloadBytes = 25;
+
+  [[nodiscard]] constexpr std::size_t size_bits() const noexcept {
+    const std::size_t bytes =
+        kHeaderBytes +
+        (type == MessageType::kResponse ? kResponsePayloadBytes : 0);
+    return bytes * 8;
+  }
+};
+
+}  // namespace pas::net

@@ -1,0 +1,132 @@
+#include "net/network.hpp"
+
+#include <queue>
+#include <stdexcept>
+
+#include "geom/aabb.hpp"
+
+namespace pas::net {
+
+Network::Network(sim::Simulator& simulator, std::vector<geom::Vec2> positions,
+                 RadioConfig config, std::shared_ptr<Channel> channel,
+                 const sim::SeedSequence& seeds)
+    : simulator_(simulator),
+      positions_(std::move(positions)),
+      config_(config),
+      channel_(std::move(channel)),
+      jitter_rng_(seeds.stream(sim::SeedSequence::kMacJitter)) {
+  if (positions_.empty()) {
+    throw std::invalid_argument("Network: need at least one node");
+  }
+  if (config_.range_m <= 0.0 || config_.data_rate_bps <= 0.0) {
+    throw std::invalid_argument("Network: range and data rate must be > 0");
+  }
+  if (!channel_) {
+    throw std::invalid_argument("Network: channel must not be null");
+  }
+
+  // Precompute the neighbor lists once; nodes are static.
+  geom::Aabb bounds{positions_.front(), positions_.front()};
+  for (const auto& p : positions_) {
+    bounds.lo.x = std::min(bounds.lo.x, p.x);
+    bounds.lo.y = std::min(bounds.lo.y, p.y);
+    bounds.hi.x = std::max(bounds.hi.x, p.x);
+    bounds.hi.y = std::max(bounds.hi.y, p.y);
+  }
+  const geom::GridIndex index(positions_, bounds.inflated(1.0), config_.range_m);
+  neighbors_.resize(positions_.size());
+  for (std::uint32_t i = 0; i < positions_.size(); ++i) {
+    for (const std::uint32_t j : index.query_radius(positions_[i], config_.range_m)) {
+      if (j != i) neighbors_[i].push_back(j);
+    }
+  }
+
+  handlers_.resize(positions_.size());
+  listening_.assign(positions_.size(), 1);
+  failed_.assign(positions_.size(), 0);
+  link_rng_.reserve(positions_.size());
+  for (std::uint32_t i = 0; i < positions_.size(); ++i) {
+    link_rng_.push_back(seeds.stream(sim::SeedSequence::kChannel, i));
+  }
+}
+
+void Network::set_rx_handler(std::uint32_t id, RxHandler handler) {
+  handlers_.at(id) = std::move(handler);
+}
+
+void Network::set_listening(std::uint32_t id, bool listening) {
+  listening_.at(id) = listening ? 1 : 0;
+}
+
+void Network::set_failed(std::uint32_t id) {
+  failed_.at(id) = 1;
+  listening_.at(id) = 0;
+}
+
+void Network::broadcast(std::uint32_t from, Message msg) {
+  if (from >= positions_.size()) {
+    throw std::out_of_range("Network::broadcast: unknown sender");
+  }
+  if (failed_[from] != 0) {
+    ++stats_.blocked_sender_failed;
+    return;
+  }
+  msg.sender = from;
+  msg.sent_at = simulator_.now();
+  ++stats_.broadcasts;
+  if (tx_hook_) tx_hook_(from, msg.size_bits());
+
+  const sim::Duration backoff = jitter_rng_.uniform(0.0, config_.max_jitter_s);
+  const sim::Duration on_air =
+      static_cast<double>(msg.size_bits()) / config_.data_rate_bps;
+  const sim::Duration delay = backoff + on_air + config_.propagation_s;
+
+  for (const std::uint32_t to : neighbors_[from]) {
+    simulator_.schedule_in(delay, [this, to, msg] {
+      if (failed_[to] != 0) {
+        ++stats_.dropped_failed;
+        return;
+      }
+      if (listening_[to] == 0) {
+        ++stats_.dropped_not_listening;
+        return;
+      }
+      if (!channel_->deliver(msg.sender, to, link_rng_[to])) {
+        ++stats_.dropped_channel;
+        return;
+      }
+      ++stats_.deliveries;
+      if (rx_hook_) rx_hook_(to, msg.size_bits());
+      if (handlers_[to]) handlers_[to](msg);
+    });
+  }
+}
+
+double Network::mean_degree() const noexcept {
+  if (neighbors_.empty()) return 0.0;
+  std::size_t total = 0;
+  for (const auto& n : neighbors_) total += n.size();
+  return static_cast<double>(total) / static_cast<double>(neighbors_.size());
+}
+
+bool Network::connected() const {
+  std::vector<char> seen(positions_.size(), 0);
+  std::queue<std::uint32_t> frontier;
+  frontier.push(0);
+  seen[0] = 1;
+  std::size_t visited = 1;
+  while (!frontier.empty()) {
+    const std::uint32_t cur = frontier.front();
+    frontier.pop();
+    for (const std::uint32_t next : neighbors_[cur]) {
+      if (seen[next] == 0) {
+        seen[next] = 1;
+        ++visited;
+        frontier.push(next);
+      }
+    }
+  }
+  return visited == positions_.size();
+}
+
+}  // namespace pas::net

@@ -1,0 +1,109 @@
+// Broadcast radio fabric.
+//
+// Nodes communicate by local broadcast within a fixed disk range (the
+// paper's experiments use 10 m). A transmission reaches every in-range,
+// listening, non-failed neighbor after MAC jitter + time-on-air; each
+// (link, packet) pair independently consults the channel model. Energy is
+// reported through hooks so the net layer stays independent of the energy
+// layer's bookkeeping.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "geom/grid_index.hpp"
+#include "geom/vec2.hpp"
+#include "net/channel.hpp"
+#include "net/message.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace pas::net {
+
+struct RadioConfig {
+  /// Transmission/reception disk radius (m).
+  double range_m = 10.0;
+  /// On-air bit rate (bits/s) — paper Table 1: 250 kbps.
+  double data_rate_bps = 250e3;
+  /// Random CSMA-style backoff drawn uniformly from [0, max_jitter_s].
+  sim::Duration max_jitter_s = 5e-3;
+  /// Fixed propagation delay (effectively 0 at WSN scales).
+  sim::Duration propagation_s = 1e-6;
+};
+
+class Network {
+ public:
+  using RxHandler = std::function<void(const Message&)>;
+  using EnergyHook = std::function<void(std::uint32_t node, std::size_t bits)>;
+
+  Network(sim::Simulator& simulator, std::vector<geom::Vec2> positions,
+          RadioConfig config, std::shared_ptr<Channel> channel,
+          const sim::SeedSequence& seeds);
+
+  [[nodiscard]] std::size_t size() const noexcept { return positions_.size(); }
+  [[nodiscard]] geom::Vec2 position(std::uint32_t id) const {
+    return positions_.at(id);
+  }
+
+  /// Neighbor ids within radio range (excluding `id` itself), ascending.
+  [[nodiscard]] const std::vector<std::uint32_t>& neighbors_of(
+      std::uint32_t id) const {
+    return neighbors_.at(id);
+  }
+
+  /// Handler invoked on successful packet reception.
+  void set_rx_handler(std::uint32_t id, RxHandler handler);
+
+  /// A node only receives while listening (asleep nodes have the radio off).
+  void set_listening(std::uint32_t id, bool listening);
+  [[nodiscard]] bool listening(std::uint32_t id) const {
+    return listening_.at(id);
+  }
+
+  /// A failed node neither sends nor receives, permanently.
+  void set_failed(std::uint32_t id);
+  [[nodiscard]] bool failed(std::uint32_t id) const { return failed_.at(id); }
+
+  /// Queues a local broadcast. Stamps msg.sender/sent_at. No-op (counted)
+  /// when the sender has failed.
+  void broadcast(std::uint32_t from, Message msg);
+
+  /// Energy hooks: tx fires once per broadcast, rx once per delivery.
+  void set_tx_hook(EnergyHook hook) { tx_hook_ = std::move(hook); }
+  void set_rx_hook(EnergyHook hook) { rx_hook_ = std::move(hook); }
+
+  struct Stats {
+    std::uint64_t broadcasts = 0;
+    std::uint64_t deliveries = 0;
+    std::uint64_t dropped_channel = 0;
+    std::uint64_t dropped_not_listening = 0;
+    std::uint64_t dropped_failed = 0;
+    std::uint64_t blocked_sender_failed = 0;
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  /// Mean neighbor count — deployment density diagnostic.
+  [[nodiscard]] double mean_degree() const noexcept;
+
+  /// True when the range graph is connected (BFS from node 0).
+  [[nodiscard]] bool connected() const;
+
+ private:
+  sim::Simulator& simulator_;
+  std::vector<geom::Vec2> positions_;
+  RadioConfig config_;
+  std::shared_ptr<Channel> channel_;
+  std::vector<std::vector<std::uint32_t>> neighbors_;
+  std::vector<RxHandler> handlers_;
+  std::vector<char> listening_;
+  std::vector<char> failed_;
+  std::vector<sim::Pcg32> link_rng_;  // per receiver
+  sim::Pcg32 jitter_rng_;
+  EnergyHook tx_hook_;
+  EnergyHook rx_hook_;
+  Stats stats_;
+};
+
+}  // namespace pas::net

@@ -1,0 +1,42 @@
+#include "node/failure_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace pas::node {
+
+FailurePlan::FailurePlan(std::size_t n, const FailureConfig& config,
+                         sim::Pcg32 rng) {
+  if (config.fraction < 0.0 || config.fraction > 1.0) {
+    throw std::invalid_argument("FailurePlan: fraction must be in [0,1]");
+  }
+  if (config.window_end_s < config.window_start_s) {
+    throw std::invalid_argument("FailurePlan: window end before start");
+  }
+  death_times_.assign(n, sim::kNever);
+  const auto k = static_cast<std::size_t>(
+      std::llround(config.fraction * static_cast<double>(n)));
+  if (k == 0) return;
+
+  // Partial Fisher-Yates: choose k distinct victims.
+  std::vector<std::uint32_t> ids(n);
+  std::iota(ids.begin(), ids.end(), 0U);
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto j = static_cast<std::size_t>(
+        rng.uniform_int(static_cast<std::int64_t>(i),
+                        static_cast<std::int64_t>(n - 1)));
+    std::swap(ids[i], ids[j]);
+    death_times_[ids[i]] =
+        rng.uniform(config.window_start_s, config.window_end_s);
+  }
+}
+
+std::size_t FailurePlan::failing_count() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(death_times_.begin(), death_times_.end(),
+                    [](sim::Time t) { return t < sim::kNever; }));
+}
+
+}  // namespace pas::node

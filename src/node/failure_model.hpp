@@ -1,0 +1,45 @@
+// Node-failure injection (the paper's §5 future work).
+//
+// A FailurePlan assigns each node a death time: a sampled fraction of nodes
+// fails uniformly inside a time window; the rest never fail. The protocol
+// layer turns a dead node off (no sensing, no radio) at its death time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace pas::node {
+
+struct FailureConfig {
+  /// Fraction of nodes in [0, 1] that fail during the run.
+  double fraction = 0.0;
+  /// Failures are drawn uniformly in [window_start_s, window_end_s].
+  sim::Time window_start_s = 0.0;
+  sim::Time window_end_s = 0.0;
+};
+
+class FailurePlan {
+ public:
+  FailurePlan() = default;
+
+  /// Samples death times for `n` nodes. Exactly round(fraction*n) distinct
+  /// nodes are selected (a fixed-size sample keeps replications comparable).
+  FailurePlan(std::size_t n, const FailureConfig& config, sim::Pcg32 rng);
+
+  [[nodiscard]] std::size_t size() const noexcept { return death_times_.size(); }
+
+  /// kNever for survivors.
+  [[nodiscard]] sim::Time death_time(std::size_t i) const {
+    return death_times_.at(i);
+  }
+
+  [[nodiscard]] std::size_t failing_count() const noexcept;
+
+ private:
+  std::vector<sim::Time> death_times_;
+};
+
+}  // namespace pas::node

@@ -1,0 +1,42 @@
+// Per-node runtime record.
+//
+// SensorNode is deliberately passive: it owns identity, position, the
+// energy meter, and detection bookkeeping. All *behaviour* (state machine,
+// prediction, sleeping decisions) lives in pas::core so that PAS, SAS and
+// NS are pure policy variations over identical node plumbing.
+#pragma once
+
+#include <cstdint>
+
+#include "energy/energy_meter.hpp"
+#include "geom/vec2.hpp"
+#include "sim/time.hpp"
+
+namespace pas::node {
+
+struct SensorNode {
+  std::uint32_t id = 0;
+  geom::Vec2 position{};
+  energy::EnergyMeter meter{};
+
+  bool asleep = false;
+  bool failed = false;
+
+  /// Ground-truth stimulus arrival at this node (kNever if unreached).
+  sim::Time arrival = sim::kNever;
+  /// When this node first *detected* the stimulus (kNever if never).
+  sim::Time detected = sim::kNever;
+
+  /// Detection delay; only meaningful when both times are finite.
+  [[nodiscard]] sim::Duration detection_delay() const noexcept {
+    return detected - arrival;
+  }
+  [[nodiscard]] bool was_reached() const noexcept {
+    return arrival < sim::kNever;
+  }
+  [[nodiscard]] bool has_detected() const noexcept {
+    return detected < sim::kNever;
+  }
+};
+
+}  // namespace pas::node

@@ -1,0 +1,51 @@
+// Data-parallel helpers on top of ThreadPool.
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <future>
+#include <vector>
+
+#include "runtime/thread_pool.hpp"
+
+namespace pas::runtime {
+
+/// Runs fn(i) for i in [0, n) across the pool, blocking until done.
+/// Exceptions from any iteration are rethrown (first one wins).
+template <typename Fn>
+void parallel_for(ThreadPool& pool, std::size_t n, Fn&& fn) {
+  if (n == 0) return;
+  // Chunk so each worker gets a few contiguous indices; simulations are
+  // coarse-grained, so chunks of 1 are fine but chunking limits futures.
+  const std::size_t workers = pool.thread_count();
+  const std::size_t chunk = std::max<std::size_t>(1, n / (workers * 4));
+  std::vector<std::future<void>> futures;
+  futures.reserve(n / chunk + 1);
+  for (std::size_t begin = 0; begin < n; begin += chunk) {
+    const std::size_t end = std::min(n, begin + chunk);
+    futures.push_back(pool.submit([begin, end, &fn] {
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+    }));
+  }
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+/// Maps fn over [0, n) collecting results in index order.
+template <typename Fn>
+auto parallel_map(ThreadPool& pool, std::size_t n, Fn&& fn)
+    -> std::vector<decltype(fn(std::size_t{0}))> {
+  using R = decltype(fn(std::size_t{0}));
+  std::vector<R> out(n);
+  parallel_for(pool, n, [&](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+}  // namespace pas::runtime

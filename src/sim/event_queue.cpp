@@ -1,0 +1,69 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace pas::sim {
+
+EventId EventQueue::push(Time t, Callback cb) {
+  if (!is_valid_time(t)) {
+    throw std::invalid_argument("EventQueue::push: invalid event time");
+  }
+  if (!cb) {
+    throw std::invalid_argument("EventQueue::push: empty callback");
+  }
+  const std::uint64_t id = next_id_++;
+  heap_.push_back(Entry{t, next_seq_++, id});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  callbacks_.emplace(id, std::move(cb));
+  ++live_;
+  return EventId(id);
+}
+
+bool EventQueue::cancel(EventId id) {
+  const auto it = callbacks_.find(id.value());
+  if (it == callbacks_.end()) return false;
+  callbacks_.erase(it);
+  --live_;
+  return true;
+}
+
+bool EventQueue::pending(EventId id) const {
+  return callbacks_.contains(id.value());
+}
+
+void EventQueue::drop_dead_top() const {
+  while (!heap_.empty() && !callbacks_.contains(heap_.front().id)) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+  }
+}
+
+Time EventQueue::next_time() const {
+  drop_dead_top();
+  return heap_.empty() ? kNever : heap_.front().time;
+}
+
+EventQueue::Popped EventQueue::pop() {
+  drop_dead_top();
+  assert(!heap_.empty() && "pop() on empty EventQueue");
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  const Entry top = heap_.back();
+  heap_.pop_back();
+  auto it = callbacks_.find(top.id);
+  assert(it != callbacks_.end());
+  Popped out{top.time, EventId(top.id), std::move(it->second)};
+  callbacks_.erase(it);
+  --live_;
+  return out;
+}
+
+void EventQueue::clear() {
+  heap_.clear();
+  callbacks_.clear();
+  live_ = 0;
+}
+
+}  // namespace pas::sim

@@ -1,0 +1,91 @@
+// Pending-event set for the discrete-event kernel.
+//
+// A binary heap ordered by (time, sequence) with O(1) lazy cancellation:
+// cancelled events stay in the heap but are skipped on pop. Sequence numbers
+// give FIFO ordering among simultaneous events, which keeps protocol runs
+// deterministic regardless of heap internals.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace pas::sim {
+
+/// Opaque handle to a scheduled event. Value 0 is "invalid".
+class EventId {
+ public:
+  constexpr EventId() noexcept = default;
+  explicit constexpr EventId(std::uint64_t v) noexcept : value_(v) {}
+
+  [[nodiscard]] constexpr std::uint64_t value() const noexcept { return value_; }
+  [[nodiscard]] constexpr bool valid() const noexcept { return value_ != 0; }
+  constexpr bool operator==(const EventId&) const noexcept = default;
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Min-heap of (time, seq) with cancellation. Not thread-safe by design:
+/// one simulation owns one queue; parallelism happens across simulations.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  EventQueue() = default;
+
+  /// Inserts an event; `t` must satisfy is_valid_time().
+  EventId push(Time t, Callback cb);
+
+  /// Cancels a pending event. Returns false if unknown/already executed.
+  bool cancel(EventId id);
+
+  /// True if a pushed event has neither executed nor been cancelled.
+  [[nodiscard]] bool pending(EventId id) const;
+
+  /// Number of live (non-cancelled) events.
+  [[nodiscard]] std::size_t size() const noexcept { return live_; }
+  [[nodiscard]] bool empty() const noexcept { return live_ == 0; }
+
+  /// Timestamp of the earliest live event; kNever when empty.
+  [[nodiscard]] Time next_time() const;
+
+  /// Pops the earliest live event. Pre: !empty().
+  struct Popped {
+    Time time;
+    EventId id;
+    Callback callback;
+  };
+  Popped pop();
+
+  /// Drops everything (cancels all pending events).
+  void clear();
+
+ private:
+  struct Entry {
+    Time time;
+    std::uint64_t seq;
+    std::uint64_t id;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_dead_top() const;
+
+  // Lazy deletion: cancelled entries linger in the heap until they reach the
+  // top. Pruning them is logically const, hence the mutable heap.
+  mutable std::vector<Entry> heap_;
+  std::unordered_map<std::uint64_t, Callback> callbacks_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t next_seq_ = 0;
+  std::size_t live_ = 0;
+};
+
+}  // namespace pas::sim

@@ -1,0 +1,71 @@
+#include "sim/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace pas::sim {
+
+double Pcg32::uniform01() noexcept {
+  // 32 random bits / 2^32: dense enough for simulation decisions and fast.
+  return static_cast<double>(next()) * 0x1.0p-32;
+}
+
+double Pcg32::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform01();
+}
+
+std::int64_t Pcg32::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  if (lo >= hi) return lo;
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1U;
+  // Lemire-style rejection on the 32-bit generator, widened when needed.
+  if (span <= 0x100000000ULL) {
+    const auto bound = static_cast<std::uint32_t>(span);
+    const std::uint32_t threshold = (-bound) % bound;
+    for (;;) {
+      const std::uint32_t r = next();
+      if (r >= threshold) return lo + static_cast<std::int64_t>(r % bound);
+    }
+  }
+  const std::uint64_t wide = (static_cast<std::uint64_t>(next()) << 32U) | next();
+  return lo + static_cast<std::int64_t>(wide % span);
+}
+
+double Pcg32::normal(double mean, double stddev) noexcept {
+  // Box-Muller; clamp u1 away from 0 so log() stays finite.
+  double u1 = uniform01();
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double u2 = uniform01();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Pcg32::exponential(double rate) noexcept {
+  double u = uniform01();
+  if (u < 1e-300) u = 1e-300;
+  return -std::log(u) / rate;
+}
+
+bool Pcg32::bernoulli(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+Pcg32 SeedSequence::stream(std::uint64_t domain, std::uint64_t index) const noexcept {
+  SplitMix64 mixer(root_ ^ (domain * 0x9E3779B97F4A7C15ULL) ^
+                   (index * 0xC2B2AE3D27D4EB4FULL));
+  const std::uint64_t state = mixer.next();
+  const std::uint64_t seq = mixer.next();
+  return Pcg32(state, seq);
+}
+
+Pcg32 SeedSequence::stream(std::string_view label) const noexcept {
+  std::uint64_t h = 0xCBF29CE484222325ULL;  // FNV-1a 64-bit offset basis.
+  for (const char c : label) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return stream(kUser, h);
+}
+
+}  // namespace pas::sim

@@ -1,0 +1,68 @@
+// Discrete-event simulator kernel.
+//
+// The kernel advances a virtual clock by executing callbacks in timestamp
+// order. It is intentionally single-threaded (one Simulator per world);
+// throughput-level parallelism comes from running many simulations at once
+// via pas::runtime::Sweep.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace pas::sim {
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time (seconds).
+  [[nodiscard]] Time now() const noexcept { return now_; }
+
+  /// Schedules `cb` at absolute time `t` (must be >= now()).
+  EventId schedule_at(Time t, Callback cb);
+
+  /// Schedules `cb` after a relative delay (clamped to >= 0).
+  EventId schedule_in(Duration dt, Callback cb);
+
+  /// Cancels a pending event; false if it already ran or was cancelled.
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// True if the event is still pending.
+  [[nodiscard]] bool pending(EventId id) const { return queue_.pending(id); }
+
+  /// Executes the next event. Returns false when the queue is empty.
+  bool step();
+
+  /// Runs until the queue drains or stop() is called. Returns #events run.
+  std::size_t run();
+
+  /// Runs all events with time <= deadline, then sets now() = deadline.
+  /// Returns #events run.
+  std::size_t run_until(Time deadline);
+
+  /// Requests the current run()/run_until() loop to end after the current
+  /// callback returns. Safe to call from inside a callback.
+  void stop() noexcept { stopped_ = true; }
+
+  [[nodiscard]] bool stopped() const noexcept { return stopped_; }
+  [[nodiscard]] std::size_t pending_events() const noexcept { return queue_.size(); }
+  [[nodiscard]] std::size_t executed_events() const noexcept { return executed_; }
+
+  /// Timestamp of the next pending event (kNever when none).
+  [[nodiscard]] Time next_event_time() const { return queue_.next_time(); }
+
+ private:
+  EventQueue queue_;
+  Time now_ = 0.0;
+  std::size_t executed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace pas::sim

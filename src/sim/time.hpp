@@ -1,0 +1,33 @@
+// Simulation time primitives.
+//
+// Simulation time is a double counting seconds since the start of the run.
+// A double gives ~1 ns resolution over the minutes-long horizons the PAS
+// experiments use, and keeps all of the paper's arithmetic (velocities in
+// m/s, powers in W, energies in J) unit-coherent without a ratio type.
+#pragma once
+
+#include <limits>
+
+namespace pas::sim {
+
+/// Absolute simulation time in seconds.
+using Time = double;
+
+/// Relative duration in seconds.
+using Duration = double;
+
+/// Sentinel for "never" / "not yet happened".
+inline constexpr Time kNever = std::numeric_limits<Time>::infinity();
+
+/// Returns true for a finite, non-negative time usable as an event stamp.
+[[nodiscard]] constexpr bool is_valid_time(Time t) noexcept {
+  return t >= 0.0 && t < kNever;
+}
+
+/// Milliseconds-to-seconds convenience (the MAC and radio layers think in ms).
+[[nodiscard]] constexpr Duration ms(double v) noexcept { return v * 1e-3; }
+
+/// Microseconds-to-seconds convenience.
+[[nodiscard]] constexpr Duration us(double v) noexcept { return v * 1e-6; }
+
+}  // namespace pas::sim

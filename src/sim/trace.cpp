@@ -1,0 +1,38 @@
+#include "sim/trace.hpp"
+
+#include <sstream>
+
+namespace pas::sim {
+
+const char* to_string(TraceCategory c) noexcept {
+  switch (c) {
+    case TraceCategory::kState: return "state";
+    case TraceCategory::kMessage: return "msg";
+    case TraceCategory::kDetection: return "detect";
+    case TraceCategory::kSleep: return "sleep";
+    case TraceCategory::kFailure: return "fail";
+    case TraceCategory::kMisc: return "misc";
+  }
+  return "?";
+}
+
+std::vector<TraceEvent> TraceLog::filter(TraceCategory c) const {
+  std::vector<TraceEvent> out;
+  for (const auto& e : events_) {
+    if (e.category == c) out.push_back(e);
+  }
+  return out;
+}
+
+std::string TraceLog::format() const {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(3);
+  for (const auto& e : events_) {
+    os << "t=" << e.time << "s [" << to_string(e.category) << "] node "
+       << e.node << ": " << e.text << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace pas::sim

@@ -1,0 +1,62 @@
+// Lightweight simulation tracing.
+//
+// Protocol modules record timestamped events (state changes, messages,
+// detections) into a TraceLog. Examples pretty-print it; tests assert on it;
+// benchmark runs leave it disabled so tracing costs nothing when off.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace pas::sim {
+
+enum class TraceCategory : std::uint8_t {
+  kState,      // node state-machine transitions
+  kMessage,    // REQUEST/RESPONSE traffic
+  kDetection,  // stimulus detections
+  kSleep,      // sleep/wake decisions
+  kFailure,    // node failures
+  kMisc,
+};
+
+[[nodiscard]] const char* to_string(TraceCategory c) noexcept;
+
+struct TraceEvent {
+  Time time = 0.0;
+  TraceCategory category = TraceCategory::kMisc;
+  std::uint32_t node = 0;
+  std::string text;
+};
+
+class TraceLog {
+ public:
+  /// Disabled by default: record() is a no-op until enable() is called.
+  void enable(bool on = true) noexcept { enabled_ = on; }
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  void record(Time t, TraceCategory c, std::uint32_t node, std::string text) {
+    if (!enabled_) return;
+    events_.push_back(TraceEvent{t, c, node, std::move(text)});
+  }
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+  void clear() noexcept { events_.clear(); }
+
+  /// Events of one category (copy; tests use this on small logs).
+  [[nodiscard]] std::vector<TraceEvent> filter(TraceCategory c) const;
+
+  /// Multi-line human-readable dump ("t=12.000s [state] node 3: ...").
+  [[nodiscard]] std::string format() const;
+
+ private:
+  std::vector<TraceEvent> events_;
+  bool enabled_ = false;
+};
+
+}  // namespace pas::sim

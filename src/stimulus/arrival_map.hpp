@@ -1,0 +1,48 @@
+// Ground-truth arrival schedule for a set of node positions.
+//
+// The world builder evaluates the stimulus model once per node and caches
+// first-arrival times; the simulator schedules per-node arrival events from
+// this map and the metrics layer scores detection delay against it.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geom/vec2.hpp"
+#include "sim/time.hpp"
+#include "stimulus/field.hpp"
+
+namespace pas::stimulus {
+
+class ArrivalMap {
+ public:
+  ArrivalMap() = default;
+  ArrivalMap(const StimulusModel& model, std::span<const geom::Vec2> positions,
+             sim::Time horizon);
+
+  [[nodiscard]] std::size_t size() const noexcept { return times_.size(); }
+
+  /// Arrival time of node `i`; sim::kNever if unreached by the horizon.
+  [[nodiscard]] sim::Time at(std::size_t i) const { return times_.at(i); }
+
+  [[nodiscard]] const std::vector<sim::Time>& times() const noexcept {
+    return times_;
+  }
+
+  /// Number of nodes covered at or before `t`.
+  [[nodiscard]] std::size_t covered_count(sim::Time t) const noexcept;
+
+  /// Earliest finite arrival; kNever when no node is ever reached.
+  [[nodiscard]] sim::Time first_arrival() const noexcept;
+
+  /// Latest finite arrival; kNever when no node is ever reached.
+  [[nodiscard]] sim::Time last_arrival() const noexcept;
+
+  /// Count of nodes that are eventually reached.
+  [[nodiscard]] std::size_t reached_count() const noexcept;
+
+ private:
+  std::vector<sim::Time> times_;
+};
+
+}  // namespace pas::stimulus

@@ -1,0 +1,59 @@
+#include "stimulus/composite.hpp"
+
+#include <stdexcept>
+
+namespace pas::stimulus {
+
+CompositeModel::CompositeModel(
+    std::vector<std::unique_ptr<StimulusModel>> parts)
+    : parts_(std::move(parts)) {
+  if (parts_.empty()) {
+    throw std::invalid_argument("CompositeModel: needs at least one part");
+  }
+  for (const auto& p : parts_) {
+    if (!p) throw std::invalid_argument("CompositeModel: null part");
+  }
+}
+
+bool CompositeModel::covered(geom::Vec2 p, sim::Time t) const {
+  for (const auto& part : parts_) {
+    if (part->covered(p, t)) return true;
+  }
+  return false;
+}
+
+double CompositeModel::concentration(geom::Vec2 p, sim::Time t) const {
+  double sum = 0.0;
+  for (const auto& part : parts_) sum += part->concentration(p, t);
+  return sum;
+}
+
+geom::Vec2 CompositeModel::source() const noexcept {
+  return parts_.front()->source();
+}
+
+sim::Time CompositeModel::arrival_time(geom::Vec2 p, sim::Time horizon) const {
+  sim::Time best = sim::kNever;
+  for (const auto& part : parts_) {
+    best = std::min(best, part->arrival_time(p, horizon));
+  }
+  return best;
+}
+
+std::optional<geom::Vec2> CompositeModel::front_velocity(geom::Vec2 p,
+                                                         sim::Time t) const {
+  // Attribute the front to whichever part gets to p first.
+  const StimulusModel* first = nullptr;
+  sim::Time best = sim::kNever;
+  for (const auto& part : parts_) {
+    const sim::Time a = part->arrival_time(p, 1e12);
+    if (a < best) {
+      best = a;
+      first = part.get();
+    }
+  }
+  if (first == nullptr) return std::nullopt;
+  return first->front_velocity(p, t);
+}
+
+}  // namespace pas::stimulus

@@ -1,0 +1,135 @@
+#include "stimulus/contour.hpp"
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace pas::stimulus {
+
+namespace {
+
+// Linear interpolation of the iso crossing between lattice corners a and b.
+geom::Vec2 edge_point(geom::Vec2 pa, geom::Vec2 pb, double va, double vb,
+                      double iso) {
+  const double denom = vb - va;
+  double t = denom != 0.0 ? (iso - va) / denom : 0.5;
+  if (t < 0.0) t = 0.0;
+  if (t > 1.0) t = 1.0;
+  return geom::lerp(pa, pb, t);
+}
+
+}  // namespace
+
+std::vector<Segment> extract_iso_segments(
+    const std::function<double(geom::Vec2)>& f, geom::Aabb region, int nx,
+    int ny, double iso) {
+  if (nx < 1 || ny < 1) {
+    throw std::invalid_argument("extract_iso_segments: grid must be >= 1x1");
+  }
+  const double dx = region.width() / nx;
+  const double dy = region.height() / ny;
+
+  // Sample the lattice once; (nx+1)*(ny+1) values.
+  std::vector<double> samples(
+      static_cast<std::size_t>(nx + 1) * static_cast<std::size_t>(ny + 1));
+  const auto sample_idx = [nx](int ix, int iy) {
+    return static_cast<std::size_t>(iy) * static_cast<std::size_t>(nx + 1) +
+           static_cast<std::size_t>(ix);
+  };
+  for (int iy = 0; iy <= ny; ++iy) {
+    for (int ix = 0; ix <= nx; ++ix) {
+      samples[sample_idx(ix, iy)] =
+          f({region.lo.x + ix * dx, region.lo.y + iy * dy});
+    }
+  }
+
+  std::vector<Segment> out;
+  for (int iy = 0; iy < ny; ++iy) {
+    for (int ix = 0; ix < nx; ++ix) {
+      // Corners: 0 = (ix,iy), 1 = (ix+1,iy), 2 = (ix+1,iy+1), 3 = (ix,iy+1).
+      const std::array<geom::Vec2, 4> corner{
+          geom::Vec2{region.lo.x + ix * dx, region.lo.y + iy * dy},
+          geom::Vec2{region.lo.x + (ix + 1) * dx, region.lo.y + iy * dy},
+          geom::Vec2{region.lo.x + (ix + 1) * dx, region.lo.y + (iy + 1) * dy},
+          geom::Vec2{region.lo.x + ix * dx, region.lo.y + (iy + 1) * dy}};
+      const std::array<double, 4> value{
+          samples[sample_idx(ix, iy)], samples[sample_idx(ix + 1, iy)],
+          samples[sample_idx(ix + 1, iy + 1)], samples[sample_idx(ix, iy + 1)]};
+
+      int mask = 0;
+      for (int k = 0; k < 4; ++k) {
+        if (value[static_cast<std::size_t>(k)] >= iso) mask |= 1 << k;
+      }
+      if (mask == 0 || mask == 15) continue;
+
+      // Edge k connects corner k and corner (k+1)%4.
+      const auto ep = [&](int k) {
+        const auto a = static_cast<std::size_t>(k);
+        const auto b = static_cast<std::size_t>((k + 1) % 4);
+        return edge_point(corner[a], corner[b], value[a], value[b], iso);
+      };
+
+      switch (mask) {
+        case 1: case 14: out.emplace_back(ep(3), ep(0)); break;
+        case 2: case 13: out.emplace_back(ep(0), ep(1)); break;
+        case 3: case 12: out.emplace_back(ep(3), ep(1)); break;
+        case 4: case 11: out.emplace_back(ep(1), ep(2)); break;
+        case 6: case 9:  out.emplace_back(ep(0), ep(2)); break;
+        case 7: case 8:  out.emplace_back(ep(2), ep(3)); break;
+        case 5: case 10: {
+          // Saddle: disambiguate with the center sample.
+          const geom::Vec2 c = {corner[0].x + 0.5 * dx, corner[0].y + 0.5 * dy};
+          const bool center_in = f(c) >= iso;
+          const bool connect_03 = (mask == 5) == center_in;
+          if (connect_03) {
+            out.emplace_back(ep(3), ep(0));
+            out.emplace_back(ep(1), ep(2));
+          } else {
+            out.emplace_back(ep(0), ep(1));
+            out.emplace_back(ep(2), ep(3));
+          }
+          break;
+        }
+        default: break;
+      }
+    }
+  }
+  return out;
+}
+
+double total_length(const std::vector<Segment>& segments) {
+  double sum = 0.0;
+  for (const auto& [a, b] : segments) sum += geom::distance(a, b);
+  return sum;
+}
+
+std::string render_ascii(const std::function<double(geom::Vec2)>& f,
+                         geom::Aabb region, int cols, int rows, double lo,
+                         double hi) {
+  static constexpr std::string_view ramp = " .:-=+*#%@";
+  if (cols < 1 || rows < 1 || hi <= lo) {
+    throw std::invalid_argument("render_ascii: bad grid or range");
+  }
+  std::string out;
+  out.reserve(static_cast<std::size_t>(rows) *
+              (static_cast<std::size_t>(cols) + 1));
+  for (int r = 0; r < rows; ++r) {
+    // Row 0 is the top of the region (max y) so the picture is upright.
+    const double y = region.hi.y - (r + 0.5) * region.height() / rows;
+    for (int c = 0; c < cols; ++c) {
+      const double x = region.lo.x + (c + 0.5) * region.width() / cols;
+      const double v = f({x, y});
+      double t = (v - lo) / (hi - lo);
+      if (t < 0.0) t = 0.0;
+      if (t > 1.0) t = 1.0;
+      const auto k = static_cast<std::size_t>(
+          std::lround(t * static_cast<double>(ramp.size() - 1)));
+      out.push_back(ramp[k]);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace pas::stimulus

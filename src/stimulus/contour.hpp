@@ -1,0 +1,37 @@
+// Iso-contour extraction (marching squares).
+//
+// Renders stimulus boundaries for the example applications and lets tests
+// check geometric invariants (front area grows, boundary stays near the
+// analytic radius). Works on any scalar function sampled over a region.
+#pragma once
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "geom/aabb.hpp"
+#include "geom/vec2.hpp"
+
+namespace pas::stimulus {
+
+using Segment = std::pair<geom::Vec2, geom::Vec2>;
+
+/// Extracts line segments of the iso-line f(p) = iso over `region` sampled
+/// on an (nx+1)×(ny+1) lattice. Standard marching-squares with linear
+/// interpolation along cell edges; the ambiguous saddle cases (5, 10) are
+/// resolved by the cell-center sample.
+[[nodiscard]] std::vector<Segment> extract_iso_segments(
+    const std::function<double(geom::Vec2)>& f, geom::Aabb region, int nx,
+    int ny, double iso);
+
+/// Total length of a segment soup (cheap proxy for boundary perimeter).
+[[nodiscard]] double total_length(const std::vector<Segment>& segments);
+
+/// ASCII rendering of a scalar field: rows top-to-bottom, one char per cell
+/// from ' ' (below lo) through the ramp " .:-=+*#%@" to '@' (above hi).
+/// Used by the examples to draw the plume in a terminal.
+[[nodiscard]] std::string render_ascii(
+    const std::function<double(geom::Vec2)>& f, geom::Aabb region, int cols,
+    int rows, double lo, double hi);
+
+}  // namespace pas::stimulus

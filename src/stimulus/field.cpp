@@ -1,0 +1,50 @@
+#include "stimulus/field.hpp"
+
+namespace pas::stimulus {
+
+double StimulusModel::concentration(geom::Vec2 p, sim::Time t) const {
+  return covered(p, t) ? 1.0 : 0.0;
+}
+
+std::optional<geom::Vec2> StimulusModel::front_velocity(geom::Vec2,
+                                                        sim::Time) const {
+  return std::nullopt;
+}
+
+sim::Time StimulusModel::arrival_time(geom::Vec2 p, sim::Time horizon) const {
+  // Default: numeric first-crossing; models with closed forms override.
+  return first_crossing(p, horizon, horizon / 512.0);
+}
+
+sim::Time StimulusModel::first_crossing(geom::Vec2 p, sim::Time horizon,
+                                        sim::Duration coarse_step,
+                                        sim::Duration tol) const {
+  if (horizon <= 0.0) return sim::kNever;
+  if (coarse_step <= 0.0) coarse_step = horizon / 512.0;
+
+  if (covered(p, 0.0)) return 0.0;
+  sim::Time lo = 0.0;
+  sim::Time hi = sim::kNever;
+  for (sim::Time t = coarse_step; t <= horizon + 0.5 * coarse_step;
+       t += coarse_step) {
+    const sim::Time probe = std::min(t, horizon);
+    if (covered(p, probe)) {
+      hi = probe;
+      break;
+    }
+    lo = probe;
+  }
+  if (hi == sim::kNever) return sim::kNever;
+
+  while (hi - lo > tol) {
+    const sim::Time mid = 0.5 * (lo + hi);
+    if (covered(p, mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace pas::stimulus

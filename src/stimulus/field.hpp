@@ -1,0 +1,55 @@
+// Stimulus model interface.
+//
+// A stimulus model answers, for any position and simulation time, whether
+// the diffusion stimulus (DS) has reached that position, and provides the
+// ground-truth *arrival time* used both to schedule detection events and to
+// score detection delay. The paper's §3.3 assumption — the front spreads
+// along the outward normal of its boundary — holds for every model here.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "geom/vec2.hpp"
+#include "sim/time.hpp"
+
+namespace pas::stimulus {
+
+class StimulusModel {
+ public:
+  virtual ~StimulusModel() = default;
+
+  /// True when the stimulus covers position `p` at time `t`.
+  [[nodiscard]] virtual bool covered(geom::Vec2 p, sim::Time t) const = 0;
+
+  /// Scalar intensity at (p, t) in model units. Default: 1 inside, 0 outside.
+  [[nodiscard]] virtual double concentration(geom::Vec2 p, sim::Time t) const;
+
+  /// Location the stimulus emanates from.
+  [[nodiscard]] virtual geom::Vec2 source() const noexcept = 0;
+
+  /// First time within [0, horizon] at which `p` becomes covered, or
+  /// sim::kNever if the stimulus never reaches `p` by `horizon`.
+  [[nodiscard]] virtual sim::Time arrival_time(geom::Vec2 p,
+                                               sim::Time horizon) const;
+
+  /// True front velocity (direction + magnitude, m/s) at position `p` and
+  /// time `t`, when the model can provide it analytically; estimators are
+  /// validated against this in tests. std::nullopt when unavailable.
+  [[nodiscard]] virtual std::optional<geom::Vec2> front_velocity(
+      geom::Vec2 p, sim::Time t) const;
+
+  /// Short identifier for reports ("radial", "pde", "plume").
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+ protected:
+  /// Generic earliest-crossing search: scans [0, horizon] in `coarse_step`
+  /// increments for the first covered sample, then bisects the bracketing
+  /// interval down to `tol`. Exact only for coverage that, once gained, is
+  /// not lost within a coarse step — true for all models in this library.
+  [[nodiscard]] sim::Time first_crossing(geom::Vec2 p, sim::Time horizon,
+                                         sim::Duration coarse_step,
+                                         sim::Duration tol = 1e-4) const;
+};
+
+}  // namespace pas::stimulus

@@ -1,0 +1,60 @@
+#include "stimulus/plume.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace pas::stimulus {
+
+GaussianPlumeModel::GaussianPlumeModel(GaussianPlumeConfig config)
+    : cfg_(config) {
+  if (cfg_.mass <= 0.0) {
+    throw std::invalid_argument("GaussianPlumeModel: mass must be > 0");
+  }
+  if (cfg_.diffusivity <= 0.0) {
+    throw std::invalid_argument("GaussianPlumeModel: diffusivity must be > 0");
+  }
+  if (cfg_.threshold <= 0.0) {
+    throw std::invalid_argument("GaussianPlumeModel: threshold must be > 0");
+  }
+}
+
+double GaussianPlumeModel::concentration(geom::Vec2 p, sim::Time t) const {
+  const double tau = t - cfg_.start_time;
+  if (tau <= 0.0) return 0.0;
+  const double denom = 4.0 * std::numbers::pi * cfg_.diffusivity * tau;
+  const geom::Vec2 center = cfg_.source + cfg_.wind * tau;
+  const double r2 = geom::distance2(p, center);
+  return cfg_.mass / denom * std::exp(-r2 / (4.0 * cfg_.diffusivity * tau));
+}
+
+bool GaussianPlumeModel::covered(geom::Vec2 p, sim::Time t) const {
+  return concentration(p, t) >= cfg_.threshold;
+}
+
+sim::Time GaussianPlumeModel::dissolve_time() const noexcept {
+  // Peak concentration Q/(4πDτ) falls below threshold at this τ.
+  return cfg_.start_time +
+         cfg_.mass / (4.0 * std::numbers::pi * cfg_.diffusivity * cfg_.threshold);
+}
+
+double GaussianPlumeModel::covered_radius(sim::Time t) const noexcept {
+  const double tau = t - cfg_.start_time;
+  if (tau <= 0.0) return 0.0;
+  const double peak =
+      cfg_.mass / (4.0 * std::numbers::pi * cfg_.diffusivity * tau);
+  if (peak < cfg_.threshold) return 0.0;
+  // c(r) = peak · exp(−r²/(4Dτ)) = threshold  ⇒  r² = 4Dτ ln(peak/threshold).
+  return std::sqrt(4.0 * cfg_.diffusivity * tau * std::log(peak / cfg_.threshold));
+}
+
+sim::Time GaussianPlumeModel::arrival_time(geom::Vec2 p,
+                                           sim::Time horizon) const {
+  // Coverage is not monotone (the puff recedes), so use the generic scan
+  // with a step fine enough to catch the growth phase.
+  const sim::Duration window = dissolve_time() - cfg_.start_time;
+  const sim::Duration step = std::max(1e-3, window / 2048.0);
+  return first_crossing(p, horizon, step);
+}
+
+}  // namespace pas::stimulus

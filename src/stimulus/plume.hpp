@@ -1,0 +1,55 @@
+// Gaussian puff plume stimulus.
+//
+// Closed-form solution of 2-D diffusion of an instantaneous release of mass
+// Q, optionally advected by a constant wind w:
+//   c(p, t) = Q / (4πDτ) · exp(−|p − src − w·τ|² / (4Dτ)),  τ = t − t₀.
+// The covered region (c ≥ threshold) grows while the puff is concentrated
+// and eventually *recedes* as it dilutes — which exercises the paper's
+// covered → (detection timeout) → safe transition that the monotone models
+// never trigger.
+#pragma once
+
+#include "geom/vec2.hpp"
+#include "stimulus/field.hpp"
+
+namespace pas::stimulus {
+
+struct GaussianPlumeConfig {
+  geom::Vec2 source{0.0, 0.0};
+  /// Released mass Q (concentration-units·m²).
+  double mass = 400.0;
+  /// Diffusivity D, m²/s.
+  double diffusivity = 1.0;
+  /// Advection velocity, m/s.
+  geom::Vec2 wind{0.0, 0.0};
+  /// Coverage threshold on c.
+  double threshold = 0.05;
+  sim::Time start_time = 0.0;
+};
+
+class GaussianPlumeModel final : public StimulusModel {
+ public:
+  explicit GaussianPlumeModel(GaussianPlumeConfig config);
+
+  [[nodiscard]] bool covered(geom::Vec2 p, sim::Time t) const override;
+  [[nodiscard]] double concentration(geom::Vec2 p, sim::Time t) const override;
+  [[nodiscard]] geom::Vec2 source() const noexcept override { return cfg_.source; }
+  [[nodiscard]] sim::Time arrival_time(geom::Vec2 p,
+                                       sim::Time horizon) const override;
+  [[nodiscard]] std::string_view name() const noexcept override { return "plume"; }
+
+  /// Time at which the whole covered region has dissolved (c < threshold
+  /// everywhere): when 4πDτ ≥ Q/threshold the peak is below threshold.
+  [[nodiscard]] sim::Time dissolve_time() const noexcept;
+
+  /// Radius of the covered disk around the (advected) center at time t;
+  /// 0 when nothing is covered.
+  [[nodiscard]] double covered_radius(sim::Time t) const noexcept;
+
+  [[nodiscard]] const GaussianPlumeConfig& config() const noexcept { return cfg_; }
+
+ private:
+  GaussianPlumeConfig cfg_;
+};
+
+}  // namespace pas::stimulus

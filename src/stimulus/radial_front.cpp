@@ -1,0 +1,112 @@
+#include "stimulus/radial_front.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace pas::stimulus {
+
+RadialFrontModel::RadialFrontModel(RadialFrontConfig config)
+    : cfg_(std::move(config)) {
+  if (cfg_.base_speed <= 0.0) {
+    throw std::invalid_argument("RadialFrontModel: base_speed must be > 0");
+  }
+  if (cfg_.accel < 0.0) {
+    throw std::invalid_argument("RadialFrontModel: accel must be >= 0");
+  }
+  if (cfg_.max_radius <= 0.0) {
+    throw std::invalid_argument("RadialFrontModel: max_radius must be > 0");
+  }
+  double total = 0.0;
+  for (const auto& h : cfg_.harmonics) total += std::abs(h.amplitude);
+  if (total >= 0.9) {
+    throw std::invalid_argument(
+        "RadialFrontModel: harmonic amplitudes sum to >= 0.9; speed profile "
+        "could become non-positive");
+  }
+}
+
+double RadialFrontModel::speed_at(double theta) const noexcept {
+  double factor = 1.0;
+  for (const auto& h : cfg_.harmonics) {
+    factor += h.amplitude * std::cos(h.k * theta + h.phase);
+  }
+  return cfg_.base_speed * factor;
+}
+
+double RadialFrontModel::growth(double tau) const noexcept {
+  return tau + 0.5 * cfg_.accel * tau * tau;
+}
+
+double RadialFrontModel::inverse_growth(double x) const noexcept {
+  if (x <= 0.0) return 0.0;
+  if (cfg_.accel == 0.0) return x;
+  // τ + a/2 τ² = x  ⇒  τ = (−1 + sqrt(1 + 2 a x)) / a, the positive root.
+  return (-1.0 + std::sqrt(1.0 + 2.0 * cfg_.accel * x)) / cfg_.accel;
+}
+
+double RadialFrontModel::radius_at(double theta, sim::Time t) const noexcept {
+  const double tau = t - cfg_.start_time;
+  if (tau <= 0.0) return 0.0;
+  return std::min(cfg_.max_radius, speed_at(theta) * growth(tau));
+}
+
+bool RadialFrontModel::covered(geom::Vec2 p, sim::Time t) const {
+  const geom::Vec2 d = p - cfg_.source;
+  const double r = d.norm();
+  if (r == 0.0) return t >= cfg_.start_time;
+  return r <= radius_at(d.angle(), t);
+}
+
+double RadialFrontModel::concentration(geom::Vec2 p, sim::Time t) const {
+  // Simple interior profile decaying toward the front: 1 at source, 0 at
+  // the boundary; gives examples something smooth to visualise.
+  const geom::Vec2 d = p - cfg_.source;
+  const double r = d.norm();
+  const double radius = r == 0.0
+                            ? radius_at(0.0, t)
+                            : radius_at(d.angle(), t);
+  if (radius <= 0.0 || r > radius) return 0.0;
+  return 1.0 - r / radius;
+}
+
+sim::Time RadialFrontModel::arrival_time(geom::Vec2 p,
+                                         sim::Time horizon) const {
+  const geom::Vec2 d = p - cfg_.source;
+  const double r = d.norm();
+  if (r == 0.0) {
+    return cfg_.start_time <= horizon ? cfg_.start_time : sim::kNever;
+  }
+  if (r > cfg_.max_radius) return sim::kNever;
+  const double v = speed_at(d.angle());
+  const sim::Time t = cfg_.start_time + inverse_growth(r / v);
+  return t <= horizon ? t : sim::kNever;
+}
+
+std::optional<geom::Vec2> RadialFrontModel::front_velocity(geom::Vec2 p,
+                                                           sim::Time t) const {
+  const geom::Vec2 d = p - cfg_.source;
+  const double r = d.norm();
+  if (r == 0.0) return std::nullopt;
+  const double tau = t - cfg_.start_time;
+  if (tau < 0.0) return std::nullopt;
+  // dR/dt along direction θ: v(θ) · g'(τ), pointing radially outward.
+  const double speed = speed_at(d.angle()) * (1.0 + cfg_.accel * tau);
+  return d.normalized() * speed;
+}
+
+geom::Polyline RadialFrontModel::boundary(sim::Time t, int samples) const {
+  geom::Polyline line;
+  line.closed = true;
+  if (samples < 3 || t <= cfg_.start_time) return line;
+  line.points.reserve(static_cast<std::size_t>(samples));
+  for (int i = 0; i < samples; ++i) {
+    const double theta =
+        2.0 * std::numbers::pi * static_cast<double>(i) / samples;
+    line.points.push_back(
+        cfg_.source + geom::Vec2::from_polar(radius_at(theta, t), theta));
+  }
+  return line;
+}
+
+}  // namespace pas::stimulus

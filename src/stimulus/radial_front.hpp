@@ -1,0 +1,74 @@
+// Anisotropic radial-front stimulus.
+//
+// The boundary is a star-shaped curve around the source: R(θ, t) =
+// v(θ) · g(t − t₀), where v(θ) is a strictly positive angular speed profile
+// built from cosine harmonics (the "irregular alert area" of the paper's
+// Fig 2) and g(τ) = τ + ½·accel·τ² allows a uniformly accelerating or
+// constant-speed front. Arrival times invert g in closed form, which makes
+// this the reference model for unit-testing estimators.
+#pragma once
+
+#include <vector>
+
+#include "geom/polyline.hpp"
+#include "geom/vec2.hpp"
+#include "stimulus/field.hpp"
+
+namespace pas::stimulus {
+
+struct RadialFrontConfig {
+  geom::Vec2 source{0.0, 0.0};
+  /// Mean outward speed in m/s.
+  double base_speed = 0.5;
+  /// Fractional acceleration a in g(τ) = τ + 0.5·a·τ² (0 = constant speed).
+  double accel = 0.0;
+  /// Release time of the stimulus.
+  sim::Time start_time = 0.0;
+  /// Growth stops at this radius (e.g. the monitored region's extent).
+  double max_radius = 1e9;
+
+  /// v(θ) = base_speed · (1 + Σ amplitude·cos(k·θ + phase)). The config is
+  /// rejected unless Σ|amplitude| < 0.9 so the speed stays positive.
+  struct Harmonic {
+    int k = 1;
+    double amplitude = 0.0;
+    double phase = 0.0;
+  };
+  std::vector<Harmonic> harmonics;
+};
+
+class RadialFrontModel final : public StimulusModel {
+ public:
+  /// Throws std::invalid_argument on non-positive speed or |harmonics| ≥ 0.9.
+  explicit RadialFrontModel(RadialFrontConfig config);
+
+  [[nodiscard]] bool covered(geom::Vec2 p, sim::Time t) const override;
+  [[nodiscard]] double concentration(geom::Vec2 p, sim::Time t) const override;
+  [[nodiscard]] geom::Vec2 source() const noexcept override { return cfg_.source; }
+  [[nodiscard]] sim::Time arrival_time(geom::Vec2 p,
+                                       sim::Time horizon) const override;
+  [[nodiscard]] std::optional<geom::Vec2> front_velocity(
+      geom::Vec2 p, sim::Time t) const override;
+  [[nodiscard]] std::string_view name() const noexcept override { return "radial"; }
+
+  /// Angular speed profile v(θ), m/s.
+  [[nodiscard]] double speed_at(double theta) const noexcept;
+
+  /// Front radius along direction θ at time t (0 before start_time).
+  [[nodiscard]] double radius_at(double theta, sim::Time t) const noexcept;
+
+  /// Boundary sampled as a closed polyline (for contour rendering/tests).
+  [[nodiscard]] geom::Polyline boundary(sim::Time t, int samples = 256) const;
+
+  [[nodiscard]] const RadialFrontConfig& config() const noexcept { return cfg_; }
+
+ private:
+  /// g(τ) for τ ≥ 0.
+  [[nodiscard]] double growth(double tau) const noexcept;
+  /// Inverse of g: smallest τ ≥ 0 with g(τ) = x.
+  [[nodiscard]] double inverse_growth(double x) const noexcept;
+
+  RadialFrontConfig cfg_;
+};
+
+}  // namespace pas::stimulus

@@ -1,0 +1,181 @@
+#include "world/config_json.hpp"
+
+namespace pas::world {
+
+namespace {
+
+io::Json vec_json(geom::Vec2 v) {
+  io::Json j;
+  j["x"] = v.x;
+  j["y"] = v.y;
+  return j;
+}
+
+io::Json radial_json(const stimulus::RadialFrontConfig& r) {
+  io::Json j;
+  j["source"] = vec_json(r.source);
+  j["base_speed_mps"] = r.base_speed;
+  j["accel"] = r.accel;
+  j["start_time_s"] = r.start_time;
+  j["max_radius_m"] = r.max_radius;
+  io::Json harmonics;
+  for (const auto& h : r.harmonics) {
+    io::Json hj;
+    hj["k"] = h.k;
+    hj["amplitude"] = h.amplitude;
+    hj["phase"] = h.phase;
+    harmonics.push_back(std::move(hj));
+  }
+  j["harmonics"] = harmonics.is_null() ? io::Json(io::JsonArray{}) : harmonics;
+  return j;
+}
+
+}  // namespace
+
+io::Json to_json(const ScenarioConfig& config) {
+  io::Json j;
+  j["seed"] = static_cast<double>(config.seed);
+  j["duration_s"] = config.duration_s;
+
+  io::Json dep;
+  dep["kind"] = to_string(config.deployment.kind);
+  dep["count"] = config.deployment.count;
+  dep["region_m"] = config.deployment.region.width();
+  j["deployment"] = std::move(dep);
+
+  io::Json radio;
+  radio["range_m"] = config.radio.range_m;
+  radio["data_rate_bps"] = config.radio.data_rate_bps;
+  radio["max_jitter_s"] = config.radio.max_jitter_s;
+  j["radio"] = std::move(radio);
+
+  io::Json power;
+  power["mcu_active_w"] = config.power.mcu_active_w;
+  power["sleep_w"] = config.power.sleep_w;
+  power["radio_rx_w"] = config.power.radio_rx_w;
+  power["radio_tx_w"] = config.power.radio_tx_w;
+  power["transition_w"] = config.power.transition_w;
+  power["data_rate_bps"] = config.power.data_rate_bps;
+  j["power"] = std::move(power);
+
+  io::Json proto;
+  proto["policy"] = std::string(core::to_string(config.protocol.policy));
+  proto["alert_threshold_s"] = config.protocol.alert_threshold_s;
+  proto["sleep_ramp"] = node::to_string(config.protocol.sleep.kind);
+  proto["sleep_initial_s"] = config.protocol.sleep.initial_s;
+  proto["sleep_increment_s"] = config.protocol.sleep.increment_s;
+  proto["sleep_max_s"] = config.protocol.sleep.max_s;
+  proto["response_wait_s"] = config.protocol.response_wait_s;
+  proto["covered_timeout_s"] = config.protocol.covered_timeout_s;
+  j["protocol"] = std::move(proto);
+
+  io::Json stim;
+  stim["kind"] = to_string(config.stimulus);
+  switch (config.stimulus) {
+    case StimulusKind::kRadial:
+      stim["radial"] = radial_json(config.radial);
+      break;
+    case StimulusKind::kTwoSources:
+      stim["radial"] = radial_json(config.radial);
+      stim["radial_second"] = radial_json(config.radial_second);
+      break;
+    case StimulusKind::kPde: {
+      io::Json p;
+      p["source"] = vec_json(config.pde.source);
+      p["diffusivity"] = config.pde.diffusivity;
+      p["wind"] = vec_json(config.pde.wind);
+      p["source_rate"] = config.pde.source_rate;
+      p["threshold"] = config.pde.threshold;
+      p["grid"] = config.pde.nx;
+      stim["pde"] = std::move(p);
+      break;
+    }
+    case StimulusKind::kPlume: {
+      io::Json p;
+      p["source"] = vec_json(config.plume.source);
+      p["mass"] = config.plume.mass;
+      p["diffusivity"] = config.plume.diffusivity;
+      p["wind"] = vec_json(config.plume.wind);
+      p["threshold"] = config.plume.threshold;
+      stim["plume"] = std::move(p);
+      break;
+    }
+  }
+  j["stimulus"] = std::move(stim);
+
+  io::Json chan;
+  switch (config.channel) {
+    case ChannelKind::kPerfect: chan["kind"] = "perfect"; break;
+    case ChannelKind::kBernoulli:
+      chan["kind"] = "bernoulli";
+      chan["loss"] = config.channel_loss;
+      break;
+    case ChannelKind::kGilbertElliott:
+      chan["kind"] = "gilbert-elliott";
+      chan["p_good_to_bad"] = config.gilbert.p_good_to_bad;
+      chan["p_bad_to_good"] = config.gilbert.p_bad_to_good;
+      chan["loss_good"] = config.gilbert.loss_good;
+      chan["loss_bad"] = config.gilbert.loss_bad;
+      break;
+  }
+  j["channel"] = std::move(chan);
+
+  io::Json fail;
+  fail["fraction"] = config.failures.fraction;
+  fail["window_start_s"] = config.failures.window_start_s;
+  fail["window_end_s"] = config.failures.window_end_s;
+  j["failures"] = std::move(fail);
+  return j;
+}
+
+io::Json to_json(const metrics::RunMetrics& m) {
+  io::Json j;
+  j["node_count"] = m.node_count;
+  j["duration_s"] = m.duration_s;
+  j["avg_delay_s"] = m.avg_delay_s;
+  j["p95_delay_s"] = m.p95_delay_s;
+  j["max_delay_s"] = m.max_delay_s;
+  j["reached"] = m.reached;
+  j["detected"] = m.detected;
+  j["missed"] = m.missed;
+  j["censored"] = m.censored;
+  j["avg_energy_j"] = m.avg_energy_j;
+  j["total_energy_j"] = m.total_energy_j;
+  j["avg_active_fraction"] = m.avg_active_fraction;
+  j["broadcasts"] = m.network.broadcasts;
+  j["deliveries"] = m.network.deliveries;
+  j["dropped_channel"] = m.network.dropped_channel;
+  j["wakeups"] = m.protocol.wakeups;
+  j["alert_entries"] = m.protocol.alert_entries;
+  j["responses_pushed"] = m.protocol.responses_pushed;
+  j["failures"] = m.protocol.failures;
+  return j;
+}
+
+io::Json to_json(const metrics::NodeOutcome& o) {
+  io::Json j;
+  j["id"] = static_cast<double>(o.id);
+  j["position"] = vec_json(o.position);
+  j["arrival_s"] = o.arrival;     // NaN/inf render as null
+  j["detected_s"] = o.detected;
+  j["delay_s"] = o.was_detected ? io::Json(o.delay_s) : io::Json(nullptr);
+  j["reached"] = o.was_reached;
+  j["failed"] = o.failed;
+  j["energy_j"] = o.energy_j;
+  j["energy_tx_j"] = o.energy_tx_j;
+  j["active_s"] = o.active_s;
+  j["transitions"] = static_cast<double>(o.transitions);
+  return j;
+}
+
+io::Json run_record(const ScenarioConfig& config, const RunResult& result) {
+  io::Json j;
+  j["config"] = to_json(config);
+  j["metrics"] = to_json(result.metrics);
+  io::Json outcomes{io::JsonArray{}};
+  for (const auto& o : result.outcomes) outcomes.push_back(to_json(o));
+  j["outcomes"] = std::move(outcomes);
+  return j;
+}
+
+}  // namespace pas::world

@@ -1,0 +1,29 @@
+// JSON serialisation of scenario configurations and run metrics.
+//
+// Examples emit these so downstream tooling (plotting scripts, experiment
+// trackers) can consume runs without parsing tables; the JSON also serves
+// as a complete, human-readable record of every parameter that shaped a
+// result.
+#pragma once
+
+#include "io/json.hpp"
+#include "metrics/report.hpp"
+#include "world/scenario.hpp"
+
+namespace pas::world {
+
+/// Full dump of a scenario configuration (every field that affects the
+/// simulation, grouped by subsystem).
+[[nodiscard]] io::Json to_json(const ScenarioConfig& config);
+
+/// Run-level metrics as JSON.
+[[nodiscard]] io::Json to_json(const metrics::RunMetrics& metrics);
+
+/// One node's outcome row.
+[[nodiscard]] io::Json to_json(const metrics::NodeOutcome& outcome);
+
+/// Complete run record: {"config": ..., "metrics": ..., "outcomes": [...]}.
+[[nodiscard]] io::Json run_record(const ScenarioConfig& config,
+                                  const RunResult& result);
+
+}  // namespace pas::world

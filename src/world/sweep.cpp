@@ -1,0 +1,50 @@
+#include "world/sweep.hpp"
+
+#include "runtime/parallel_for.hpp"
+
+namespace pas::world {
+
+ReplicatedMetrics run_replicated(const ScenarioConfig& base,
+                                 std::size_t replications,
+                                 runtime::ThreadPool* pool) {
+  if (replications == 0) {
+    throw std::invalid_argument("run_replicated: need >= 1 replication");
+  }
+
+  std::vector<metrics::RunMetrics> runs(replications);
+  const auto one = [&base, &runs](std::size_t r) {
+    ScenarioConfig cfg = base;
+    cfg.seed = base.seed + r;
+    cfg.enable_trace = false;  // traces are per-run debugging, not sweeps
+    runs[r] = run_scenario(cfg).metrics;
+  };
+
+  if (pool != nullptr) {
+    runtime::parallel_for(*pool, replications, one);
+  } else {
+    for (std::size_t r = 0; r < replications; ++r) one(r);
+  }
+
+  ReplicatedMetrics out;
+  std::vector<double> delays, energies, fractions;
+  delays.reserve(replications);
+  energies.reserve(replications);
+  fractions.reserve(replications);
+  double missed = 0.0, broadcasts = 0.0;
+  for (const auto& m : runs) {
+    delays.push_back(m.avg_delay_s);
+    energies.push_back(m.avg_energy_j);
+    fractions.push_back(m.avg_active_fraction);
+    missed += static_cast<double>(m.missed);
+    broadcasts += static_cast<double>(m.network.broadcasts);
+  }
+  out.delay_s = metrics::Summary::of(delays);
+  out.energy_j = metrics::Summary::of(energies);
+  out.active_fraction = metrics::Summary::of(fractions);
+  out.mean_missed = missed / static_cast<double>(replications);
+  out.mean_broadcasts = broadcasts / static_cast<double>(replications);
+  out.runs = std::move(runs);
+  return out;
+}
+
+}  // namespace pas::world

@@ -1,0 +1,34 @@
+// Replicated scenario execution.
+//
+// One simulation run is single-threaded by construction; a sweep point is
+// averaged over R replications (same scenario, seeds base..base+R−1), and
+// replications run concurrently on a ThreadPool — the HPC shape of this
+// library: embarrassingly parallel replications around a serial kernel.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "metrics/stats.hpp"
+#include "runtime/thread_pool.hpp"
+#include "world/scenario.hpp"
+
+namespace pas::world {
+
+struct ReplicatedMetrics {
+  metrics::Summary delay_s;       // of per-run average detection delay
+  metrics::Summary energy_j;      // of per-run average per-node energy
+  metrics::Summary active_fraction;
+  double mean_missed = 0.0;       // reached-but-undetected nodes per run
+  double mean_broadcasts = 0.0;
+  std::vector<metrics::RunMetrics> runs;
+};
+
+/// Runs `replications` copies of `base` with seeds base.seed + r. When
+/// `pool` is non-null the replications execute in parallel (results are
+/// ordered by replication index either way, so output is deterministic).
+[[nodiscard]] ReplicatedMetrics run_replicated(
+    const ScenarioConfig& base, std::size_t replications,
+    runtime::ThreadPool* pool = nullptr);
+
+}  // namespace pas::world

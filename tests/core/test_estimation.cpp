@@ -1,0 +1,282 @@
+#include "core/estimation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace pas::core {
+namespace {
+
+PeerObservation covered_peer(std::uint32_t id, geom::Vec2 pos,
+                             sim::Time detected, geom::Vec2 vel = {},
+                             bool vel_valid = false) {
+  PeerObservation o;
+  o.id = id;
+  o.position = pos;
+  o.state = NodeState::kCovered;
+  o.detected_at = detected;
+  o.velocity = vel;
+  o.velocity_valid = vel_valid;
+  o.received_at = detected;
+  return o;
+}
+
+PeerObservation alert_peer(std::uint32_t id, geom::Vec2 pos, geom::Vec2 vel,
+                           sim::Time predicted, sim::Time received = 0.0) {
+  PeerObservation o;
+  o.id = id;
+  o.position = pos;
+  o.state = NodeState::kAlert;
+  o.velocity = vel;
+  o.velocity_valid = true;
+  o.predicted_arrival = predicted;
+  o.received_at = received;
+  return o;
+}
+
+// ---------------------------------------------------------------- formula 1
+
+TEST(ActualVelocity, SinglePeerGivesExactFormula) {
+  // Peer I at origin detected at t=0; X at (4,0) detected at t=8:
+  // v = IX/dt = (0.5, 0).
+  const std::vector<PeerObservation> peers{
+      covered_peer(1, {0.0, 0.0}, 0.0)};
+  const auto v = actual_velocity({4.0, 0.0}, 8.0, peers);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_NEAR(v->x, 0.5, 1e-12);
+  EXPECT_NEAR(v->y, 0.0, 1e-12);
+}
+
+TEST(ActualVelocity, AveragesOverPeers) {
+  // Two symmetric peers: transverse components cancel, radial ones average.
+  const std::vector<PeerObservation> peers{
+      covered_peer(1, {0.0, 1.0}, 0.0),
+      covered_peer(2, {0.0, -1.0}, 0.0)};
+  const auto v = actual_velocity({2.0, 0.0}, 4.0, peers);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_NEAR(v->x, 0.5, 1e-12);
+  EXPECT_NEAR(v->y, 0.0, 1e-12);
+}
+
+TEST(ActualVelocity, IgnoresNonCoveredAndLaterPeers) {
+  std::vector<PeerObservation> peers{
+      alert_peer(1, {0.0, 0.0}, {1.0, 0.0}, 5.0),   // alert: skip
+      covered_peer(2, {1.0, 0.0}, 9.0),             // detected after X: skip
+  };
+  EXPECT_FALSE(actual_velocity({4.0, 0.0}, 8.0, peers).has_value());
+}
+
+TEST(ActualVelocity, SkipsNearSimultaneousDetections) {
+  // A peer detected (almost) simultaneously sits on the same front line:
+  // the chord is tangential and carries no propagation signal, so it is
+  // skipped rather than producing a huge bogus velocity.
+  const std::vector<PeerObservation> peers{
+      covered_peer(1, {0.0, 0.0}, 8.0 - 1e-9),   // tangential: skipped
+      covered_peer(2, {0.0, -2.0}, 4.0)};        // genuine earlier crossing
+  const auto v = actual_velocity({4.0, 0.0}, 8.0, peers, 1.0);
+  ASSERT_TRUE(v.has_value());
+  // Only peer 2 contributes: IX = (4,2), dt = 4.
+  EXPECT_NEAR(v->x, 1.0, 1e-12);
+  EXPECT_NEAR(v->y, 0.5, 1e-12);
+}
+
+TEST(ActualVelocity, AllTangentialPeersGiveNothing) {
+  const std::vector<PeerObservation> peers{
+      covered_peer(1, {0.0, 0.0}, 7.9), covered_peer(2, {1.0, 1.0}, 7.5)};
+  EXPECT_FALSE(actual_velocity({4.0, 0.0}, 8.0, peers, 1.0).has_value());
+}
+
+TEST(ActualVelocity, SkipsColocatedPeer) {
+  const std::vector<PeerObservation> peers{
+      covered_peer(1, {4.0, 0.0}, 1.0)};
+  EXPECT_FALSE(actual_velocity({4.0, 0.0}, 8.0, peers).has_value());
+}
+
+TEST(ActualVelocity, EmptyPeersGiveNothing) {
+  EXPECT_FALSE(actual_velocity({0.0, 0.0}, 1.0, {}).has_value());
+}
+
+// ---------------------------------------------------------------- formula 2
+
+TEST(ExpectedVelocity, AveragesValidPeerVelocities) {
+  const std::vector<PeerObservation> peers{
+      covered_peer(1, {0.0, 0.0}, 0.0, {1.0, 0.0}, true),
+      alert_peer(2, {1.0, 1.0}, {0.0, 1.0}, 10.0)};
+  const auto v = expected_velocity(peers);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_NEAR(v->x, 0.5, 1e-12);
+  EXPECT_NEAR(v->y, 0.5, 1e-12);
+}
+
+TEST(ExpectedVelocity, SkipsInvalidAndSafePeers) {
+  PeerObservation safe;
+  safe.id = 3;
+  safe.state = NodeState::kSafe;
+  safe.velocity = {100.0, 0.0};
+  safe.velocity_valid = true;
+  const std::vector<PeerObservation> peers{
+      covered_peer(1, {0.0, 0.0}, 0.0),  // velocity invalid
+      safe,                              // safe peers excluded by formula 2
+  };
+  EXPECT_FALSE(expected_velocity(peers).has_value());
+}
+
+// ---------------------------------------------------------------- formula 3
+
+TEST(PredictArrival, CoveredPeerWithCosineProjection) {
+  // Peer at origin, front velocity (1,0), X at distance 5 at 37° above the
+  // axis: travel = |IX|·cosφ / v = 5·cos(0.6435) / 1 = 4.
+  const geom::Vec2 x{4.0, 3.0};
+  const std::vector<PeerObservation> peers{
+      covered_peer(1, {0.0, 0.0}, 10.0, {1.0, 0.0}, true)};
+  const PredictionPolicy pas{.use_alert_peers = true, .cosine_projection = true};
+  const sim::Time t = predict_arrival(x, 10.0, peers, pas);
+  EXPECT_NEAR(t, 10.0 + 4.0, 1e-9);
+}
+
+TEST(PredictArrival, ScalarPolicyOverestimatesObliqueTravel) {
+  const geom::Vec2 x{4.0, 3.0};
+  const std::vector<PeerObservation> peers{
+      covered_peer(1, {0.0, 0.0}, 10.0, {1.0, 0.0}, true)};
+  const PredictionPolicy sas{.use_alert_peers = false,
+                             .cosine_projection = false};
+  const sim::Time t = predict_arrival(x, 10.0, peers, sas);
+  EXPECT_NEAR(t, 10.0 + 5.0, 1e-9);  // |IX|/v, no cos
+}
+
+TEST(PredictArrival, FrontMovingAwayPredictsNever) {
+  // Velocity points away from X.
+  const std::vector<PeerObservation> peers{
+      covered_peer(1, {0.0, 0.0}, 0.0, {-1.0, 0.0}, true)};
+  const PredictionPolicy pas{.use_alert_peers = true, .cosine_projection = true};
+  EXPECT_EQ(predict_arrival({5.0, 0.0}, 0.0, peers, pas), sim::kNever);
+}
+
+TEST(PredictArrival, ScalarPolicyIgnoresDirection) {
+  // SAS's scalar estimate alerts even when the front moves away — one of
+  // the inaccuracies PAS fixes.
+  const std::vector<PeerObservation> peers{
+      covered_peer(1, {0.0, 0.0}, 0.0, {-1.0, 0.0}, true)};
+  const PredictionPolicy sas{.use_alert_peers = false,
+                             .cosine_projection = false};
+  EXPECT_NEAR(predict_arrival({5.0, 0.0}, 0.0, peers, sas), 5.0, 1e-9);
+}
+
+TEST(PredictArrival, TakesMinimumOverPeers) {
+  const std::vector<PeerObservation> peers{
+      covered_peer(1, {0.0, 0.0}, 0.0, {1.0, 0.0}, true),   // t = 10
+      covered_peer(2, {5.0, 0.0}, 2.0, {1.0, 0.0}, true)};  // t = 2 + 5 = 7
+  const PredictionPolicy pas{.use_alert_peers = true, .cosine_projection = true};
+  EXPECT_NEAR(predict_arrival({10.0, 0.0}, 2.0, peers, pas), 7.0, 1e-9);
+}
+
+TEST(PredictArrival, AlertPeerUsesItsOwnPrediction) {
+  const std::vector<PeerObservation> peers{
+      alert_peer(1, {0.0, 0.0}, {1.0, 0.0}, /*predicted=*/20.0)};
+  const PredictionPolicy pas{.use_alert_peers = true, .cosine_projection = true};
+  // Front passes the peer at t=20, then needs 5 s to X.
+  EXPECT_NEAR(predict_arrival({5.0, 0.0}, 0.0, peers, pas), 25.0, 1e-9);
+}
+
+TEST(PredictArrival, AlertPeersIgnoredUnderSasPolicy) {
+  const std::vector<PeerObservation> peers{
+      alert_peer(1, {0.0, 0.0}, {1.0, 0.0}, 20.0)};
+  const PredictionPolicy sas{.use_alert_peers = false,
+                             .cosine_projection = false};
+  EXPECT_EQ(predict_arrival({5.0, 0.0}, 0.0, peers, sas), sim::kNever);
+}
+
+TEST(PredictArrival, ImminentLateFrontKeepsRawEstimate) {
+  // Peer info says the front should have arrived moments ago (within the
+  // overdue tolerance): the raw past estimate is returned, not clamped —
+  // clamping would make re-broadcast predictions look perpetually fresh.
+  const std::vector<PeerObservation> peers{
+      covered_peer(1, {0.0, 0.0}, 0.0, {1.0, 0.0}, true)};
+  const PredictionPolicy pas{.use_alert_peers = true, .cosine_projection = true};
+  EXPECT_DOUBLE_EQ(predict_arrival({1.0, 0.0}, 3.0, peers, pas), 1.0);
+}
+
+TEST(PredictArrival, OverduePredictionsAreFalsified) {
+  // The front "should" have reached X at t = 1 but demonstrably did not
+  // (it is now t = 50 and X senses nothing): the stale contribution is
+  // discarded instead of keeping X alert forever.
+  const std::vector<PeerObservation> peers{
+      covered_peer(1, {0.0, 0.0}, 0.0, {1.0, 0.0}, true)};
+  const PredictionPolicy pas{.use_alert_peers = true, .cosine_projection = true};
+  EXPECT_EQ(predict_arrival({1.0, 0.0}, 50.0, peers, pas), sim::kNever);
+}
+
+TEST(PredictArrival, OverdueToleranceConfigurable) {
+  const std::vector<PeerObservation> peers{
+      covered_peer(1, {0.0, 0.0}, 0.0, {1.0, 0.0}, true)};
+  PredictionPolicy pas{.use_alert_peers = true, .cosine_projection = true};
+  pas.overdue_tolerance_s = 100.0;
+  EXPECT_DOUBLE_EQ(predict_arrival({1.0, 0.0}, 50.0, peers, pas), 1.0);
+}
+
+TEST(PredictArrival, ZeroSpeedPeerSkipped) {
+  const std::vector<PeerObservation> peers{
+      covered_peer(1, {0.0, 0.0}, 0.0, {0.0, 0.0}, true)};
+  const PredictionPolicy pas{.use_alert_peers = true, .cosine_projection = true};
+  EXPECT_EQ(predict_arrival({5.0, 0.0}, 0.0, peers, pas), sim::kNever);
+}
+
+TEST(PredictArrival, AtPeerPositionFrontIsHere) {
+  const std::vector<PeerObservation> peers{
+      covered_peer(1, {3.0, 3.0}, 1.0, {1.0, 0.0}, true)};
+  const PredictionPolicy pas{.use_alert_peers = true, .cosine_projection = true};
+  EXPECT_DOUBLE_EQ(predict_arrival({3.0, 3.0}, 5.0, peers, pas), 5.0);
+}
+
+// Property sweep over geometry: the PAS (cosine) travel time never exceeds
+// the SAS (scalar) travel time, for any peer bearing — the mechanism behind
+// the paper's "more accurate prediction" claim.
+class ProjectionProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(ProjectionProperty, CosineNeverExceedsScalarTravel) {
+  const double bearing = GetParam();
+  const geom::Vec2 x = geom::Vec2::from_polar(6.0, bearing);
+  const std::vector<PeerObservation> peers{
+      covered_peer(1, {0.0, 0.0}, 0.0, {0.8, 0.0}, true)};
+  const PredictionPolicy pas{.use_alert_peers = true, .cosine_projection = true};
+  const PredictionPolicy sas{.use_alert_peers = false,
+                             .cosine_projection = false};
+  const sim::Time t_pas = predict_arrival(x, 0.0, peers, pas);
+  const sim::Time t_sas = predict_arrival(x, 0.0, peers, sas);
+  ASSERT_LT(t_sas, sim::kNever);
+  if (t_pas < sim::kNever) {
+    EXPECT_LE(t_pas, t_sas + 1e-9);
+  } else {
+    // PAS predicts never only when the front moves away (cos φ <= 0).
+    EXPECT_GE(std::abs(bearing), std::numbers::pi / 2.0 - 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bearings, ProjectionProperty,
+                         ::testing::Values(0.0, 0.3, 0.7, 1.0, 1.4,
+                                           std::numbers::pi / 2.0, 2.0, 2.8,
+                                           -0.5, -1.2, -2.0, 3.1));
+
+// --------------------------------------------------------- significance
+
+TEST(SignificantChange, AppearanceAndDisappearance) {
+  EXPECT_TRUE(significant_change(sim::kNever, 10.0, 0.0));
+  EXPECT_TRUE(significant_change(10.0, sim::kNever, 0.0));
+  EXPECT_FALSE(significant_change(sim::kNever, sim::kNever, 0.0));
+}
+
+TEST(SignificantChange, RelativeThreshold) {
+  // Previous prediction 100 s out; 20% tolerance = 20 s.
+  EXPECT_FALSE(significant_change(100.0, 110.0, 0.0, 0.2, 0.5));
+  EXPECT_TRUE(significant_change(100.0, 130.0, 0.0, 0.2, 0.5));
+}
+
+TEST(SignificantChange, AbsoluteFloorNearNow) {
+  // Remaining time ~0 => tolerance = floor.
+  EXPECT_FALSE(significant_change(10.0, 10.3, 10.0, 0.2, 0.5));
+  EXPECT_TRUE(significant_change(10.0, 10.9, 10.0, 0.2, 0.5));
+}
+
+}  // namespace
+}  // namespace pas::core

@@ -1,0 +1,78 @@
+#include "core/observation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pas::core {
+namespace {
+
+PeerObservation obs(std::uint32_t id, sim::Time received) {
+  PeerObservation o;
+  o.id = id;
+  o.received_at = received;
+  return o;
+}
+
+TEST(PeerTable, UpdateInsertsAndReplaces) {
+  PeerTable t;
+  t.update(obs(1, 1.0));
+  EXPECT_EQ(t.size(), 1U);
+  t.update(obs(1, 2.0));
+  EXPECT_EQ(t.size(), 1U);
+  ASSERT_TRUE(t.find(1).has_value());
+  EXPECT_DOUBLE_EQ(t.find(1)->received_at, 2.0);
+}
+
+TEST(PeerTable, FindMissingReturnsNullopt) {
+  PeerTable t;
+  EXPECT_FALSE(t.find(7).has_value());
+}
+
+TEST(PeerTable, SnapshotOrderedById) {
+  PeerTable t;
+  t.update(obs(9, 1.0));
+  t.update(obs(2, 1.0));
+  t.update(obs(5, 1.0));
+  const auto snap = t.snapshot();
+  ASSERT_EQ(snap.size(), 3U);
+  EXPECT_EQ(snap[0].id, 2U);
+  EXPECT_EQ(snap[1].id, 5U);
+  EXPECT_EQ(snap[2].id, 9U);
+}
+
+TEST(PeerTable, ExpireDropsOldEntries) {
+  PeerTable t;
+  t.update(obs(1, 1.0));
+  t.update(obs(2, 5.0));
+  t.update(obs(3, 9.0));
+  t.expire_older_than(5.0);
+  EXPECT_EQ(t.size(), 2U);
+  EXPECT_FALSE(t.find(1).has_value());
+  EXPECT_TRUE(t.find(2).has_value());  // exactly-at-cutoff survives
+  EXPECT_TRUE(t.find(3).has_value());
+}
+
+TEST(PeerTable, ClearEmpties) {
+  PeerTable t;
+  t.update(obs(1, 1.0));
+  t.clear();
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(StateCodec, RoundTrips) {
+  EXPECT_EQ(decode_state(encode(NodeState::kSafe)), NodeState::kSafe);
+  EXPECT_EQ(decode_state(encode(NodeState::kAlert)), NodeState::kAlert);
+  EXPECT_EQ(decode_state(encode(NodeState::kCovered)), NodeState::kCovered);
+}
+
+TEST(StateCodec, GarbageDecodesToSafe) {
+  EXPECT_EQ(decode_state(200), NodeState::kSafe);
+}
+
+TEST(StateNames, Distinct) {
+  EXPECT_STREQ(to_string(NodeState::kSafe), "safe");
+  EXPECT_STREQ(to_string(NodeState::kAlert), "alert");
+  EXPECT_STREQ(to_string(NodeState::kCovered), "covered");
+}
+
+}  // namespace
+}  // namespace pas::core

@@ -1,0 +1,176 @@
+// Protocol edge cases beyond the happy paths of test_protocol.cpp:
+// message-handling rules per state, push rate limiting, covered-node
+// velocity recovery, and receding-stimulus behavior.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/config.hpp"
+#include "core/protocol.hpp"
+#include "stimulus/plume.hpp"
+#include "stimulus/radial_front.hpp"
+
+namespace pas::core {
+namespace {
+
+// Tight three-node cluster (all within range of each other) 12 m from the
+// source; isotropic front at 0.5 m/s released at t = 5.
+struct ClusterWorld {
+  explicit ClusterWorld(ProtocolConfig config) {
+    stimulus::RadialFrontConfig scfg;
+    scfg.source = {0.0, 0.0};
+    scfg.base_speed = 0.5;
+    scfg.start_time = 5.0;
+    model = std::make_unique<stimulus::RadialFrontModel>(scfg);
+    positions = {{12.0, 0.0}, {14.0, 1.5}, {15.5, -1.0}};
+    build(std::move(config));
+  }
+
+  void build(ProtocolConfig config) {
+    arrivals = stimulus::ArrivalMap(*model, positions, 200.0);
+    network = std::make_unique<net::Network>(
+        simulator, positions, net::RadioConfig{},
+        std::make_shared<net::PerfectChannel>(), seeds);
+    nodes.resize(positions.size());
+    for (std::uint32_t i = 0; i < nodes.size(); ++i) {
+      nodes[i].id = i;
+      nodes[i].position = positions[i];
+      nodes[i].meter = energy::EnergyMeter(energy::PowerProfile::telos(), 0.0,
+                                           energy::PowerMode::kActive);
+      nodes[i].arrival = arrivals.at(i);
+    }
+    protocol = std::make_unique<Protocol>(simulator, *network, nodes, *model,
+                                          arrivals, config, seeds, nullptr,
+                                          &trace);
+  }
+
+  sim::Simulator simulator;
+  sim::SeedSequence seeds{99};
+  std::unique_ptr<stimulus::StimulusModel> model;
+  std::vector<geom::Vec2> positions;
+  stimulus::ArrivalMap arrivals;
+  std::unique_ptr<net::Network> network;
+  std::vector<node::SensorNode> nodes;
+  sim::TraceLog trace;
+  std::unique_ptr<Protocol> protocol;
+};
+
+TEST(ProtocolEdge, NearSimultaneousDetectionsRecoverVelocity) {
+  // All three nodes are covered within ~4 s of each other; the later ones
+  // can use formula 1, and even the first (no earlier peer) must
+  // eventually carry a velocity via the recovery path so downstream
+  // prediction is not starved.
+  ClusterWorld w(ProtocolConfig::pas());
+  w.protocol->start();
+  w.simulator.run_until(120.0);
+  int with_velocity = 0;
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(w.protocol->state_of(i), NodeState::kCovered);
+    if (w.protocol->velocity_valid_of(i)) ++with_velocity;
+  }
+  EXPECT_GE(with_velocity, 2);
+}
+
+TEST(ProtocolEdge, PushRateLimited) {
+  ProtocolConfig cfg = ProtocolConfig::pas();
+  cfg.min_push_gap_s = 5.0;  // aggressive brake
+  ClusterWorld w(cfg);
+  w.protocol->start();
+  w.simulator.run_until(120.0);
+  // With a 5 s gap over a ~115 s run, each node can push at most ~23 times.
+  EXPECT_LE(w.protocol->stats().responses_pushed, 3U * 24U);
+}
+
+TEST(ProtocolEdge, SasNodesNeverUseAlertPeerInfo) {
+  ClusterWorld w(ProtocolConfig::sas());
+  w.protocol->start();
+  w.simulator.run_until(120.0);
+  // SAS alert nodes stay quiet: no pushes at all, and every response is a
+  // reply from a covered node (answers to wake-up REQUESTs) or a covered
+  // node's own estimate broadcast.
+  EXPECT_EQ(w.protocol->stats().responses_pushed, 0U);
+}
+
+TEST(ProtocolEdge, RecedingPlumeSendsNodesBackToSafe) {
+  // A small plume washes over the cluster and dissolves; nodes must return
+  // to safe via the detection timeout and resume sleeping.
+  ProtocolConfig cfg = ProtocolConfig::pas();
+  cfg.covered_timeout_s = 8.0;
+
+  stimulus::GaussianPlumeConfig pcfg;
+  pcfg.source = {10.0, 0.0};
+  pcfg.mass = 150.0;
+  pcfg.diffusivity = 1.5;
+  pcfg.threshold = 0.08;
+  pcfg.start_time = 5.0;
+
+  ClusterWorld w(cfg);
+  w.model = std::make_unique<stimulus::GaussianPlumeModel>(pcfg);
+  w.build(cfg);
+  w.protocol->start();
+  w.simulator.run_until(400.0);
+
+  EXPECT_GT(w.protocol->stats().covered_entries, 0U);
+  EXPECT_GT(w.protocol->stats().covered_timeouts, 0U);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(w.protocol->state_of(i), NodeState::kSafe) << "node " << i;
+  }
+}
+
+TEST(ProtocolEdge, ZeroAlertThresholdNeverAlerts) {
+  ProtocolConfig cfg = ProtocolConfig::pas();
+  cfg.alert_threshold_s = 0.0;
+  ClusterWorld w(cfg);
+  w.protocol->start();
+  w.simulator.run_until(120.0);
+  EXPECT_EQ(w.protocol->stats().alert_entries, 0U);
+  // Everyone still detects via duty-cycled sensing.
+  for (const auto& n : w.nodes) EXPECT_TRUE(n.has_detected());
+}
+
+TEST(ProtocolEdge, ObservationTtlExpiresStaleEntries) {
+  ProtocolConfig cfg = ProtocolConfig::pas();
+  cfg.observation_ttl_s = 1.0;  // near-immediate expiry
+  ClusterWorld w(cfg);
+  w.protocol->start();
+  // Even with instantly-stale tables the protocol must run to completion
+  // and detect everywhere (predictions just get thinner).
+  w.simulator.run_until(120.0);
+  for (const auto& n : w.nodes) EXPECT_TRUE(n.has_detected());
+}
+
+TEST(ProtocolEdge, NsIgnoresFailedNodesGracefully) {
+  node::FailureConfig kill;
+  kill.fraction = 1.0;  // everyone dies...
+  kill.window_start_s = 0.5;
+  kill.window_end_s = 1.0;  // ...before the stimulus is released (t = 5)
+  const node::FailurePlan plan(3, kill, sim::Pcg32(1, 2));
+
+  ClusterWorld w(ProtocolConfig::never_sleep());
+  Protocol protocol(w.simulator, *w.network, w.nodes, *w.model, w.arrivals,
+                    ProtocolConfig::never_sleep(), w.seeds, &plan);
+  protocol.start();
+  w.simulator.run_until(60.0);
+  for (const auto& n : w.nodes) {
+    EXPECT_TRUE(n.failed);
+    EXPECT_FALSE(n.has_detected());
+  }
+  EXPECT_EQ(protocol.stats().failures, 3U);
+}
+
+TEST(ProtocolEdge, MeterModesTrackSleepState) {
+  ClusterWorld w(ProtocolConfig::pas());
+  w.protocol->start();
+  w.simulator.run_until(2.0);  // before any arrival: nodes duty-cycling
+  for (const auto& n : w.nodes) {
+    const auto mode = n.meter.mode();
+    if (n.asleep) {
+      EXPECT_EQ(mode, energy::PowerMode::kSleep);
+    } else {
+      EXPECT_EQ(mode, energy::PowerMode::kActive);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pas::core

@@ -1,0 +1,42 @@
+#include "energy/power_profile.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pas::energy {
+namespace {
+
+TEST(PowerProfile, TelosMatchesPaperTable1) {
+  constexpr PowerProfile p = PowerProfile::telos();
+  EXPECT_DOUBLE_EQ(p.mcu_active_w, 3e-3);     // Active power 3 mW
+  EXPECT_DOUBLE_EQ(p.sleep_w, 15e-6);         // Sleep power 15 µW
+  EXPECT_DOUBLE_EQ(p.radio_rx_w, 38e-3);      // Receive power 38 mW
+  EXPECT_DOUBLE_EQ(p.radio_tx_w, 35e-3);      // Transition/transmit 35 mW
+  EXPECT_DOUBLE_EQ(p.data_rate_bps, 250e3);   // Data rate 250 kbps
+  EXPECT_DOUBLE_EQ(p.total_active_w(), 41e-3);  // Total active 41 mW
+}
+
+TEST(PowerProfile, TxDurationFromDataRate) {
+  constexpr PowerProfile p = PowerProfile::telos();
+  // 250 kbps => 1000 bits takes 4 ms.
+  EXPECT_DOUBLE_EQ(p.tx_duration(1000), 0.004);
+  EXPECT_DOUBLE_EQ(p.tx_duration(0), 0.0);
+}
+
+TEST(PowerProfile, TxAndRxEnergy) {
+  constexpr PowerProfile p = PowerProfile::telos();
+  EXPECT_DOUBLE_EQ(p.tx_energy(1000), 35e-3 * 0.004);
+  EXPECT_DOUBLE_EQ(p.rx_energy(1000), 38e-3 * 0.004);
+}
+
+TEST(PowerProfile, TransitionEnergy) {
+  constexpr PowerProfile p = PowerProfile::telos();
+  EXPECT_DOUBLE_EQ(p.transition_energy(), 35e-3 * 2.45e-3);
+}
+
+TEST(PowerProfile, SleepIsOrdersOfMagnitudeBelowActive) {
+  constexpr PowerProfile p = PowerProfile::telos();
+  EXPECT_LT(p.sleep_w * 1000.0, p.total_active_w());
+}
+
+}  // namespace
+}  // namespace pas::energy

@@ -1,0 +1,51 @@
+#include "geom/aabb.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pas::geom {
+namespace {
+
+TEST(Aabb, SquareFactory) {
+  const Aabb b = Aabb::square(40.0);
+  EXPECT_DOUBLE_EQ(b.width(), 40.0);
+  EXPECT_DOUBLE_EQ(b.height(), 40.0);
+  EXPECT_DOUBLE_EQ(b.area(), 1600.0);
+  EXPECT_EQ(b.center(), Vec2(20.0, 20.0));
+}
+
+TEST(Aabb, ContainsBoundaryInclusive) {
+  const Aabb b({0.0, 0.0}, {10.0, 5.0});
+  EXPECT_TRUE(b.contains({0.0, 0.0}));
+  EXPECT_TRUE(b.contains({10.0, 5.0}));
+  EXPECT_TRUE(b.contains({5.0, 2.5}));
+  EXPECT_FALSE(b.contains({10.1, 2.0}));
+  EXPECT_FALSE(b.contains({5.0, -0.1}));
+}
+
+TEST(Aabb, ClampProjectsOutsidePoints) {
+  const Aabb b({0.0, 0.0}, {10.0, 10.0});
+  EXPECT_EQ(b.clamp({-5.0, 5.0}), Vec2(0.0, 5.0));
+  EXPECT_EQ(b.clamp({15.0, 12.0}), Vec2(10.0, 10.0));
+  EXPECT_EQ(b.clamp({3.0, 4.0}), Vec2(3.0, 4.0));
+}
+
+TEST(Aabb, Distance2ZeroInside) {
+  const Aabb b({0.0, 0.0}, {10.0, 10.0});
+  EXPECT_DOUBLE_EQ(b.distance2({5.0, 5.0}), 0.0);
+  EXPECT_DOUBLE_EQ(b.distance2({13.0, 14.0}), 9.0 + 16.0);
+}
+
+TEST(Aabb, InflatedGrowsEverySide) {
+  const Aabb b({1.0, 1.0}, {2.0, 2.0});
+  const Aabb g = b.inflated(0.5);
+  EXPECT_EQ(g.lo, Vec2(0.5, 0.5));
+  EXPECT_EQ(g.hi, Vec2(2.5, 2.5));
+}
+
+TEST(Aabb, Diagonal) {
+  const Aabb b({0.0, 0.0}, {3.0, 4.0});
+  EXPECT_DOUBLE_EQ(b.diagonal(), 5.0);
+}
+
+}  // namespace
+}  // namespace pas::geom

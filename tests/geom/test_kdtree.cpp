@@ -1,0 +1,102 @@
+#include "geom/kdtree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "geom/aabb.hpp"
+#include "sim/rng.hpp"
+
+namespace pas::geom {
+namespace {
+
+std::vector<Vec2> random_points(std::size_t n, double extent,
+                                std::uint64_t seed) {
+  sim::Pcg32 rng(seed, 1);
+  std::vector<Vec2> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back({rng.uniform(0.0, extent), rng.uniform(0.0, extent)});
+  }
+  return pts;
+}
+
+TEST(KdTree, EmptyTree) {
+  const KdTree tree({});
+  EXPECT_EQ(tree.size(), 0U);
+  EXPECT_THROW((void)tree.nearest({0.0, 0.0}), std::logic_error);
+  EXPECT_TRUE(tree.knearest({0.0, 0.0}, 3).empty());
+  EXPECT_TRUE(tree.query_radius({0.0, 0.0}, 5.0).empty());
+}
+
+TEST(KdTree, SinglePoint) {
+  const KdTree tree({{2.0, 3.0}});
+  EXPECT_EQ(tree.nearest({0.0, 0.0}), 0U);
+  EXPECT_EQ(tree.knearest({0.0, 0.0}, 5), std::vector<std::uint32_t>{0});
+}
+
+TEST(KdTree, NearestMatchesBruteForce) {
+  const auto pts = random_points(500, 100.0, 11);
+  const KdTree tree(pts);
+  sim::Pcg32 rng(7, 7);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Vec2 q{rng.uniform(-10.0, 110.0), rng.uniform(-10.0, 110.0)};
+    double best = 1e300;
+    std::uint32_t want = 0;
+    for (std::uint32_t i = 0; i < pts.size(); ++i) {
+      if (distance2(pts[i], q) < best) {
+        best = distance2(pts[i], q);
+        want = i;
+      }
+    }
+    EXPECT_EQ(tree.nearest(q), want);
+  }
+}
+
+TEST(KdTree, KNearestSortedAndCorrectSize) {
+  const auto pts = random_points(200, 50.0, 13);
+  const KdTree tree(pts);
+  const Vec2 q{25.0, 25.0};
+  const auto got = tree.knearest(q, 10);
+  ASSERT_EQ(got.size(), 10U);
+  for (std::size_t i = 1; i < got.size(); ++i) {
+    EXPECT_LE(distance2(pts[got[i - 1]], q), distance2(pts[got[i]], q));
+  }
+  // The k-th neighbor distance bounds everything not selected.
+  const double kth = distance2(pts[got.back()], q);
+  for (std::uint32_t i = 0; i < pts.size(); ++i) {
+    if (std::find(got.begin(), got.end(), i) == got.end()) {
+      EXPECT_GE(distance2(pts[i], q), kth - 1e-12);
+    }
+  }
+}
+
+TEST(KdTree, KNearestWithKLargerThanSize) {
+  const auto pts = random_points(5, 10.0, 17);
+  const KdTree tree(pts);
+  EXPECT_EQ(tree.knearest({0.0, 0.0}, 50).size(), 5U);
+}
+
+TEST(KdTree, RadiusMatchesBruteForce) {
+  const auto pts = random_points(300, 60.0, 19);
+  const KdTree tree(pts);
+  sim::Pcg32 rng(3, 3);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Vec2 q{rng.uniform(0.0, 60.0), rng.uniform(0.0, 60.0)};
+    const double r = rng.uniform(1.0, 20.0);
+    std::vector<std::uint32_t> want;
+    for (std::uint32_t i = 0; i < pts.size(); ++i) {
+      if (distance(pts[i], q) <= r) want.push_back(i);
+    }
+    EXPECT_EQ(tree.query_radius(q, r), want);
+  }
+}
+
+TEST(KdTree, DuplicatePointsAllFound) {
+  const std::vector<Vec2> pts{{1.0, 1.0}, {1.0, 1.0}, {1.0, 1.0}};
+  const KdTree tree(pts);
+  EXPECT_EQ(tree.query_radius({1.0, 1.0}, 0.001).size(), 3U);
+}
+
+}  // namespace
+}  // namespace pas::geom

@@ -1,0 +1,92 @@
+#include "geom/polyline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pas::geom {
+namespace {
+
+Polyline unit_square() {
+  Polyline p;
+  p.points = {{0.0, 0.0}, {1.0, 0.0}, {1.0, 1.0}, {0.0, 1.0}};
+  p.closed = true;
+  return p;
+}
+
+TEST(PointSegmentDistance, ProjectionCases) {
+  // Foot of perpendicular inside the segment.
+  EXPECT_DOUBLE_EQ(point_segment_distance({0.5, 1.0}, {0.0, 0.0}, {1.0, 0.0}),
+                   1.0);
+  // Beyond endpoint a.
+  EXPECT_DOUBLE_EQ(point_segment_distance({-3.0, 4.0}, {0.0, 0.0}, {1.0, 0.0}),
+                   5.0);
+  // Beyond endpoint b.
+  EXPECT_DOUBLE_EQ(point_segment_distance({4.0, 4.0}, {0.0, 0.0}, {1.0, 0.0}),
+                   5.0);
+  // Degenerate zero-length segment.
+  EXPECT_DOUBLE_EQ(point_segment_distance({3.0, 4.0}, {0.0, 0.0}, {0.0, 0.0}),
+                   5.0);
+}
+
+TEST(Polyline, LengthOpenAndClosed) {
+  Polyline p;
+  p.points = {{0.0, 0.0}, {3.0, 0.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(p.length(), 7.0);
+  p.closed = true;
+  EXPECT_DOUBLE_EQ(p.length(), 12.0);
+}
+
+TEST(Polyline, LengthDegenerate) {
+  Polyline p;
+  EXPECT_DOUBLE_EQ(p.length(), 0.0);
+  p.points = {{1.0, 1.0}};
+  EXPECT_DOUBLE_EQ(p.length(), 0.0);
+}
+
+TEST(Polyline, SignedAreaCcwPositive) {
+  EXPECT_DOUBLE_EQ(unit_square().signed_area(), 1.0);
+  Polyline cw = unit_square();
+  std::reverse(cw.points.begin(), cw.points.end());
+  EXPECT_DOUBLE_EQ(cw.signed_area(), -1.0);
+}
+
+TEST(Polyline, ContainsInsideOutside) {
+  const Polyline sq = unit_square();
+  EXPECT_TRUE(sq.contains({0.5, 0.5}));
+  EXPECT_FALSE(sq.contains({1.5, 0.5}));
+  EXPECT_FALSE(sq.contains({-0.1, 0.5}));
+}
+
+TEST(Polyline, ContainsConcavePolygon) {
+  // An L-shape: the notch must be outside.
+  Polyline l;
+  l.closed = true;
+  l.points = {{0.0, 0.0}, {2.0, 0.0}, {2.0, 1.0},
+              {1.0, 1.0}, {1.0, 2.0}, {0.0, 2.0}};
+  EXPECT_TRUE(l.contains({0.5, 1.5}));
+  EXPECT_TRUE(l.contains({1.5, 0.5}));
+  EXPECT_FALSE(l.contains({1.5, 1.5}));  // the notch
+}
+
+TEST(Polyline, DistanceTo) {
+  const Polyline sq = unit_square();
+  EXPECT_DOUBLE_EQ(sq.distance_to({0.5, -1.0}), 1.0);
+  EXPECT_DOUBLE_EQ(sq.distance_to({2.0, 0.5}), 1.0);  // uses closing segment? no: right edge
+  EXPECT_NEAR(sq.distance_to({0.5, 0.5}), 0.5, 1e-12);
+}
+
+TEST(Polyline, DistanceToUsesClosingSegment) {
+  Polyline p;
+  p.points = {{0.0, 0.0}, {10.0, 0.0}, {10.0, 10.0}, {0.0, 10.0}};
+  // Query near the left edge, which only exists when closed.
+  p.closed = false;
+  const double open_dist = p.distance_to({-1.0, 5.0});
+  p.closed = true;
+  const double closed_dist = p.distance_to({-1.0, 5.0});
+  EXPECT_GT(open_dist, closed_dist);
+  EXPECT_DOUBLE_EQ(closed_dist, 1.0);
+}
+
+}  // namespace
+}  // namespace pas::geom

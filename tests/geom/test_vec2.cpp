@@ -1,0 +1,110 @@
+#include "geom/vec2.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace pas::geom {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+TEST(Vec2, ArithmeticOperators) {
+  const Vec2 a{1.0, 2.0}, b{3.0, -4.0};
+  EXPECT_EQ(a + b, Vec2(4.0, -2.0));
+  EXPECT_EQ(a - b, Vec2(-2.0, 6.0));
+  EXPECT_EQ(a * 2.0, Vec2(2.0, 4.0));
+  EXPECT_EQ(2.0 * a, Vec2(2.0, 4.0));
+  EXPECT_EQ(b / 2.0, Vec2(1.5, -2.0));
+  EXPECT_EQ(-a, Vec2(-1.0, -2.0));
+}
+
+TEST(Vec2, CompoundAssignment) {
+  Vec2 v{1.0, 1.0};
+  v += {2.0, 3.0};
+  EXPECT_EQ(v, Vec2(3.0, 4.0));
+  v -= {1.0, 1.0};
+  EXPECT_EQ(v, Vec2(2.0, 3.0));
+  v *= 2.0;
+  EXPECT_EQ(v, Vec2(4.0, 6.0));
+  v /= 4.0;
+  EXPECT_EQ(v, Vec2(1.0, 1.5));
+}
+
+TEST(Vec2, DotAndCross) {
+  const Vec2 a{1.0, 2.0}, b{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(a.dot(b), 11.0);
+  EXPECT_DOUBLE_EQ(a.cross(b), -2.0);
+  EXPECT_DOUBLE_EQ(b.cross(a), 2.0);
+}
+
+TEST(Vec2, NormAndDistance) {
+  const Vec2 v{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(v.norm2(), 25.0);
+  EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(distance({0.0, 0.0}, v), 5.0);
+  EXPECT_DOUBLE_EQ(distance2({1.0, 1.0}, {4.0, 5.0}), 25.0);
+}
+
+TEST(Vec2, NormalizedUnitLength) {
+  const Vec2 v{3.0, 4.0};
+  const Vec2 n = v.normalized();
+  EXPECT_NEAR(n.norm(), 1.0, 1e-12);
+  EXPECT_NEAR(n.x, 0.6, 1e-12);
+  EXPECT_NEAR(n.y, 0.8, 1e-12);
+}
+
+TEST(Vec2, NormalizedZeroVectorIsZero) {
+  EXPECT_EQ(Vec2{}.normalized(), Vec2{});
+}
+
+TEST(Vec2, AngleMatchesAtan2) {
+  EXPECT_NEAR(Vec2(1.0, 0.0).angle(), 0.0, 1e-12);
+  EXPECT_NEAR(Vec2(0.0, 1.0).angle(), kPi / 2.0, 1e-12);
+  EXPECT_NEAR(Vec2(-1.0, 0.0).angle(), kPi, 1e-12);
+}
+
+TEST(Vec2, RotatedQuarterTurn) {
+  const Vec2 r = Vec2(1.0, 0.0).rotated(kPi / 2.0);
+  EXPECT_NEAR(r.x, 0.0, 1e-12);
+  EXPECT_NEAR(r.y, 1.0, 1e-12);
+}
+
+TEST(Vec2, RotationPreservesNorm) {
+  const Vec2 v{2.0, -3.0};
+  for (double a = 0.0; a < 6.3; a += 0.7) {
+    EXPECT_NEAR(v.rotated(a).norm(), v.norm(), 1e-12);
+  }
+}
+
+TEST(Vec2, FromPolarRoundTrip) {
+  const Vec2 v = Vec2::from_polar(2.0, kPi / 6.0);
+  EXPECT_NEAR(v.norm(), 2.0, 1e-12);
+  EXPECT_NEAR(v.angle(), kPi / 6.0, 1e-12);
+}
+
+TEST(Vec2, IncludedAngle) {
+  EXPECT_NEAR(included_angle({1.0, 0.0}, {0.0, 1.0}), kPi / 2.0, 1e-12);
+  EXPECT_NEAR(included_angle({1.0, 0.0}, {1.0, 0.0}), 0.0, 1e-12);
+  EXPECT_NEAR(included_angle({1.0, 0.0}, {-1.0, 0.0}), kPi, 1e-12);
+  EXPECT_DOUBLE_EQ(included_angle({0.0, 0.0}, {1.0, 0.0}), 0.0);
+}
+
+TEST(Vec2, CosIncludedAngle) {
+  EXPECT_NEAR(cos_included_angle({1.0, 0.0}, {1.0, 1.0}),
+              std::cos(kPi / 4.0), 1e-12);
+  EXPECT_DOUBLE_EQ(cos_included_angle({0.0, 0.0}, {1.0, 0.0}), 0.0);
+  // Values clamp into [-1, 1] even with rounding.
+  EXPECT_LE(cos_included_angle({1e150, 1e150}, {1e150, 1e150}), 1.0);
+}
+
+TEST(Vec2, Lerp) {
+  const Vec2 a{0.0, 0.0}, b{10.0, 20.0};
+  EXPECT_EQ(lerp(a, b, 0.0), a);
+  EXPECT_EQ(lerp(a, b, 1.0), b);
+  EXPECT_EQ(lerp(a, b, 0.25), Vec2(2.5, 5.0));
+}
+
+}  // namespace
+}  // namespace pas::geom

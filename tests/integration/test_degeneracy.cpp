@@ -1,0 +1,48 @@
+// The paper's analytical claim (§3.4): "By greatly reducing the threshold
+// value of alert time, PAS can degenerate into SAS." With T_alert → 0 the
+// alert belt vanishes, so PAS's extra machinery (alert participation,
+// cosine projection) has nothing to act on and its delay/energy statistics
+// collapse toward SAS-without-alerting behaviour.
+#include <gtest/gtest.h>
+
+#include "world/paper_setup.hpp"
+#include "world/sweep.hpp"
+
+namespace pas::world {
+namespace {
+
+ReplicatedMetrics run_policy(core::Policy policy, double alert_threshold,
+                             std::size_t reps = 5) {
+  PaperSetupOverrides o;
+  o.policy = policy;
+  o.alert_threshold_s = alert_threshold;
+  return run_replicated(paper_scenario(o), reps);
+}
+
+TEST(Degeneracy, TinyAlertThresholdCollapsesPasTowardSas) {
+  const auto pas_tiny = run_policy(core::Policy::kPas, 0.5);
+  const auto sas_tiny = run_policy(core::Policy::kSas, 0.5);
+  // With no alert belt both policies reduce to pure duty-cycled sampling:
+  // delays agree to within replication noise (generous 35% band).
+  ASSERT_GT(pas_tiny.delay_s.mean, 0.0);
+  const double rel_gap =
+      std::abs(pas_tiny.delay_s.mean - sas_tiny.delay_s.mean) /
+      sas_tiny.delay_s.mean;
+  EXPECT_LT(rel_gap, 0.35);
+}
+
+TEST(Degeneracy, TinyThresholdPasLosesItsDelayAdvantage) {
+  const auto pas_full = run_policy(core::Policy::kPas, 20.0);
+  const auto pas_tiny = run_policy(core::Policy::kPas, 0.5);
+  // The alert mechanism is what buys delay; removing it must cost delay.
+  EXPECT_GT(pas_tiny.delay_s.mean, pas_full.delay_s.mean);
+}
+
+TEST(Degeneracy, TinyThresholdAlsoCutsEnergyTowardSleeperFloor) {
+  const auto pas_full = run_policy(core::Policy::kPas, 25.0);
+  const auto pas_tiny = run_policy(core::Policy::kPas, 0.5);
+  EXPECT_LT(pas_tiny.energy_j.mean, pas_full.energy_j.mean);
+}
+
+}  // namespace
+}  // namespace pas::world

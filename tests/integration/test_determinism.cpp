@@ -1,0 +1,66 @@
+// Whole-stack determinism: identical seeds must reproduce identical runs
+// bit-for-bit. This is what makes the parallel sweep sound.
+#include <gtest/gtest.h>
+
+#include "world/paper_setup.hpp"
+#include "world/scenario.hpp"
+
+namespace pas::world {
+namespace {
+
+void expect_identical(const RunResult& a, const RunResult& b) {
+  ASSERT_EQ(a.positions.size(), b.positions.size());
+  for (std::size_t i = 0; i < a.positions.size(); ++i) {
+    EXPECT_EQ(a.positions[i], b.positions[i]);
+  }
+  EXPECT_DOUBLE_EQ(a.metrics.avg_delay_s, b.metrics.avg_delay_s);
+  EXPECT_DOUBLE_EQ(a.metrics.avg_energy_j, b.metrics.avg_energy_j);
+  EXPECT_EQ(a.metrics.detected, b.metrics.detected);
+  EXPECT_EQ(a.metrics.network.broadcasts, b.metrics.network.broadcasts);
+  EXPECT_EQ(a.metrics.network.deliveries, b.metrics.network.deliveries);
+  EXPECT_EQ(a.metrics.protocol.wakeups, b.metrics.protocol.wakeups);
+  EXPECT_EQ(a.metrics.protocol.responses_sent, b.metrics.protocol.responses_sent);
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.outcomes[i].detected, b.outcomes[i].detected);
+    EXPECT_DOUBLE_EQ(a.outcomes[i].energy_j, b.outcomes[i].energy_j);
+  }
+}
+
+TEST(Determinism, SameSeedSameRunPas) {
+  PaperSetupOverrides o;
+  o.seed = 11;
+  expect_identical(run_scenario(paper_scenario(o)),
+                   run_scenario(paper_scenario(o)));
+}
+
+TEST(Determinism, SameSeedSameRunSas) {
+  PaperSetupOverrides o;
+  o.policy = core::Policy::kSas;
+  o.seed = 13;
+  expect_identical(run_scenario(paper_scenario(o)),
+                   run_scenario(paper_scenario(o)));
+}
+
+TEST(Determinism, SameSeedSameRunWithLossAndFailures) {
+  PaperSetupOverrides o;
+  o.seed = 17;
+  ScenarioConfig cfg = paper_scenario(o);
+  cfg.channel = ChannelKind::kBernoulli;
+  cfg.channel_loss = 0.2;
+  cfg.failures.fraction = 0.2;
+  cfg.failures.window_end_s = 60.0;
+  expect_identical(run_scenario(cfg), run_scenario(cfg));
+}
+
+TEST(Determinism, DifferentSeedsDiffer) {
+  PaperSetupOverrides a, b;
+  a.seed = 1;
+  b.seed = 2;
+  const RunResult ra = run_scenario(paper_scenario(a));
+  const RunResult rb = run_scenario(paper_scenario(b));
+  EXPECT_NE(ra.positions[0], rb.positions[0]);
+}
+
+}  // namespace
+}  // namespace pas::world

@@ -1,0 +1,94 @@
+// Whole-stack invariants swept across every (policy × stimulus) pair.
+// These must hold regardless of tuning:
+//   * causality — no node detects before the stimulus reaches it;
+//   * sensing soundness — at detection time the model reports coverage;
+//   * delay bound — detection lags arrival by at most max-sleep (+ numeric
+//     slack) for monotone (non-receding) stimuli;
+//   * accounting — per-node energy components are non-negative and total
+//     run time splits exactly into active + sleep time;
+//   * conservation — detected + missed + censored = reached.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "world/paper_setup.hpp"
+#include "world/scenario.hpp"
+
+namespace pas::world {
+namespace {
+
+using Case = std::tuple<core::Policy, StimulusKind, std::uint64_t>;
+
+class InvariantSweep : public ::testing::TestWithParam<Case> {};
+
+TEST_P(InvariantSweep, HoldsEndToEnd) {
+  const auto [policy, stimulus, seed] = GetParam();
+  PaperSetupOverrides o;
+  o.policy = policy;
+  o.stimulus = stimulus;
+  o.seed = seed;
+  ScenarioConfig cfg = paper_scenario(o);
+  if (stimulus == StimulusKind::kPde) {
+    cfg.pde.nx = 48;  // keep the sweep fast
+    cfg.pde.ny = 48;
+  }
+
+  const auto model = make_stimulus(cfg);
+  const RunResult r = run_scenario(cfg);
+
+  const bool monotone = stimulus != StimulusKind::kPlume;
+  for (const auto& oc : r.outcomes) {
+    if (oc.was_detected) {
+      // Causality and sensing soundness (+1 µs: detections scheduled at the
+      // exact arrival instant sit on the coverage boundary, where the
+      // closed-form inversion is one ulp away from covered()).
+      EXPECT_GE(oc.detected, oc.arrival - 1e-9) << "node " << oc.id;
+      EXPECT_TRUE(model->covered(oc.position, oc.detected + 1e-6))
+          << "node " << oc.id << " detected at " << oc.detected;
+      if (monotone) {
+        EXPECT_LE(oc.delay_s, cfg.protocol.sleep.max_s + 1e-6)
+            << "node " << oc.id;
+      }
+    }
+    // Energy accounting.
+    EXPECT_GE(oc.energy_sleep_j, 0.0);
+    EXPECT_GE(oc.energy_active_j, 0.0);
+    EXPECT_GE(oc.energy_tx_j, 0.0);
+    EXPECT_GE(oc.energy_transition_j, 0.0);
+    EXPECT_NEAR(oc.active_s + oc.sleep_s, cfg.duration_s, 1e-6)
+        << "node " << oc.id;
+  }
+
+  EXPECT_EQ(r.metrics.detected + r.metrics.missed + r.metrics.censored,
+            r.metrics.reached);
+  EXPECT_EQ(r.metrics.node_count, cfg.deployment.count);
+
+  // NS never misses anything it was reached by.
+  if (policy == core::Policy::kNeverSleep) {
+    EXPECT_EQ(r.metrics.missed, 0U);
+    EXPECT_EQ(r.metrics.censored, 0U);
+  }
+}
+
+std::string case_name(const ::testing::TestParamInfo<Case>& info) {
+  const core::Policy policy = std::get<0>(info.param);
+  const StimulusKind stimulus = std::get<1>(info.param);
+  const std::uint64_t seed = std::get<2>(info.param);
+  std::string stim = to_string(stimulus);
+  if (stim == "two-sources") stim = "twosources";
+  return std::string(core::to_string(policy)) + "_" + stim + "_seed" +
+         std::to_string(seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PolicyByStimulus, InvariantSweep,
+    ::testing::Combine(
+        ::testing::Values(core::Policy::kNeverSleep, core::Policy::kSas,
+                          core::Policy::kPas),
+        ::testing::Values(StimulusKind::kRadial, StimulusKind::kPde,
+                          StimulusKind::kPlume, StimulusKind::kTwoSources),
+        ::testing::Values(1ULL, 17ULL)),
+    case_name);
+
+}  // namespace
+}  // namespace pas::world

@@ -1,0 +1,85 @@
+// Robustness under the paper's §5 future-work conditions: lossy channels
+// and node failures. The protocol must degrade gracefully — detection still
+// happens (duty-cycled sensing is loss-independent), only the alerting gets
+// weaker.
+#include <gtest/gtest.h>
+
+#include "world/paper_setup.hpp"
+#include "world/sweep.hpp"
+
+namespace pas::world {
+namespace {
+
+ScenarioConfig lossy(double loss, std::uint64_t seed = 1) {
+  PaperSetupOverrides o;
+  o.seed = seed;
+  ScenarioConfig cfg = paper_scenario(o);
+  if (loss > 0.0) {
+    cfg.channel = ChannelKind::kBernoulli;
+    cfg.channel_loss = loss;
+  }
+  return cfg;
+}
+
+TEST(Robustness, DetectionSurvivesHeavyLoss) {
+  // Duty-cycled sensing does not depend on the radio: every non-censored
+  // reached node detects even when half of all packets are lost.
+  const auto agg = run_replicated(lossy(0.5), 4);
+  for (const auto& run : agg.runs) {
+    EXPECT_EQ(run.missed, 0U);
+    EXPECT_EQ(run.detected + run.censored, run.reached);
+  }
+}
+
+TEST(Robustness, LossIncreasesDelay) {
+  const auto clean = run_replicated(lossy(0.0), 6);
+  const auto noisy = run_replicated(lossy(0.6), 6);
+  // Fewer RESPONSEs get through => alert belt forms later/thinner => the
+  // average delay cannot improve.
+  EXPECT_GE(noisy.delay_s.mean, clean.delay_s.mean * 0.9);
+}
+
+TEST(Robustness, GilbertElliottChannelRuns) {
+  ScenarioConfig cfg = paper_scenario();
+  cfg.channel = ChannelKind::kGilbertElliott;
+  cfg.gilbert = {.p_good_to_bad = 0.1,
+                 .p_bad_to_good = 0.3,
+                 .loss_good = 0.02,
+                 .loss_bad = 0.7};
+  const auto r = run_scenario(cfg);
+  EXPECT_GT(r.metrics.detected, 0U);
+  EXPECT_GT(r.metrics.network.dropped_channel, 0U);
+}
+
+TEST(Robustness, SurvivorsStillDetectUnderFailures) {
+  ScenarioConfig cfg = paper_scenario();
+  cfg.failures.fraction = 0.25;
+  cfg.failures.window_start_s = 0.0;
+  cfg.failures.window_end_s = 30.0;
+  const auto r = run_scenario(cfg);
+  // Ignore right-censored arrivals (the node's last sleep interval may
+  // straddle the end of the run) — same cutoff run_scenario uses.
+  const double cutoff = cfg.duration_s - cfg.protocol.sleep.max_s - 1.0;
+  std::size_t surviving_reached = 0, surviving_detected = 0;
+  for (const auto& o : r.outcomes) {
+    if (!o.failed && o.was_reached && o.arrival <= cutoff) {
+      ++surviving_reached;
+      if (o.was_detected) ++surviving_detected;
+    }
+  }
+  EXPECT_EQ(surviving_detected, surviving_reached);
+  EXPECT_EQ(r.metrics.protocol.failures, 8U);  // round(0.25 * 30)
+}
+
+TEST(Robustness, FailuresReduceTrafficNotCorrectness) {
+  ScenarioConfig healthy = paper_scenario();
+  ScenarioConfig faulty = healthy;
+  faulty.failures.fraction = 0.4;
+  faulty.failures.window_end_s = 1.0;  // die before doing much
+  const auto h = run_scenario(healthy);
+  const auto f = run_scenario(faulty);
+  EXPECT_LT(f.metrics.network.broadcasts, h.metrics.network.broadcasts);
+}
+
+}  // namespace
+}  // namespace pas::world

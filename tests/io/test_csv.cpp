@@ -1,0 +1,69 @@
+#include "io/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace pas::io {
+namespace {
+
+TEST(CsvEscape, PlainFieldsUntouched) {
+  EXPECT_EQ(CsvWriter::escape("hello"), "hello");
+  EXPECT_EQ(CsvWriter::escape("1.5"), "1.5");
+}
+
+TEST(CsvEscape, QuotesFieldsWithSpecials) {
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvWriter, HeaderAndRows) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.header({"a", "b"});
+  w.row({"1", "2"});
+  w.row({"x,y", "3"});
+  EXPECT_EQ(os.str(), "a,b\n1,2\n\"x,y\",3\n");
+  EXPECT_EQ(w.rows_written(), 2U);
+}
+
+TEST(CsvWriter, RowWidthMismatchThrows) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.header({"a", "b"});
+  EXPECT_THROW(w.row({"only-one"}), std::logic_error);
+}
+
+TEST(CsvWriter, DoubleHeaderThrows) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.header({"a"});
+  EXPECT_THROW(w.header({"b"}), std::logic_error);
+}
+
+TEST(CsvWriter, RowsWithoutHeaderAllowed) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.row({"1", "2", "3"});
+  w.row({"4"});  // no header => no width check
+  EXPECT_EQ(os.str(), "1,2,3\n4\n");
+}
+
+TEST(CsvWriter, RowValuesFormatsDoubles) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.row_values({1.5, 2.0, 0.25});
+  EXPECT_EQ(os.str(), "1.5,2,0.25\n");
+}
+
+TEST(FormatDouble, RoundTripAndSpecials) {
+  EXPECT_EQ(format_double(0.1), "0.1");
+  EXPECT_EQ(format_double(-3.0), "-3");
+  EXPECT_EQ(format_double(std::numeric_limits<double>::quiet_NaN()), "nan");
+  EXPECT_EQ(format_double(std::numeric_limits<double>::infinity()), "inf");
+  EXPECT_EQ(format_double(-std::numeric_limits<double>::infinity()), "-inf");
+}
+
+}  // namespace
+}  // namespace pas::io

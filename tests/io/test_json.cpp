@@ -1,0 +1,73 @@
+#include "io/json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pas::io {
+namespace {
+
+TEST(Json, Scalars) {
+  EXPECT_EQ(Json(nullptr).dump(), "null");
+  EXPECT_EQ(Json(true).dump(), "true");
+  EXPECT_EQ(Json(false).dump(), "false");
+  EXPECT_EQ(Json(3.5).dump(), "3.5");
+  EXPECT_EQ(Json(42).dump(), "42");
+  EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, StringEscaping) {
+  EXPECT_EQ(Json("a\"b").dump(), "\"a\\\"b\"");
+  EXPECT_EQ(Json("a\\b").dump(), "\"a\\\\b\"");
+  EXPECT_EQ(Json("a\nb").dump(), "\"a\\nb\"");
+  EXPECT_EQ(Json(std::string("a\tb")).dump(), "\"a\\tb\"");
+}
+
+TEST(Json, NanBecomesNull) {
+  EXPECT_EQ(Json(std::numeric_limits<double>::quiet_NaN()).dump(), "null");
+  EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(), "null");
+}
+
+TEST(Json, ObjectBuildsViaIndex) {
+  Json j;
+  j["b"] = 2;
+  j["a"] = 1;
+  // std::map ordering => keys sorted => stable output.
+  EXPECT_EQ(j.dump(), "{\"a\":1,\"b\":2}");
+}
+
+TEST(Json, ArrayPushBack) {
+  Json j;
+  j.push_back(1);
+  j.push_back("two");
+  j.push_back(Json(nullptr));
+  EXPECT_EQ(j.dump(), "[1,\"two\",null]");
+}
+
+TEST(Json, NestedStructures) {
+  Json j;
+  j["list"].push_back(1);
+  j["list"].push_back(2);
+  j["meta"]["name"] = "pas";
+  EXPECT_EQ(j.dump(), "{\"list\":[1,2],\"meta\":{\"name\":\"pas\"}}");
+}
+
+TEST(Json, EmptyContainers) {
+  Json arr{JsonArray{}};
+  Json obj{JsonObject{}};
+  EXPECT_EQ(arr.dump(), "[]");
+  EXPECT_EQ(obj.dump(), "{}");
+}
+
+TEST(Json, PrettyPrinting) {
+  Json j;
+  j["a"] = 1;
+  EXPECT_EQ(j.dump(2), "{\n  \"a\": 1\n}");
+}
+
+TEST(Json, TypeErrorsThrow) {
+  Json j(3.0);
+  EXPECT_THROW(j["k"] = 1, std::logic_error);
+  EXPECT_THROW(j.push_back(1), std::logic_error);
+}
+
+}  // namespace
+}  // namespace pas::io

@@ -1,0 +1,43 @@
+#include "io/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pas::io {
+namespace {
+
+TEST(Fixed, FormatsPrecision) {
+  EXPECT_EQ(fixed(1.23456, 2), "1.23");
+  EXPECT_EQ(fixed(1.0, 3), "1.000");
+  EXPECT_EQ(fixed(-0.5, 1), "-0.5");
+}
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), std::invalid_argument);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  const std::string s = t.to_string();
+  // Header, rule, two rows.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("------"), std::string::npos);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+}
+
+TEST(Table, AddRowValuesUsesPrecision) {
+  Table t({"v"});
+  t.add_row_values({1.23456}, 2);
+  EXPECT_NE(t.to_string().find("1.23"), std::string::npos);
+  EXPECT_EQ(t.rows(), 1U);
+}
+
+}  // namespace
+}  // namespace pas::io

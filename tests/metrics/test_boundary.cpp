@@ -1,0 +1,88 @@
+#include "metrics/boundary.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stimulus/radial_front.hpp"
+#include "world/paper_setup.hpp"
+#include "world/scenario.hpp"
+
+namespace pas::metrics {
+namespace {
+
+TEST(EstimateBoundary, MidpointsBetweenCoveredAndUncovered) {
+  const std::vector<geom::Vec2> pos{{0.0, 0.0}, {4.0, 0.0}, {20.0, 0.0}};
+  const std::vector<bool> covered{true, false, false};
+  const auto pts = estimate_boundary_points(pos, covered, 10.0);
+  // Only the (0,1) pair is in range; midpoint (2,0).
+  ASSERT_EQ(pts.size(), 1U);
+  EXPECT_EQ(pts[0], geom::Vec2(2.0, 0.0));
+}
+
+TEST(EstimateBoundary, UniformCoverageGivesNothing) {
+  const std::vector<geom::Vec2> pos{{0.0, 0.0}, {4.0, 0.0}};
+  EXPECT_TRUE(estimate_boundary_points(pos, {true, true}, 10.0).empty());
+  EXPECT_TRUE(estimate_boundary_points(pos, {false, false}, 10.0).empty());
+}
+
+TEST(EstimateBoundary, SizeMismatchThrows) {
+  EXPECT_THROW(estimate_boundary_points({{0.0, 0.0}}, {true, false}, 5.0),
+               std::invalid_argument);
+}
+
+TEST(BoundaryAccuracy, ExactPointsHaveZeroError) {
+  geom::Polyline truth;
+  truth.closed = true;
+  truth.points = {{0.0, 0.0}, {10.0, 0.0}, {10.0, 10.0}, {0.0, 10.0}};
+  const auto acc = boundary_accuracy({{5.0, 0.0}, {10.0, 5.0}}, truth);
+  EXPECT_EQ(acc.samples, 2U);
+  EXPECT_NEAR(acc.mean_error_m, 0.0, 1e-12);
+  EXPECT_NEAR(acc.max_error_m, 0.0, 1e-12);
+}
+
+TEST(BoundaryAccuracy, MeanAndMax) {
+  geom::Polyline truth;
+  truth.points = {{0.0, 0.0}, {10.0, 0.0}};
+  const auto acc = boundary_accuracy({{5.0, 1.0}, {5.0, 3.0}}, truth);
+  EXPECT_EQ(acc.samples, 2U);
+  EXPECT_DOUBLE_EQ(acc.mean_error_m, 2.0);
+  EXPECT_DOUBLE_EQ(acc.max_error_m, 3.0);
+}
+
+TEST(BoundaryAccuracy, EmptyInputsZeroed) {
+  geom::Polyline truth;
+  truth.points = {{0.0, 0.0}, {1.0, 0.0}};
+  EXPECT_EQ(boundary_accuracy({}, truth).samples, 0U);
+  EXPECT_EQ(boundary_accuracy({{0.0, 0.0}}, geom::Polyline{}).samples, 0U);
+}
+
+// End-to-end: the boundary a PAS network reports tracks the true front to
+// within about a node spacing.
+TEST(BoundaryAccuracy, NetworkEstimateTracksTrueFront) {
+  world::PaperSetupOverrides o;
+  o.policy = core::Policy::kNeverSleep;  // zero-delay coverage knowledge
+  const world::ScenarioConfig cfg = world::paper_scenario(o);
+  const auto model = world::make_stimulus(cfg);
+  const auto result = world::run_scenario(cfg);
+
+  const double t = 40.0;  // mid-spread
+  std::vector<bool> covered(result.positions.size());
+  for (std::size_t i = 0; i < covered.size(); ++i) {
+    covered[i] = result.outcomes[i].was_detected &&
+                 result.outcomes[i].detected <= t;
+  }
+  const auto pts =
+      estimate_boundary_points(result.positions, covered, cfg.radio.range_m);
+  ASSERT_FALSE(pts.empty());
+
+  const auto* radial =
+      dynamic_cast<const stimulus::RadialFrontModel*>(model.get());
+  ASSERT_NE(radial, nullptr);
+  const auto acc = boundary_accuracy(pts, radial->boundary(t, 256));
+  // Node spacing is ~7 m; the midpoint estimate should do better than that
+  // on average.
+  EXPECT_LT(acc.mean_error_m, 5.0);
+  EXPECT_GT(acc.samples, 3U);
+}
+
+}  // namespace
+}  // namespace pas::metrics

@@ -1,0 +1,116 @@
+#include "metrics/report.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pas::metrics {
+namespace {
+
+node::SensorNode make_node(std::uint32_t id, sim::Time arrival,
+                           sim::Time detected) {
+  node::SensorNode n;
+  n.id = id;
+  n.meter = energy::EnergyMeter(energy::PowerProfile::telos(), 0.0,
+                                energy::PowerMode::kActive);
+  n.arrival = arrival;
+  n.detected = detected;
+  return n;
+}
+
+TEST(CollectOutcomes, MapsNodeFields) {
+  std::vector<node::SensorNode> nodes;
+  nodes.push_back(make_node(0, 10.0, 12.5));
+  nodes[0].meter.add_tx(1000);
+  nodes[0].meter.finalize(100.0);
+  const auto outcomes = collect_outcomes(nodes);
+  ASSERT_EQ(outcomes.size(), 1U);
+  EXPECT_TRUE(outcomes[0].was_reached);
+  EXPECT_TRUE(outcomes[0].was_detected);
+  EXPECT_DOUBLE_EQ(outcomes[0].delay_s, 2.5);
+  EXPECT_GT(outcomes[0].energy_j, 0.0);
+  EXPECT_EQ(outcomes[0].tx_count, 1U);
+  EXPECT_DOUBLE_EQ(outcomes[0].energy_tx_j,
+                   energy::PowerProfile::telos().tx_energy(1000));
+}
+
+TEST(CollectOutcomes, UnreachedAndUndetected) {
+  std::vector<node::SensorNode> nodes;
+  nodes.push_back(make_node(0, sim::kNever, sim::kNever));
+  nodes.push_back(make_node(1, 50.0, sim::kNever));
+  const auto outcomes = collect_outcomes(nodes);
+  EXPECT_FALSE(outcomes[0].was_reached);
+  EXPECT_TRUE(outcomes[1].was_reached);
+  EXPECT_FALSE(outcomes[1].was_detected);
+}
+
+TEST(Summarize, DelayOverDetectedOnly) {
+  std::vector<node::SensorNode> nodes;
+  nodes.push_back(make_node(0, 10.0, 11.0));  // delay 1
+  nodes.push_back(make_node(1, 10.0, 13.0));  // delay 3
+  nodes.push_back(make_node(2, 10.0, sim::kNever));  // missed
+  nodes.push_back(make_node(3, sim::kNever, sim::kNever));  // unreached
+  for (auto& n : nodes) n.meter.finalize(100.0);
+  const auto m = summarize(collect_outcomes(nodes), 100.0, 100.0, {}, {});
+  EXPECT_EQ(m.node_count, 4U);
+  EXPECT_EQ(m.reached, 3U);
+  EXPECT_EQ(m.detected, 2U);
+  EXPECT_EQ(m.missed, 1U);
+  EXPECT_DOUBLE_EQ(m.avg_delay_s, 2.0);
+  EXPECT_DOUBLE_EQ(m.max_delay_s, 3.0);
+}
+
+TEST(Summarize, FailedNodesExcludedFromDelay) {
+  std::vector<node::SensorNode> nodes;
+  nodes.push_back(make_node(0, 10.0, 11.0));
+  nodes.push_back(make_node(1, 10.0, sim::kNever));
+  nodes[1].failed = true;
+  for (auto& n : nodes) n.meter.finalize(100.0);
+  const auto m = summarize(collect_outcomes(nodes), 100.0, 100.0, {}, {});
+  EXPECT_EQ(m.reached, 1U);  // failed node not counted
+  EXPECT_EQ(m.missed, 0U);
+}
+
+TEST(Summarize, EnergyAveragesAllNodes) {
+  std::vector<node::SensorNode> nodes;
+  nodes.push_back(make_node(0, sim::kNever, sim::kNever));  // active 100 s
+  nodes.push_back(make_node(1, sim::kNever, sim::kNever));
+  nodes[1].meter.set_mode(energy::PowerMode::kSleep, 0.0);
+  for (auto& n : nodes) n.meter.finalize(100.0);
+  const auto m = summarize(collect_outcomes(nodes), 100.0, 100.0, {}, {});
+  const double active_j = 41e-3 * 100.0;
+  EXPECT_GT(m.avg_energy_j, active_j / 2.0 * 0.9);
+  EXPECT_LT(m.avg_energy_j, active_j);
+  EXPECT_NEAR(m.total_energy_j, m.avg_energy_j * 2.0, 1e-9);
+  EXPECT_NEAR(m.avg_active_fraction, 0.5, 0.01);
+}
+
+TEST(Summarize, LateArrivalsAreCensoredNotMissed) {
+  std::vector<node::SensorNode> nodes;
+  nodes.push_back(make_node(0, 95.0, sim::kNever));  // after cutoff: censored
+  nodes.push_back(make_node(1, 50.0, sim::kNever));  // before cutoff: missed
+  for (auto& n : nodes) n.meter.finalize(100.0);
+  const auto m = summarize(collect_outcomes(nodes), 100.0, 80.0, {}, {});
+  EXPECT_EQ(m.censored, 1U);
+  EXPECT_EQ(m.missed, 1U);
+  EXPECT_EQ(m.reached, 2U);
+}
+
+TEST(Summarize, EmptyOutcomes) {
+  const auto m = summarize({}, 100.0, 100.0, {}, {});
+  EXPECT_EQ(m.node_count, 0U);
+  EXPECT_DOUBLE_EQ(m.avg_delay_s, 0.0);
+  EXPECT_DOUBLE_EQ(m.avg_energy_j, 0.0);
+}
+
+TEST(Summarize, P95DelayTracksTail) {
+  std::vector<node::SensorNode> nodes;
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    nodes.push_back(make_node(i, 10.0, 10.0 + (i == 19 ? 10.0 : 1.0)));
+  }
+  for (auto& n : nodes) n.meter.finalize(100.0);
+  const auto m = summarize(collect_outcomes(nodes), 100.0, 100.0, {}, {});
+  EXPECT_GT(m.p95_delay_s, 1.0);
+  EXPECT_LE(m.p95_delay_s, 10.0);
+}
+
+}  // namespace
+}  // namespace pas::metrics

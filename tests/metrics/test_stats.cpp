@@ -1,0 +1,98 @@
+#include "metrics/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pas::metrics {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0U);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(3.0);
+  EXPECT_EQ(s.count(), 1U);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(RunningStats, KnownSample) {
+  RunningStats s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1: Σ(x−5)² = 32, /7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats all, a, b;
+  const std::vector<double> xs{1.0, 2.5, -3.0, 7.0, 0.0, 4.4, 9.1};
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    all.add(xs[i]);
+    (i < 3 ? a : b).add(xs[i]);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1U);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1U);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+TEST(Summary, OfSample) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  const Summary s = Summary::of(xs);
+  EXPECT_EQ(s.n, 4U);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_GT(s.ci95_half, 0.0);
+}
+
+TEST(Summary, OfEmptyAndSingle) {
+  EXPECT_EQ(Summary::of({}).n, 0U);
+  const std::vector<double> one{5.0};
+  const Summary s = Summary::of(one);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.ci95_half, 0.0);
+}
+
+TEST(Quantile, SortedInterpolation) {
+  const std::vector<double> xs{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(quantile_sorted(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(xs, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(xs, 0.5), 25.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(xs, 1.0 / 3.0), 20.0);
+}
+
+TEST(Quantile, UnsortedConvenienceSorts) {
+  EXPECT_DOUBLE_EQ(quantile({30.0, 10.0, 20.0}, 0.5), 20.0);
+}
+
+TEST(Quantile, EmptyThrows) {
+  EXPECT_THROW((void)quantile_sorted({}, 0.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pas::metrics

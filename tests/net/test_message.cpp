@@ -1,0 +1,41 @@
+#include "net/message.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pas::net {
+namespace {
+
+TEST(Message, RequestHasHeaderOnlySize) {
+  Message m;
+  m.type = MessageType::kRequest;
+  EXPECT_EQ(m.size_bits(), Message::kHeaderBytes * 8);
+}
+
+TEST(Message, ResponseCarriesPayloadBytes) {
+  Message m;
+  m.type = MessageType::kResponse;
+  EXPECT_EQ(m.size_bits(),
+            (Message::kHeaderBytes + Message::kResponsePayloadBytes) * 8);
+}
+
+TEST(Message, ResponseIsBiggerThanRequest) {
+  Message req, rsp;
+  req.type = MessageType::kRequest;
+  rsp.type = MessageType::kResponse;
+  EXPECT_GT(rsp.size_bits(), req.size_bits());
+}
+
+TEST(Message, TypeNames) {
+  EXPECT_STREQ(to_string(MessageType::kRequest), "REQUEST");
+  EXPECT_STREQ(to_string(MessageType::kResponse), "RESPONSE");
+}
+
+TEST(Message, PayloadDefaults) {
+  const ResponsePayload p;
+  EXPECT_FALSE(p.velocity_valid);
+  EXPECT_EQ(p.predicted_arrival, sim::kNever);
+  EXPECT_EQ(p.detected_at, sim::kNever);
+}
+
+}  // namespace
+}  // namespace pas::net

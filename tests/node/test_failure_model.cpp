@@ -1,0 +1,90 @@
+#include "node/failure_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace pas::node {
+namespace {
+
+TEST(FailurePlan, ZeroFractionNobodyDies) {
+  const FailurePlan plan(50, FailureConfig{}, sim::Pcg32(1, 1));
+  EXPECT_EQ(plan.failing_count(), 0U);
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    EXPECT_EQ(plan.death_time(i), sim::kNever);
+  }
+}
+
+TEST(FailurePlan, ExactSampleSize) {
+  FailureConfig cfg;
+  cfg.fraction = 0.2;
+  cfg.window_start_s = 10.0;
+  cfg.window_end_s = 50.0;
+  const FailurePlan plan(50, cfg, sim::Pcg32(2, 3));
+  EXPECT_EQ(plan.failing_count(), 10U);
+}
+
+TEST(FailurePlan, DeathTimesInsideWindow) {
+  FailureConfig cfg;
+  cfg.fraction = 0.5;
+  cfg.window_start_s = 20.0;
+  cfg.window_end_s = 80.0;
+  const FailurePlan plan(100, cfg, sim::Pcg32(7, 9));
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    const sim::Time t = plan.death_time(i);
+    if (t < sim::kNever) {
+      EXPECT_GE(t, 20.0);
+      EXPECT_LE(t, 80.0);
+    }
+  }
+}
+
+TEST(FailurePlan, FullFractionKillsEveryone) {
+  FailureConfig cfg;
+  cfg.fraction = 1.0;
+  cfg.window_end_s = 10.0;
+  const FailurePlan plan(30, cfg, sim::Pcg32(4, 4));
+  EXPECT_EQ(plan.failing_count(), 30U);
+}
+
+TEST(FailurePlan, DeterministicForSameRng) {
+  FailureConfig cfg;
+  cfg.fraction = 0.3;
+  cfg.window_end_s = 100.0;
+  const FailurePlan a(40, cfg, sim::Pcg32(5, 6));
+  const FailurePlan b(40, cfg, sim::Pcg32(5, 6));
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.death_time(i), b.death_time(i));
+  }
+}
+
+TEST(FailurePlan, RejectsBadConfig) {
+  FailureConfig cfg;
+  cfg.fraction = 1.5;
+  EXPECT_THROW(FailurePlan(10, cfg, sim::Pcg32(1, 1)), std::invalid_argument);
+  cfg = FailureConfig{};
+  cfg.window_start_s = 5.0;
+  cfg.window_end_s = 1.0;
+  EXPECT_THROW(FailurePlan(10, cfg, sim::Pcg32(1, 1)), std::invalid_argument);
+}
+
+TEST(FailurePlan, VictimsAreDistinct) {
+  FailureConfig cfg;
+  cfg.fraction = 0.4;
+  cfg.window_end_s = 10.0;
+  const FailurePlan plan(100, cfg, sim::Pcg32(8, 8));
+  std::set<std::size_t> victims;
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    if (plan.death_time(i) < sim::kNever) victims.insert(i);
+  }
+  EXPECT_EQ(victims.size(), 40U);
+}
+
+TEST(FailurePlan, DefaultConstructedIsEmpty) {
+  const FailurePlan plan;
+  EXPECT_EQ(plan.size(), 0U);
+  EXPECT_EQ(plan.failing_count(), 0U);
+}
+
+}  // namespace
+}  // namespace pas::node

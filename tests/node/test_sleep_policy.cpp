@@ -1,0 +1,124 @@
+#include "node/sleep_policy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pas::node {
+namespace {
+
+TEST(SleepSchedule, LinearGrowsToMax) {
+  const SleepSchedule p{.kind = RampKind::kLinear,
+                        .initial_s = 1.0,
+                        .increment_s = 2.0,
+                        .max_s = 6.0};
+  EXPECT_DOUBLE_EQ(p.next(1.0), 3.0);
+  EXPECT_DOUBLE_EQ(p.next(3.0), 5.0);
+  EXPECT_DOUBLE_EQ(p.next(5.0), 6.0);  // clamped
+  EXPECT_DOUBLE_EQ(p.next(6.0), 6.0);  // stays at max (§3.4)
+}
+
+TEST(SleepSchedule, ZeroIncrementIsConstant) {
+  const SleepSchedule p{.kind = RampKind::kLinear,
+                        .initial_s = 2.0,
+                        .increment_s = 0.0,
+                        .max_s = 10.0};
+  EXPECT_DOUBLE_EQ(p.next(2.0), 2.0);
+}
+
+TEST(SleepSchedule, ExponentialDoubles) {
+  SleepSchedule p;
+  p.kind = RampKind::kExponential;
+  p.initial_s = 1.0;
+  p.factor = 2.0;
+  p.max_s = 10.0;
+  EXPECT_DOUBLE_EQ(p.next(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(p.next(4.0), 8.0);
+  EXPECT_DOUBLE_EQ(p.next(8.0), 10.0);  // clamped
+}
+
+TEST(SleepSchedule, FixedNeverRamps) {
+  SleepSchedule p;
+  p.kind = RampKind::kFixed;
+  p.initial_s = 3.0;
+  p.max_s = 20.0;
+  EXPECT_DOUBLE_EQ(p.next(3.0), 3.0);
+  EXPECT_DOUBLE_EQ(p.next(17.0), 3.0);  // fixed ignores current
+}
+
+TEST(SleepSchedule, ValidationRejectsBadValues) {
+  SleepSchedule p;
+  p.initial_s = 0.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = SleepSchedule{};
+  p.increment_s = -1.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = SleepSchedule{};
+  p.factor = 0.5;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = SleepSchedule{};
+  p.max_s = 0.5;  // below initial
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(SleepSchedule, DefaultIsValid) {
+  EXPECT_NO_THROW(SleepSchedule{}.validate());
+}
+
+TEST(SleepSchedule, StepsToMax) {
+  SleepSchedule linear{.kind = RampKind::kLinear,
+                       .initial_s = 1.0,
+                       .increment_s = 1.0,
+                       .max_s = 20.0};
+  EXPECT_EQ(linear.steps_to_max(), 19);
+
+  SleepSchedule expo;
+  expo.kind = RampKind::kExponential;
+  expo.initial_s = 1.0;
+  expo.factor = 2.0;
+  expo.max_s = 20.0;
+  // 1 -> 2 -> 4 -> 8 -> 16 -> 20: five steps.
+  EXPECT_EQ(expo.steps_to_max(), 5);
+
+  SleepSchedule fixed;
+  fixed.kind = RampKind::kFixed;
+  EXPECT_EQ(fixed.steps_to_max(), 0);
+}
+
+// Property sweep: every ramp is monotone non-decreasing below the max and
+// idempotent at the max.
+class RampProperty : public ::testing::TestWithParam<RampKind> {};
+
+TEST_P(RampProperty, MonotoneAndClamped) {
+  SleepSchedule p;
+  p.kind = GetParam();
+  p.initial_s = 0.5;
+  p.increment_s = 0.7;
+  p.factor = 1.6;
+  p.max_s = 12.0;
+  p.validate();
+  sim::Duration cur = p.initial_s;
+  for (int i = 0; i < 64; ++i) {
+    const sim::Duration nxt = p.next(cur);
+    if (p.kind != RampKind::kFixed) {
+      EXPECT_GE(nxt, cur);
+    }
+    EXPECT_LE(nxt, p.max_s);
+    EXPECT_GE(nxt, 0.0);
+    cur = nxt;
+  }
+  EXPECT_DOUBLE_EQ(p.next(p.max_s),
+                   p.kind == RampKind::kFixed ? p.initial_s : p.max_s);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRamps, RampProperty,
+                         ::testing::Values(RampKind::kLinear,
+                                           RampKind::kExponential,
+                                           RampKind::kFixed));
+
+TEST(RampKindNames, Stable) {
+  EXPECT_STREQ(to_string(RampKind::kLinear), "linear");
+  EXPECT_STREQ(to_string(RampKind::kExponential), "exponential");
+  EXPECT_STREQ(to_string(RampKind::kFixed), "fixed");
+}
+
+}  // namespace
+}  // namespace pas::node

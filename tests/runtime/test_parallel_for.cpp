@@ -1,0 +1,60 @@
+#include "runtime/parallel_for.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+namespace pas::runtime {
+namespace {
+
+TEST(ParallelFor, CoversAllIndicesExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(pool, hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ZeroIterationsIsNoop) {
+  ThreadPool pool(2);
+  bool touched = false;
+  parallel_for(pool, 0, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ParallelFor, SingleIteration) {
+  ThreadPool pool(2);
+  int value = 0;
+  parallel_for(pool, 1, [&](std::size_t i) { value = static_cast<int>(i) + 5; });
+  EXPECT_EQ(value, 5);
+}
+
+TEST(ParallelFor, PropagatesFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      parallel_for(pool, 100,
+                   [](std::size_t i) {
+                     if (i == 37) throw std::runtime_error("bad index");
+                   }),
+      std::runtime_error);
+}
+
+TEST(ParallelMap, ResultsInIndexOrder) {
+  ThreadPool pool(4);
+  const auto out =
+      parallel_map(pool, 256, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(out.size(), 256U);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ParallelMap, WorksWithNonTrivialTypes) {
+  ThreadPool pool(2);
+  const auto out = parallel_map(pool, 10, [](std::size_t i) {
+    return std::string(i, 'x');
+  });
+  EXPECT_EQ(out[3], "xxx");
+  EXPECT_EQ(out[0], "");
+}
+
+}  // namespace
+}  // namespace pas::runtime

@@ -1,0 +1,126 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pas::sim {
+namespace {
+
+TEST(EventQueue, StartsEmpty) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0U);
+  EXPECT_EQ(q.next_time(), kNever);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(3.0, [&] { order.push_back(3); });
+  q.push(1.0, [&] { order.push_back(1); });
+  q.push(2.0, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().callback();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    q.push(5.0, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().callback();
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(EventQueue, NextTimeReflectsEarliestLive) {
+  EventQueue q;
+  const EventId early = q.push(1.0, [] {});
+  q.push(2.0, [] {});
+  EXPECT_DOUBLE_EQ(q.next_time(), 1.0);
+  EXPECT_TRUE(q.cancel(early));
+  EXPECT_DOUBLE_EQ(q.next_time(), 2.0);
+}
+
+TEST(EventQueue, CancelRemovesEvent) {
+  EventQueue q;
+  bool ran = false;
+  const EventId id = q.push(1.0, [&] { ran = true; });
+  EXPECT_TRUE(q.pending(id));
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.pending(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelTwiceFails) {
+  EventQueue q;
+  const EventId id = q.push(1.0, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelAfterExecutionFails) {
+  EventQueue q;
+  const EventId id = q.push(1.0, [] {});
+  q.pop().callback();
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelInvalidIdFails) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(EventId{}));
+  EXPECT_FALSE(q.cancel(EventId{12345}));
+}
+
+TEST(EventQueue, RejectsInvalidTime) {
+  EventQueue q;
+  EXPECT_THROW(q.push(-1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(q.push(kNever, [] {}), std::invalid_argument);
+}
+
+TEST(EventQueue, RejectsEmptyCallback) {
+  EventQueue q;
+  EXPECT_THROW(q.push(1.0, EventQueue::Callback{}), std::invalid_argument);
+}
+
+TEST(EventQueue, ClearDropsEverything) {
+  EventQueue q;
+  q.push(1.0, [] {});
+  q.push(2.0, [] {});
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.next_time(), kNever);
+}
+
+TEST(EventQueue, SizeCountsOnlyLiveEvents) {
+  EventQueue q;
+  const EventId a = q.push(1.0, [] {});
+  q.push(2.0, [] {});
+  EXPECT_EQ(q.size(), 2U);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1U);
+}
+
+TEST(EventQueue, ManyInterleavedCancelsKeepOrder) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  std::vector<double> popped;
+  for (int i = 0; i < 100; ++i) {
+    const double t = static_cast<double>((i * 37) % 100);
+    ids.push_back(q.push(t, [&popped, t] { popped.push_back(t); }));
+  }
+  // Cancel every third insertion.
+  for (std::size_t i = 0; i < ids.size(); i += 3) q.cancel(ids[i]);
+  while (!q.empty()) q.pop().callback();
+  for (std::size_t i = 1; i < popped.size(); ++i) {
+    EXPECT_LE(popped[i - 1], popped[i]);
+  }
+  EXPECT_EQ(popped.size(), 66U);
+}
+
+}  // namespace
+}  // namespace pas::sim

@@ -1,0 +1,169 @@
+#include "sim/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace pas::sim {
+namespace {
+
+TEST(SplitMix64, KnownSequenceIsDeterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiffer) {
+  SplitMix64 a(1), b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Pcg32, Deterministic) {
+  Pcg32 a(7, 11), b(7, 11);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Pcg32, StreamsAreIndependent) {
+  Pcg32 a(7, 1), b(7, 2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(Pcg32, Uniform01InRange) {
+  Pcg32 rng(123, 456);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Pcg32, Uniform01MeanNearHalf) {
+  Pcg32 rng(9, 9);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Pcg32, UniformRespectsBounds) {
+  Pcg32 rng(5, 6);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-3.0, 7.0);
+    ASSERT_GE(v, -3.0);
+    ASSERT_LT(v, 7.0);
+  }
+}
+
+TEST(Pcg32, UniformIntCoversRangeInclusive) {
+  Pcg32 rng(11, 13);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.uniform_int(2, 5);
+    ASSERT_GE(v, 2);
+    ASSERT_LE(v, 5);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4U);
+}
+
+TEST(Pcg32, UniformIntDegenerateRange) {
+  Pcg32 rng(1, 1);
+  EXPECT_EQ(rng.uniform_int(4, 4), 4);
+  EXPECT_EQ(rng.uniform_int(6, 2), 6);  // lo >= hi returns lo
+}
+
+TEST(Pcg32, UniformIntIsRoughlyUniform) {
+  Pcg32 rng(3, 17);
+  std::vector<int> counts(10, 0);
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    ++counts[static_cast<std::size_t>(rng.uniform_int(0, 9))];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), kN / 10.0, kN / 10.0 * 0.1);
+  }
+}
+
+TEST(Pcg32, NormalMomentsMatch) {
+  Pcg32 rng(21, 22);
+  double sum = 0.0, sum2 = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / kN;
+  const double var = sum2 / kN - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(Pcg32, ExponentialMeanMatches) {
+  Pcg32 rng(31, 32);
+  double sum = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) sum += rng.exponential(0.5);
+  EXPECT_NEAR(sum / kN, 2.0, 0.05);
+}
+
+TEST(Pcg32, BernoulliEdgeCases) {
+  Pcg32 rng(41, 42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Pcg32, BernoulliRateMatches) {
+  Pcg32 rng(51, 52);
+  int hits = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(SeedSequence, SameRootSameStreams) {
+  const SeedSequence a(99), b(99);
+  Pcg32 s1 = a.stream(SeedSequence::kChannel, 3);
+  Pcg32 s2 = b.stream(SeedSequence::kChannel, 3);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(s1.next(), s2.next());
+}
+
+TEST(SeedSequence, DifferentDomainsDiffer) {
+  const SeedSequence seq(99);
+  Pcg32 a = seq.stream(SeedSequence::kChannel, 0);
+  Pcg32 b = seq.stream(SeedSequence::kMacJitter, 0);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(SeedSequence, DifferentIndicesDiffer) {
+  const SeedSequence seq(99);
+  Pcg32 a = seq.stream(SeedSequence::kChannel, 0);
+  Pcg32 b = seq.stream(SeedSequence::kChannel, 1);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(SeedSequence, LabelledStreamsAreStable) {
+  const SeedSequence seq(7);
+  Pcg32 a = seq.stream("foo");
+  Pcg32 b = seq.stream("foo");
+  Pcg32 c = seq.stream("bar");
+  EXPECT_EQ(a.next(), b.next());
+  Pcg32 a2 = seq.stream("foo");
+  EXPECT_NE(a2.next(), c.next());
+}
+
+}  // namespace
+}  // namespace pas::sim

@@ -1,0 +1,130 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pas::sim {
+namespace {
+
+TEST(Simulator, ClockStartsAtZero) {
+  Simulator s;
+  EXPECT_DOUBLE_EQ(s.now(), 0.0);
+}
+
+TEST(Simulator, ClockAdvancesToEventTimes) {
+  Simulator s;
+  std::vector<double> seen;
+  s.schedule_at(1.5, [&] { seen.push_back(s.now()); });
+  s.schedule_at(0.5, [&] { seen.push_back(s.now()); });
+  s.run();
+  EXPECT_EQ(seen, (std::vector<double>{0.5, 1.5}));
+}
+
+TEST(Simulator, ScheduleInIsRelative) {
+  Simulator s;
+  double fired_at = -1.0;
+  s.schedule_at(2.0, [&] {
+    s.schedule_in(3.0, [&] { fired_at = s.now(); });
+  });
+  s.run();
+  EXPECT_DOUBLE_EQ(fired_at, 5.0);
+}
+
+TEST(Simulator, ScheduleInClampsNegativeDelay) {
+  Simulator s;
+  double fired_at = -1.0;
+  s.schedule_at(1.0, [&] {
+    s.schedule_in(-5.0, [&] { fired_at = s.now(); });
+  });
+  s.run();
+  EXPECT_DOUBLE_EQ(fired_at, 1.0);
+}
+
+TEST(Simulator, SchedulingInThePastThrows) {
+  Simulator s;
+  s.schedule_at(2.0, [&] {
+    EXPECT_THROW(s.schedule_at(1.0, [] {}), std::invalid_argument);
+  });
+  s.run();
+}
+
+TEST(Simulator, RunUntilStopsAtDeadlineAndSetsClock) {
+  Simulator s;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    s.schedule_at(static_cast<double>(i), [&] { ++count; });
+  }
+  const std::size_t executed = s.run_until(5.5);
+  EXPECT_EQ(executed, 5U);
+  EXPECT_EQ(count, 5);
+  EXPECT_DOUBLE_EQ(s.now(), 5.5);
+  EXPECT_EQ(s.pending_events(), 5U);
+}
+
+TEST(Simulator, RunUntilIncludesEventsExactlyAtDeadline) {
+  Simulator s;
+  bool ran = false;
+  s.schedule_at(5.0, [&] { ran = true; });
+  s.run_until(5.0);
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, StopEndsRunEarly) {
+  Simulator s;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    s.schedule_at(static_cast<double>(i), [&] {
+      ++count;
+      if (count == 3) s.stop();
+    });
+  }
+  s.run();
+  EXPECT_EQ(count, 3);
+  EXPECT_TRUE(s.stopped());
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator s;
+  bool ran = false;
+  const EventId id = s.schedule_at(1.0, [&] { ran = true; });
+  EXPECT_TRUE(s.pending(id));
+  EXPECT_TRUE(s.cancel(id));
+  s.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, EventsScheduledFromCallbacksRun) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule_at(1.0, [&] {
+    order.push_back(1);
+    s.schedule_at(1.0, [&] { order.push_back(2); });  // same timestamp
+  });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Simulator, ExecutedEventsCounts) {
+  Simulator s;
+  for (int i = 0; i < 7; ++i) s.schedule_in(1.0, [] {});
+  s.run();
+  EXPECT_EQ(s.executed_events(), 7U);
+}
+
+TEST(Simulator, RunUntilPastDeadlineThrows) {
+  Simulator s;
+  s.schedule_at(1.0, [] {});
+  s.run_until(2.0);
+  EXPECT_THROW(s.run_until(1.0), std::invalid_argument);
+}
+
+TEST(Simulator, NextEventTime) {
+  Simulator s;
+  EXPECT_EQ(s.next_event_time(), kNever);
+  s.schedule_at(4.0, [] {});
+  EXPECT_DOUBLE_EQ(s.next_event_time(), 4.0);
+}
+
+}  // namespace
+}  // namespace pas::sim

@@ -1,0 +1,64 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pas::sim {
+namespace {
+
+TEST(TraceLog, DisabledByDefault) {
+  TraceLog log;
+  EXPECT_FALSE(log.enabled());
+  log.record(1.0, TraceCategory::kState, 0, "ignored");
+  EXPECT_EQ(log.size(), 0U);
+}
+
+TEST(TraceLog, RecordsWhenEnabled) {
+  TraceLog log;
+  log.enable();
+  log.record(1.0, TraceCategory::kState, 3, "safe -> alert");
+  log.record(2.0, TraceCategory::kMessage, 4, "REQUEST");
+  ASSERT_EQ(log.size(), 2U);
+  EXPECT_EQ(log.events()[0].node, 3U);
+  EXPECT_EQ(log.events()[1].category, TraceCategory::kMessage);
+}
+
+TEST(TraceLog, FilterByCategory) {
+  TraceLog log;
+  log.enable();
+  log.record(1.0, TraceCategory::kState, 0, "a");
+  log.record(2.0, TraceCategory::kMessage, 0, "b");
+  log.record(3.0, TraceCategory::kState, 1, "c");
+  const auto states = log.filter(TraceCategory::kState);
+  ASSERT_EQ(states.size(), 2U);
+  EXPECT_EQ(states[1].text, "c");
+}
+
+TEST(TraceLog, FormatContainsFields) {
+  TraceLog log;
+  log.enable();
+  log.record(12.0, TraceCategory::kDetection, 7, "detected stimulus");
+  const std::string s = log.format();
+  EXPECT_NE(s.find("t=12.000s"), std::string::npos);
+  EXPECT_NE(s.find("[detect]"), std::string::npos);
+  EXPECT_NE(s.find("node 7"), std::string::npos);
+}
+
+TEST(TraceLog, ClearEmptiesLog) {
+  TraceLog log;
+  log.enable();
+  log.record(1.0, TraceCategory::kMisc, 0, "x");
+  log.clear();
+  EXPECT_EQ(log.size(), 0U);
+}
+
+TEST(TraceCategoryNames, AllDistinct) {
+  EXPECT_STREQ(to_string(TraceCategory::kState), "state");
+  EXPECT_STREQ(to_string(TraceCategory::kMessage), "msg");
+  EXPECT_STREQ(to_string(TraceCategory::kDetection), "detect");
+  EXPECT_STREQ(to_string(TraceCategory::kSleep), "sleep");
+  EXPECT_STREQ(to_string(TraceCategory::kFailure), "fail");
+  EXPECT_STREQ(to_string(TraceCategory::kMisc), "misc");
+}
+
+}  // namespace
+}  // namespace pas::sim

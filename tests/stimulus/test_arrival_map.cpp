@@ -1,0 +1,65 @@
+#include "stimulus/arrival_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stimulus/radial_front.hpp"
+
+namespace pas::stimulus {
+namespace {
+
+RadialFrontModel make_model() {
+  RadialFrontConfig cfg;
+  cfg.source = {0.0, 0.0};
+  cfg.base_speed = 1.0;
+  cfg.start_time = 0.0;
+  return RadialFrontModel(cfg);
+}
+
+TEST(ArrivalMap, ComputesPerNodeArrivals) {
+  const auto model = make_model();
+  const std::vector<geom::Vec2> nodes{{1.0, 0.0}, {0.0, 2.0}, {3.0, 4.0}};
+  const ArrivalMap map(model, nodes, 100.0);
+  ASSERT_EQ(map.size(), 3U);
+  EXPECT_NEAR(map.at(0), 1.0, 1e-9);
+  EXPECT_NEAR(map.at(1), 2.0, 1e-9);
+  EXPECT_NEAR(map.at(2), 5.0, 1e-9);
+}
+
+TEST(ArrivalMap, HorizonCutsOffFarNodes) {
+  const auto model = make_model();
+  const std::vector<geom::Vec2> nodes{{1.0, 0.0}, {50.0, 0.0}};
+  const ArrivalMap map(model, nodes, 10.0);
+  EXPECT_LT(map.at(0), sim::kNever);
+  EXPECT_EQ(map.at(1), sim::kNever);
+  EXPECT_EQ(map.reached_count(), 1U);
+}
+
+TEST(ArrivalMap, CoveredCount) {
+  const auto model = make_model();
+  const std::vector<geom::Vec2> nodes{{1.0, 0.0}, {2.0, 0.0}, {3.0, 0.0}};
+  const ArrivalMap map(model, nodes, 100.0);
+  EXPECT_EQ(map.covered_count(0.5), 0U);
+  EXPECT_EQ(map.covered_count(1.0), 1U);
+  EXPECT_EQ(map.covered_count(2.5), 2U);
+  EXPECT_EQ(map.covered_count(10.0), 3U);
+}
+
+TEST(ArrivalMap, FirstAndLastArrival) {
+  const auto model = make_model();
+  const std::vector<geom::Vec2> nodes{{2.0, 0.0}, {5.0, 0.0}, {90.0, 0.0}};
+  const ArrivalMap map(model, nodes, 20.0);
+  EXPECT_NEAR(map.first_arrival(), 2.0, 1e-9);
+  EXPECT_NEAR(map.last_arrival(), 5.0, 1e-9);  // unreached node excluded
+}
+
+TEST(ArrivalMap, EmptyMap) {
+  const auto model = make_model();
+  const ArrivalMap map(model, {}, 10.0);
+  EXPECT_EQ(map.size(), 0U);
+  EXPECT_EQ(map.first_arrival(), sim::kNever);
+  EXPECT_EQ(map.last_arrival(), sim::kNever);
+  EXPECT_EQ(map.covered_count(1e9), 0U);
+}
+
+}  // namespace
+}  // namespace pas::stimulus

@@ -1,0 +1,85 @@
+#include "stimulus/contour.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace pas::stimulus {
+namespace {
+
+TEST(MarchingSquares, EmptyForUniformField) {
+  const auto segs = extract_iso_segments(
+      [](geom::Vec2) { return 0.0; }, geom::Aabb::square(10.0), 16, 16, 0.5);
+  EXPECT_TRUE(segs.empty());
+}
+
+TEST(MarchingSquares, RejectsDegenerateGrid) {
+  EXPECT_THROW(extract_iso_segments([](geom::Vec2) { return 0.0; },
+                                    geom::Aabb::square(1.0), 0, 4, 0.5),
+               std::invalid_argument);
+}
+
+TEST(MarchingSquares, CircleContourPerimeter) {
+  // f(p) = -|p - c|: iso at -r is the circle of radius r.
+  const geom::Vec2 center{10.0, 10.0};
+  const double radius = 5.0;
+  const auto segs = extract_iso_segments(
+      [&](geom::Vec2 p) { return -geom::distance(p, center); },
+      geom::Aabb::square(20.0), 128, 128, -radius);
+  ASSERT_FALSE(segs.empty());
+  const double perimeter = total_length(segs);
+  EXPECT_NEAR(perimeter, 2.0 * std::numbers::pi * radius, 0.15);
+}
+
+TEST(MarchingSquares, ContourPointsLieOnIsoLevel) {
+  const geom::Vec2 center{10.0, 10.0};
+  const auto f = [&](geom::Vec2 p) { return -geom::distance(p, center); };
+  const auto segs =
+      extract_iso_segments(f, geom::Aabb::square(20.0), 64, 64, -4.0);
+  for (const auto& [a, b] : segs) {
+    EXPECT_NEAR(f(a), -4.0, 0.15);
+    EXPECT_NEAR(f(b), -4.0, 0.15);
+  }
+}
+
+TEST(MarchingSquares, SaddleCaseEmitsTwoSegments) {
+  // f = x·y has a saddle at the origin; a 1-cell grid centred there hits the
+  // ambiguous case. Any valid disambiguation yields exactly two segments.
+  const auto segs = extract_iso_segments(
+      [](geom::Vec2 p) { return p.x * p.y; },
+      geom::Aabb{{-1.0, -1.0}, {1.0, 1.0}}, 1, 1, 0.0);
+  EXPECT_EQ(segs.size(), 2U);
+}
+
+TEST(TotalLength, SumsSegmentLengths) {
+  const std::vector<Segment> segs{{{0.0, 0.0}, {3.0, 4.0}},
+                                  {{1.0, 1.0}, {1.0, 3.0}}};
+  EXPECT_DOUBLE_EQ(total_length(segs), 7.0);
+}
+
+TEST(RenderAscii, DimensionsAndRamp) {
+  const std::string art = render_ascii(
+      [](geom::Vec2 p) { return p.x; }, geom::Aabb::square(10.0), 8, 4, 0.0,
+      10.0);
+  // 4 rows of 8 chars + newline each.
+  EXPECT_EQ(art.size(), 4U * 9U);
+  // Ramp position: the left edge renders a lighter glyph than the right,
+  // and both map into the ramp alphabet.
+  constexpr std::string_view ramp = " .:-=+*#%@";
+  ASSERT_NE(ramp.find(art[0]), std::string_view::npos);
+  ASSERT_NE(ramp.find(art[7]), std::string_view::npos);
+  EXPECT_LT(ramp.find(art[0]), ramp.find(art[7]));
+}
+
+TEST(RenderAscii, RejectsBadArgs) {
+  EXPECT_THROW(render_ascii([](geom::Vec2) { return 0.0; },
+                            geom::Aabb::square(1.0), 0, 4, 0.0, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(render_ascii([](geom::Vec2) { return 0.0; },
+                            geom::Aabb::square(1.0), 4, 4, 1.0, 1.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pas::stimulus

@@ -1,0 +1,113 @@
+#include "stimulus/plume.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pas::stimulus {
+namespace {
+
+GaussianPlumeConfig basic_config() {
+  GaussianPlumeConfig cfg;
+  cfg.source = {0.0, 0.0};
+  cfg.mass = 400.0;
+  cfg.diffusivity = 1.0;
+  cfg.threshold = 0.05;
+  cfg.start_time = 0.0;
+  return cfg;
+}
+
+TEST(GaussianPlume, RejectsBadConfig) {
+  auto cfg = basic_config();
+  cfg.mass = 0.0;
+  EXPECT_THROW(GaussianPlumeModel{cfg}, std::invalid_argument);
+  cfg = basic_config();
+  cfg.diffusivity = -1.0;
+  EXPECT_THROW(GaussianPlumeModel{cfg}, std::invalid_argument);
+  cfg = basic_config();
+  cfg.threshold = 0.0;
+  EXPECT_THROW(GaussianPlumeModel{cfg}, std::invalid_argument);
+}
+
+TEST(GaussianPlume, NothingBeforeRelease) {
+  const GaussianPlumeModel model(basic_config());
+  EXPECT_DOUBLE_EQ(model.concentration({1.0, 1.0}, 0.0), 0.0);
+  EXPECT_FALSE(model.covered({0.0, 0.0}, 0.0));
+}
+
+TEST(GaussianPlume, ConcentrationIsGaussianInSpace) {
+  const auto cfg = basic_config();
+  const GaussianPlumeModel model(cfg);
+  const sim::Time t = 5.0;
+  const double c0 = model.concentration({0.0, 0.0}, t);
+  const double c1 = model.concentration({2.0, 0.0}, t);
+  // c(r)/c(0) = exp(−r²/(4Dt)).
+  EXPECT_NEAR(c1 / c0, std::exp(-4.0 / (4.0 * cfg.diffusivity * t)), 1e-9);
+}
+
+TEST(GaussianPlume, MassConservedAnalytically) {
+  // ∫c dA = Q for the Gaussian puff; check by coarse numeric integration.
+  const auto cfg = basic_config();
+  const GaussianPlumeModel model(cfg);
+  const sim::Time t = 4.0;
+  double mass = 0.0;
+  const double h = 0.5;
+  for (double x = -30.0; x < 30.0; x += h) {
+    for (double y = -30.0; y < 30.0; y += h) {
+      mass += model.concentration({x + h / 2, y + h / 2}, t) * h * h;
+    }
+  }
+  EXPECT_NEAR(mass, cfg.mass, cfg.mass * 0.01);
+}
+
+TEST(GaussianPlume, CoveredRadiusGrowsThenShrinks) {
+  const GaussianPlumeModel model(basic_config());
+  const double early = model.covered_radius(1.0);
+  const double mid = model.covered_radius(50.0);
+  const sim::Time dissolve = model.dissolve_time();
+  const double late = model.covered_radius(dissolve + 1.0);
+  EXPECT_GT(mid, early);
+  EXPECT_DOUBLE_EQ(late, 0.0);
+}
+
+TEST(GaussianPlume, DissolveTimeMatchesPeakThreshold) {
+  const auto cfg = basic_config();
+  const GaussianPlumeModel model(cfg);
+  const sim::Time td = model.dissolve_time();
+  // Just before dissolve the center is covered; just after it is not.
+  EXPECT_TRUE(model.covered(cfg.source, td - 1.0));
+  EXPECT_FALSE(model.covered(cfg.source, td + 1.0));
+}
+
+TEST(GaussianPlume, ArrivalTimeFindsGrowthPhaseCrossing) {
+  const auto cfg = basic_config();
+  const GaussianPlumeModel model(cfg);
+  const geom::Vec2 p{5.0, 0.0};
+  const sim::Time t = model.arrival_time(p, 1e4);
+  ASSERT_LT(t, sim::kNever);
+  EXPECT_FALSE(model.covered(p, t - 0.01));
+  EXPECT_TRUE(model.covered(p, t + 0.01));
+  // The covered radius at arrival equals the point's distance.
+  EXPECT_NEAR(model.covered_radius(t), 5.0, 0.05);
+}
+
+TEST(GaussianPlume, PointsBeyondMaxRadiusNeverCovered) {
+  const auto cfg = basic_config();
+  const GaussianPlumeModel model(cfg);
+  // Max covered radius over all time is bounded; a far point never covers.
+  const geom::Vec2 far{100.0, 0.0};
+  EXPECT_EQ(model.arrival_time(far, model.dissolve_time() * 2.0), sim::kNever);
+}
+
+TEST(GaussianPlume, WindAdvectsCenter) {
+  auto cfg = basic_config();
+  cfg.wind = {1.0, 0.0};
+  const GaussianPlumeModel model(cfg);
+  const sim::Time t = 10.0;
+  const double downwind = model.concentration({10.0, 0.0}, t);
+  const double at_origin = model.concentration({0.0, 0.0}, t);
+  EXPECT_GT(downwind, at_origin);
+}
+
+}  // namespace
+}  // namespace pas::stimulus

@@ -1,0 +1,93 @@
+#include "world/config_json.hpp"
+
+#include <gtest/gtest.h>
+
+#include "world/paper_setup.hpp"
+
+namespace pas::world {
+namespace {
+
+TEST(ConfigJson, ContainsEverySubsystemSection) {
+  const std::string dump = to_json(paper_scenario()).dump();
+  for (const char* key :
+       {"\"seed\"", "\"deployment\"", "\"radio\"", "\"power\"", "\"protocol\"",
+        "\"stimulus\"", "\"channel\"", "\"failures\"", "\"duration_s\""}) {
+    EXPECT_NE(dump.find(key), std::string::npos) << key;
+  }
+}
+
+TEST(ConfigJson, ReflectsPolicyAndThreshold) {
+  PaperSetupOverrides o;
+  o.policy = core::Policy::kSas;
+  o.alert_threshold_s = 12.5;
+  const std::string dump = to_json(paper_scenario(o)).dump();
+  EXPECT_NE(dump.find("\"policy\":\"SAS\""), std::string::npos);
+  EXPECT_NE(dump.find("\"alert_threshold_s\":12.5"), std::string::npos);
+}
+
+TEST(ConfigJson, StimulusVariants) {
+  PaperSetupOverrides o;
+  o.stimulus = StimulusKind::kPlume;
+  EXPECT_NE(to_json(paper_scenario(o)).dump().find("\"plume\""),
+            std::string::npos);
+  o.stimulus = StimulusKind::kPde;
+  EXPECT_NE(to_json(paper_scenario(o)).dump().find("\"diffusivity\""),
+            std::string::npos);
+  o.stimulus = StimulusKind::kTwoSources;
+  EXPECT_NE(to_json(paper_scenario(o)).dump().find("\"radial_second\""),
+            std::string::npos);
+}
+
+TEST(ConfigJson, ChannelVariants) {
+  ScenarioConfig cfg = paper_scenario();
+  cfg.channel = ChannelKind::kBernoulli;
+  cfg.channel_loss = 0.25;
+  EXPECT_NE(to_json(cfg).dump().find("\"loss\":0.25"), std::string::npos);
+  cfg.channel = ChannelKind::kGilbertElliott;
+  EXPECT_NE(to_json(cfg).dump().find("gilbert-elliott"), std::string::npos);
+}
+
+TEST(RunRecord, BundlesConfigMetricsOutcomes) {
+  const ScenarioConfig cfg = paper_scenario();
+  const RunResult result = run_scenario(cfg);
+  const io::Json record = run_record(cfg, result);
+  const std::string dump = record.dump();
+  EXPECT_NE(dump.find("\"config\""), std::string::npos);
+  EXPECT_NE(dump.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(dump.find("\"outcomes\""), std::string::npos);
+  // 30 outcome rows.
+  std::size_t ids = 0;
+  for (std::size_t pos = 0; (pos = dump.find("\"id\":", pos)) != std::string::npos;
+       ++pos) {
+    ++ids;
+  }
+  EXPECT_EQ(ids, 30U);
+}
+
+TEST(RunRecord, UnreachedArrivalSerialisesAsNull) {
+  const ScenarioConfig cfg = paper_scenario();
+  const RunResult result = run_scenario(cfg);
+  // The spill stops at 28 m, so some nodes are never reached; their arrival
+  // must serialize as null (JSON has no Infinity).
+  bool found_null_arrival = false;
+  for (const auto& o : result.outcomes) {
+    if (!o.was_reached) {
+      const std::string dump = to_json(o).dump();
+      EXPECT_NE(dump.find("\"arrival_s\":null"), std::string::npos);
+      found_null_arrival = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(found_null_arrival);
+}
+
+TEST(MetricsJson, RoundNumbersPresent) {
+  const RunResult result = run_scenario(paper_scenario());
+  const std::string dump = to_json(result.metrics).dump();
+  EXPECT_NE(dump.find("\"node_count\":30"), std::string::npos);
+  EXPECT_NE(dump.find("\"avg_energy_j\""), std::string::npos);
+  EXPECT_NE(dump.find("\"alert_entries\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pas::world

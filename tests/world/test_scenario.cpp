@@ -1,0 +1,144 @@
+#include "world/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include "world/paper_setup.hpp"
+
+namespace pas::world {
+namespace {
+
+TEST(Scenario, PaperDefaultsAreSane) {
+  const ScenarioConfig cfg = paper_scenario();
+  EXPECT_EQ(cfg.deployment.count, 30U);
+  EXPECT_DOUBLE_EQ(cfg.radio.range_m, 10.0);
+  EXPECT_DOUBLE_EQ(cfg.duration_s, 150.0);
+  EXPECT_NO_THROW(cfg.protocol.validate());
+}
+
+TEST(Scenario, MakeStimulusDispatches) {
+  ScenarioConfig cfg = paper_scenario();
+  cfg.stimulus = StimulusKind::kRadial;
+  EXPECT_EQ(make_stimulus(cfg)->name(), "radial");
+  cfg.stimulus = StimulusKind::kPlume;
+  EXPECT_EQ(make_stimulus(cfg)->name(), "plume");
+  cfg.stimulus = StimulusKind::kPde;
+  cfg.pde.nx = 32;
+  cfg.pde.ny = 32;
+  cfg.pde.horizon = 30.0;
+  EXPECT_EQ(make_stimulus(cfg)->name(), "pde");
+}
+
+TEST(Scenario, RunProducesConsistentResult) {
+  PaperSetupOverrides o;
+  o.policy = core::Policy::kPas;
+  const RunResult r = run_scenario(paper_scenario(o));
+  EXPECT_EQ(r.positions.size(), 30U);
+  EXPECT_EQ(r.outcomes.size(), 30U);
+  EXPECT_EQ(r.metrics.node_count, 30U);
+  EXPECT_GT(r.metrics.reached, 12U);  // front crosses much of the field
+  EXPECT_EQ(r.metrics.detected + r.metrics.missed + r.metrics.censored,
+            r.metrics.reached);
+  EXPECT_GT(r.metrics.avg_energy_j, 0.0);
+  // Sleeping policy must spend far less than always-on energy.
+  const double ns_energy = 41e-3 * r.metrics.duration_s;
+  EXPECT_LT(r.metrics.avg_energy_j, ns_energy);
+}
+
+TEST(Scenario, NeverSleepHasZeroDelayAndFullDetection) {
+  PaperSetupOverrides o;
+  o.policy = core::Policy::kNeverSleep;
+  const RunResult r = run_scenario(paper_scenario(o));
+  EXPECT_EQ(r.metrics.missed, 0U);
+  EXPECT_NEAR(r.metrics.avg_delay_s, 0.0, 1e-9);
+  EXPECT_NEAR(r.metrics.max_delay_s, 0.0, 1e-9);
+}
+
+TEST(Scenario, DeploymentIsConnected) {
+  const RunResult r = run_scenario(paper_scenario());
+  EXPECT_TRUE(is_connected(r.positions, 10.0));
+}
+
+TEST(Scenario, DelayBoundedByMaxSleep) {
+  PaperSetupOverrides o;
+  o.max_sleep_s = 10.0;
+  const RunResult r = run_scenario(paper_scenario(o));
+  EXPECT_LE(r.metrics.max_delay_s, 10.0 + 1e-6);
+}
+
+TEST(Scenario, TraceCapturesWhenEnabled) {
+  ScenarioConfig cfg = paper_scenario();
+  cfg.enable_trace = true;
+  const RunResult r = run_scenario(cfg);
+  EXPECT_GT(r.trace.size(), 0U);
+}
+
+TEST(Scenario, TraceEmptyWhenDisabled) {
+  const RunResult r = run_scenario(paper_scenario());
+  EXPECT_EQ(r.trace.size(), 0U);
+}
+
+TEST(Scenario, InvalidDurationThrows) {
+  ScenarioConfig cfg = paper_scenario();
+  cfg.duration_s = 0.0;
+  EXPECT_THROW((void)run_scenario(cfg), std::invalid_argument);
+}
+
+TEST(Scenario, ImpossibleConnectivityThrows) {
+  ScenarioConfig cfg = paper_scenario();
+  cfg.deployment.count = 4;                      // 4 nodes in a 200 m field
+  cfg.deployment.region = geom::Aabb::square(200.0);
+  cfg.max_deployment_attempts = 3;
+  EXPECT_THROW((void)run_scenario(cfg), std::runtime_error);
+}
+
+TEST(Scenario, PdeStimulusRuns) {
+  PaperSetupOverrides o;
+  o.stimulus = StimulusKind::kPde;
+  ScenarioConfig cfg = paper_scenario(o);
+  cfg.pde.nx = 48;  // keep the test quick
+  cfg.pde.ny = 48;
+  const RunResult r = run_scenario(cfg);
+  EXPECT_GT(r.metrics.reached, 5U);
+  EXPECT_GT(r.metrics.detected, 0U);
+}
+
+TEST(Scenario, PlumeStimulusTriggersCoveredTimeouts) {
+  PaperSetupOverrides o;
+  o.stimulus = StimulusKind::kPlume;
+  ScenarioConfig cfg = paper_scenario(o);
+  cfg.duration_s = 400.0;  // long enough for the plume to dissolve
+  cfg.protocol.covered_timeout_s = 10.0;
+  const RunResult r = run_scenario(cfg);
+  EXPECT_GT(r.metrics.detected, 0U);
+  // The plume recedes, so covered nodes must eventually time out to safe.
+  EXPECT_GT(r.metrics.protocol.covered_timeouts, 0U);
+}
+
+TEST(Scenario, TwoSourceStimulusRuns) {
+  PaperSetupOverrides o;
+  o.stimulus = StimulusKind::kTwoSources;
+  const ScenarioConfig cfg = paper_scenario(o);
+  EXPECT_EQ(make_stimulus(cfg)->name(), "composite");
+  const RunResult two = run_scenario(cfg);
+
+  PaperSetupOverrides single;
+  const RunResult one = run_scenario(paper_scenario(single));
+  // A second release can only add coverage: more nodes reached.
+  EXPECT_GT(two.metrics.reached, one.metrics.reached);
+  EXPECT_GT(two.metrics.detected, 0U);
+}
+
+TEST(Scenario, FailuresReduceDetections) {
+  PaperSetupOverrides o;
+  ScenarioConfig healthy = paper_scenario(o);
+  ScenarioConfig faulty = healthy;
+  faulty.failures.fraction = 0.3;
+  faulty.failures.window_start_s = 0.0;
+  faulty.failures.window_end_s = 1.0;
+  const RunResult h = run_scenario(healthy);
+  const RunResult f = run_scenario(faulty);
+  EXPECT_LT(f.metrics.detected, h.metrics.detected);
+}
+
+}  // namespace
+}  // namespace pas::world

@@ -1,0 +1,44 @@
+#include "world/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include "world/paper_setup.hpp"
+
+namespace pas::world {
+namespace {
+
+TEST(Sweep, ZeroReplicationsThrows) {
+  EXPECT_THROW((void)run_replicated(paper_scenario(), 0), std::invalid_argument);
+}
+
+TEST(Sweep, AggregatesAcrossReplications) {
+  const auto agg = run_replicated(paper_scenario(), 3);
+  EXPECT_EQ(agg.runs.size(), 3U);
+  EXPECT_EQ(agg.delay_s.n, 3U);
+  EXPECT_EQ(agg.energy_j.n, 3U);
+  EXPECT_GT(agg.energy_j.mean, 0.0);
+  EXPECT_GT(agg.mean_broadcasts, 0.0);
+}
+
+TEST(Sweep, ReplicationsUseDistinctSeeds) {
+  const auto agg = run_replicated(paper_scenario(), 3);
+  // Different seeds produce different deployments, hence different energy.
+  EXPECT_FALSE(agg.runs[0].avg_energy_j == agg.runs[1].avg_energy_j &&
+               agg.runs[1].avg_energy_j == agg.runs[2].avg_energy_j);
+}
+
+TEST(Sweep, ParallelMatchesSerial) {
+  runtime::ThreadPool pool(4);
+  const auto serial = run_replicated(paper_scenario(), 4, nullptr);
+  const auto parallel = run_replicated(paper_scenario(), 4, &pool);
+  ASSERT_EQ(serial.runs.size(), parallel.runs.size());
+  for (std::size_t i = 0; i < serial.runs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(serial.runs[i].avg_delay_s, parallel.runs[i].avg_delay_s);
+    EXPECT_DOUBLE_EQ(serial.runs[i].avg_energy_j,
+                     parallel.runs[i].avg_energy_j);
+  }
+  EXPECT_DOUBLE_EQ(serial.delay_s.mean, parallel.delay_s.mean);
+}
+
+}  // namespace
+}  // namespace pas::world
