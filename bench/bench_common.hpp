@@ -17,6 +17,9 @@
 #include <string>
 #include <vector>
 
+#include "exp/grid.hpp"
+#include "exp/manifest.hpp"
+#include "exp/runner.hpp"
 #include "io/table.hpp"
 #include "world/paper_setup.hpp"
 #include "world/sweep.hpp"
@@ -69,16 +72,36 @@ class SeriesTable {
   std::set<std::string> series_names_;
 };
 
-/// Runs one sweep point of the paper scenario.
+/// Builds the single-point campaign manifest for one sweep point of the
+/// paper scenario. Benches run through the experiment engine (src/exp) so
+/// figure numbers come from exactly the machinery `pas-exp` campaigns use.
+inline exp::Manifest point_manifest(core::Policy policy, double max_sleep_s,
+                                    double alert_threshold_s,
+                                    std::size_t reps = kReplications) {
+  exp::Manifest m;
+  m.name = "bench-point";
+  m.base = world::paper_scenario();
+  m.replications = reps;
+  m.seed_base = 1;
+  m.axes = {
+      exp::Axis{.kind = exp::AxisKind::kPolicy,
+                .labels = {std::string(core::to_string(policy))}},
+      exp::Axis{.kind = exp::AxisKind::kMaxSleep, .numbers = {max_sleep_s}},
+      exp::Axis{.kind = exp::AxisKind::kAlertThreshold,
+                .numbers = {alert_threshold_s}},
+  };
+  return m;
+}
+
+/// Runs one sweep point of the paper scenario through the campaign engine.
 inline world::ReplicatedMetrics run_point(core::Policy policy,
                                           double max_sleep_s,
                                           double alert_threshold_s,
                                           std::size_t reps = kReplications) {
-  world::PaperSetupOverrides o;
-  o.policy = policy;
-  o.max_sleep_s = max_sleep_s;
-  o.alert_threshold_s = alert_threshold_s;
-  return world::run_replicated(world::paper_scenario(o), reps);
+  const auto manifest = point_manifest(policy, max_sleep_s, alert_threshold_s,
+                                       reps);
+  const auto points = exp::expand_grid(manifest);
+  return exp::run_point(points.front(), reps);
 }
 
 }  // namespace pas::bench

@@ -94,7 +94,7 @@ class Protocol {
     bool velocity_valid = false;
     sim::Time predicted_arrival = sim::kNever;
     sim::Time last_pushed_prediction = sim::kNever;
-    sim::Time last_push_time = -1e18;
+    sim::Time last_push_time = sim::kLongAgo;
     sim::Time last_seen_covered = sim::kNever;
     bool awaiting_eval = false;
     sim::EventId wake_event;

@@ -1,0 +1,299 @@
+#include "exp/aggregate.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "io/csv.hpp"
+
+namespace pas::exp {
+
+namespace {
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  for (const char c : line) {
+    if (c == ',') {
+      cells.push_back(std::move(cell));
+      cell.clear();
+    } else if (c != '\r') {
+      cell.push_back(c);
+    }
+  }
+  cells.push_back(std::move(cell));
+  return cells;
+}
+
+std::string join_csv(const std::vector<std::string>& cells) {
+  std::string line;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) line.push_back(',');
+    line += io::CsvWriter::escape(cells[i]);
+  }
+  return line;
+}
+
+/// True if the whole cell parses as a *finite* double (→ emit raw in JSON
+/// lines). Non-finite cells ("nan"/"inf" from format_double) must not leak
+/// into JSON, which has no such tokens; the caller emits null instead,
+/// matching io::Json::dump's convention.
+bool is_finite_numeric_cell(const std::string& cell, bool& non_finite) {
+  non_finite = false;
+  if (cell.empty()) return false;
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(cell.data(), cell.data() + cell.size(), value);
+  if (ec != std::errc{} || ptr != cell.data() + cell.size()) return false;
+  if (!std::isfinite(value)) {
+    non_finite = true;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+PointSummary PointSummary::of(std::size_t point, std::uint64_t seed,
+                              const world::ReplicatedMetrics& m) {
+  PointSummary s;
+  s.point = point;
+  s.seed = seed;
+  s.replications = m.runs.size();
+  s.delay_s = m.delay_s;
+  s.energy_j = m.energy_j;
+  s.active_fraction = m.active_fraction;
+  s.mean_missed = m.mean_missed;
+  s.mean_broadcasts = m.mean_broadcasts;
+  return s;
+}
+
+std::vector<std::string> Aggregator::metric_columns() {
+  return {"replications",         "delay_mean_s",  "delay_ci95_s",
+          "delay_min_s",          "delay_max_s",   "energy_mean_j",
+          "energy_ci95_j",        "energy_min_j",  "energy_max_j",
+          "active_fraction_mean", "missed_mean",   "broadcasts_mean"};
+}
+
+Aggregator::Aggregator(std::string csv_path, std::string json_path,
+                       std::vector<std::string> axis_names,
+                       std::size_t total_points,
+                       std::vector<std::vector<std::string>> expected_identity)
+    : csv_path_(std::move(csv_path)),
+      json_path_(std::move(json_path)),
+      axis_count_(axis_names.size()),
+      total_points_(total_points),
+      expected_identity_(std::move(expected_identity)) {
+  if (!expected_identity_.empty() &&
+      expected_identity_.size() != total_points_) {
+    throw std::logic_error("Aggregator: expected_identity size mismatch");
+  }
+  columns_ = {"point", "seed"};
+  columns_.insert(columns_.end(), axis_names.begin(), axis_names.end());
+  const auto metrics = metric_columns();
+  columns_.insert(columns_.end(), metrics.begin(), metrics.end());
+}
+
+std::string Aggregator::csv_line(const std::vector<std::string>& cells) const {
+  return join_csv(cells);
+}
+
+std::string Aggregator::json_line(const std::vector<std::string>& cells) const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out.push_back('"');
+    out += columns_[i];
+    out += "\":";
+    bool non_finite = false;
+    if (is_finite_numeric_cell(cells[i], non_finite)) {
+      out += cells[i];
+    } else if (non_finite) {
+      out += "null";
+    } else {
+      out.push_back('"');
+      out += cells[i];
+      out.push_back('"');
+    }
+  }
+  out.push_back('}');
+  return out;
+}
+
+void Aggregator::open_appenders() {
+  if (!csv_path_.empty()) {
+    csv_out_.open(csv_path_, std::ios::app);
+    if (!csv_out_) {
+      throw std::runtime_error("Aggregator: cannot open " + csv_path_);
+    }
+  }
+  if (!json_path_.empty()) {
+    json_out_.open(json_path_, std::ios::app);
+    if (!json_out_) {
+      throw std::runtime_error("Aggregator: cannot open " + json_path_);
+    }
+  }
+}
+
+std::size_t Aggregator::load_existing() {
+  const std::lock_guard lock(mutex_);
+  if (loaded_) throw std::logic_error("Aggregator: load_existing called twice");
+  loaded_ = true;
+
+  if (!csv_path_.empty()) {
+    std::ifstream in(csv_path_);
+    if (in) {
+      std::string line;
+      bool first = true;
+      while (std::getline(in, line)) {
+        if (line.empty()) continue;
+        if (first) {
+          first = false;
+          if (split_csv_line(line) != columns_) {
+            throw std::runtime_error(
+                "Aggregator: existing output header does not match this "
+                "campaign (" + csv_path_ + "); delete it or change --out");
+          }
+          continue;
+        }
+        auto cells = split_csv_line(line);
+        // A row truncated by a kill mid-write has the wrong cell count;
+        // drop it and let the runner recompute that point.
+        if (cells.size() != columns_.size()) continue;
+        std::size_t point = 0;
+        const auto [ptr, ec] = std::from_chars(
+            cells[0].data(), cells[0].data() + cells[0].size(), point);
+        if (ec != std::errc{} || ptr != cells[0].data() + cells[0].size()) {
+          continue;
+        }
+        if (point >= total_points_) continue;
+        if (!expected_identity_.empty()) {
+          // cells[1..1+axis_count] are the seed + axis values; a mismatch
+          // means the file was produced by a different manifest, and
+          // resuming over it would mix incompatible results.
+          const auto& want = expected_identity_[point];
+          bool matches = true;
+          for (std::size_t k = 0; k < want.size(); ++k) {
+            if (cells[1 + k] != want[k]) {
+              matches = false;
+              break;
+            }
+          }
+          if (!matches) {
+            throw std::runtime_error(
+                "Aggregator: row for point " + std::to_string(point) + " in " +
+                csv_path_ +
+                " was computed with different parameters (manifest changed?); "
+                "delete the file or change --out");
+          }
+        }
+        rows_[point] = std::move(cells);
+      }
+    }
+  }
+
+  // Compact what we recovered (drops truncated/duplicate rows), writing the
+  // header either way, and leave both files open for appending.
+  rewrite_files(/*require_complete=*/false);
+  open_appenders();
+  return rows_.size();
+}
+
+void Aggregator::rewrite_files(bool require_complete) {
+  // Caller holds mutex_.
+  if (require_complete && rows_.size() != total_points_) {
+    throw std::logic_error("Aggregator: finalize with incomplete campaign");
+  }
+  if (!csv_path_.empty()) {
+    if (csv_out_.is_open()) csv_out_.close();
+    const std::string tmp = csv_path_ + ".tmp";
+    {
+      std::ofstream out(tmp, std::ios::trunc);
+      if (!out) throw std::runtime_error("Aggregator: cannot write " + tmp);
+      out << csv_line(columns_) << '\n';
+      for (const auto& [point, cells] : rows_) {
+        (void)point;
+        out << csv_line(cells) << '\n';
+      }
+    }
+    if (std::rename(tmp.c_str(), csv_path_.c_str()) != 0) {
+      throw std::runtime_error("Aggregator: cannot replace " + csv_path_);
+    }
+  }
+  if (!json_path_.empty()) {
+    if (json_out_.is_open()) json_out_.close();
+    const std::string tmp = json_path_ + ".tmp";
+    {
+      std::ofstream out(tmp, std::ios::trunc);
+      if (!out) throw std::runtime_error("Aggregator: cannot write " + tmp);
+      for (const auto& [point, cells] : rows_) {
+        (void)point;
+        out << json_line(cells) << '\n';
+      }
+    }
+    if (std::rename(tmp.c_str(), json_path_.c_str()) != 0) {
+      throw std::runtime_error("Aggregator: cannot replace " + json_path_);
+    }
+  }
+}
+
+bool Aggregator::is_done(std::size_t point) const {
+  const std::lock_guard lock(mutex_);
+  return rows_.count(point) > 0;
+}
+
+std::vector<std::size_t> Aggregator::pending() const {
+  const std::lock_guard lock(mutex_);
+  std::vector<std::size_t> out;
+  out.reserve(total_points_ - rows_.size());
+  for (std::size_t p = 0; p < total_points_; ++p) {
+    if (rows_.count(p) == 0) out.push_back(p);
+  }
+  return out;
+}
+
+void Aggregator::record(std::size_t point, std::uint64_t seed,
+                        const std::vector<std::string>& axis_values,
+                        const world::ReplicatedMetrics& m) {
+  if (axis_values.size() != axis_count_) {
+    throw std::logic_error("Aggregator: axis value count mismatch");
+  }
+  std::vector<std::string> cells;
+  cells.reserve(columns_.size());
+  cells.push_back(std::to_string(point));
+  cells.push_back(std::to_string(seed));
+  cells.insert(cells.end(), axis_values.begin(), axis_values.end());
+  cells.push_back(std::to_string(m.runs.size()));
+  for (const double v :
+       {m.delay_s.mean, m.delay_s.ci95_half, m.delay_s.min, m.delay_s.max,
+        m.energy_j.mean, m.energy_j.ci95_half, m.energy_j.min, m.energy_j.max,
+        m.active_fraction.mean, m.mean_missed, m.mean_broadcasts}) {
+    cells.push_back(io::format_double(v));
+  }
+
+  const std::lock_guard lock(mutex_);
+  if (rows_.count(point) > 0) return;  // already recovered via resume
+  summaries_.emplace(point, PointSummary::of(point, seed, m));
+  if (csv_out_.is_open()) {
+    csv_out_ << csv_line(cells) << '\n';
+    csv_out_.flush();
+  }
+  if (json_out_.is_open()) {
+    json_out_ << json_line(cells) << '\n';
+    json_out_.flush();
+  }
+  rows_.emplace(point, std::move(cells));
+}
+
+void Aggregator::finalize() {
+  const std::lock_guard lock(mutex_);
+  rewrite_files(/*require_complete=*/true);
+}
+
+std::size_t Aggregator::done_count() const {
+  const std::lock_guard lock(mutex_);
+  return rows_.size();
+}
+
+}  // namespace pas::exp

@@ -1,0 +1,120 @@
+// Resumable campaign aggregation.
+//
+// The Aggregator owns the campaign's output files. Completed points stream
+// in (from any thread, in any order) and are appended to the CSV — and
+// optionally a JSON-lines file — with a flush per row, so a killed campaign
+// leaves a valid, loadable record of everything it finished. On resume the
+// aggregator reads that record back and reports which points are already
+// done; the runner then schedules only the rest.
+//
+// When every point is present, finalize() rewrites both files in point
+// order through a temp-file + rename, so the completed artifact is
+// byte-identical no matter how many shards produced it or how many times
+// the campaign was resumed.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "world/sweep.hpp"
+
+namespace pas::exp {
+
+/// One grid point's aggregate over its replications — ReplicatedMetrics
+/// minus the per-run vector, cheap enough to keep for 10k-point campaigns.
+struct PointSummary {
+  std::size_t point = 0;
+  std::uint64_t seed = 0;
+  std::size_t replications = 0;
+  metrics::Summary delay_s;
+  metrics::Summary energy_j;
+  metrics::Summary active_fraction;
+  double mean_missed = 0.0;
+  double mean_broadcasts = 0.0;
+
+  [[nodiscard]] static PointSummary of(std::size_t point, std::uint64_t seed,
+                                       const world::ReplicatedMetrics& m);
+};
+
+class Aggregator {
+ public:
+  /// `csv_path` may be empty (in-memory aggregation only, used by benches).
+  /// `json_path` optionally mirrors every row as JSON lines.
+  /// `expected_identity`, when non-empty, gives each point's expected
+  /// {seed, axis values...} cells; resume uses it to reject rows computed
+  /// under a different manifest (the runner passes it from the grid).
+  Aggregator(std::string csv_path, std::string json_path,
+             std::vector<std::string> axis_names, std::size_t total_points,
+             std::vector<std::vector<std::string>> expected_identity = {});
+
+  /// Loads completed rows from an existing CSV (resume). Throws
+  /// std::runtime_error if the file exists but its header does not match
+  /// this campaign's columns, or if a recovered row's seed/axis values
+  /// disagree with `expected_identity` (both are manifest/output
+  /// mismatches: resuming would silently produce wrong data). Returns the
+  /// number of points recovered. Call before the first record().
+  std::size_t load_existing();
+
+  /// True if `point` already has a row (recorded now or recovered).
+  [[nodiscard]] bool is_done(std::size_t point) const;
+
+  /// Indices in [0, total_points) with no row yet, ascending.
+  [[nodiscard]] std::vector<std::size_t> pending() const;
+
+  /// Records one completed point. Thread-safe; appends + flushes so the row
+  /// survives a kill. `axis_values` must align with the axis_names given at
+  /// construction.
+  void record(std::size_t point, std::uint64_t seed,
+              const std::vector<std::string>& axis_values,
+              const world::ReplicatedMetrics& m);
+
+  /// Rewrites the output files in point order (temp file + atomic rename).
+  /// Requires every point recorded; throws std::logic_error otherwise.
+  void finalize();
+
+  [[nodiscard]] std::size_t done_count() const;
+  [[nodiscard]] std::size_t total_points() const noexcept { return total_points_; }
+
+  /// Summaries recorded *this process* (resumed rows are not re-parsed into
+  /// summaries), keyed by point index.
+  [[nodiscard]] const std::map<std::size_t, PointSummary>& summaries() const noexcept {
+    return summaries_;
+  }
+
+  /// Full column list: "point", "seed", the axis columns, then metrics.
+  [[nodiscard]] const std::vector<std::string>& columns() const noexcept {
+    return columns_;
+  }
+
+  /// The metric column names shared by every campaign CSV.
+  [[nodiscard]] static std::vector<std::string> metric_columns();
+
+ private:
+  [[nodiscard]] std::string csv_line(const std::vector<std::string>& cells) const;
+  [[nodiscard]] std::string json_line(const std::vector<std::string>& cells) const;
+  void open_appenders();
+  /// Rewrites both output files from `rows_` via temp file + rename.
+  /// Caller must hold mutex_.
+  void rewrite_files(bool require_complete);
+
+  std::string csv_path_;
+  std::string json_path_;
+  std::size_t axis_count_ = 0;
+  std::size_t total_points_ = 0;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> expected_identity_;
+
+  mutable std::mutex mutex_;
+  /// point index → full row cells (axis values + metrics), resume state.
+  std::map<std::size_t, std::vector<std::string>> rows_;
+  std::map<std::size_t, PointSummary> summaries_;
+  std::ofstream csv_out_;
+  std::ofstream json_out_;
+  bool loaded_ = false;
+};
+
+}  // namespace pas::exp

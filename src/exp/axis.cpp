@@ -1,0 +1,114 @@
+#include "exp/axis.hpp"
+
+#include <stdexcept>
+
+#include "io/csv.hpp"
+#include "world/config_json.hpp"
+
+namespace pas::exp {
+
+AxisKind axis_kind_from_string(std::string_view s) {
+  if (s == "policy") return AxisKind::kPolicy;
+  if (s == "max_sleep_s") return AxisKind::kMaxSleep;
+  if (s == "alert_threshold_s") return AxisKind::kAlertThreshold;
+  if (s == "node_count") return AxisKind::kNodeCount;
+  if (s == "stimulus") return AxisKind::kStimulus;
+  if (s == "failure_fraction") return AxisKind::kFailureFraction;
+  if (s == "channel_loss") return AxisKind::kChannelLoss;
+  if (s == "duration_s") return AxisKind::kDuration;
+  throw std::runtime_error("Axis: unknown axis \"" + std::string(s) + "\"");
+}
+
+std::string Axis::value_string(std::size_t i) const {
+  if (axis_is_categorical(kind)) return labels.at(i);
+  return io::format_double(numbers.at(i));
+}
+
+void Axis::apply(world::ScenarioConfig& config, std::size_t i) const {
+  switch (kind) {
+    case AxisKind::kPolicy:
+      config.protocol.policy = world::policy_from_string(labels.at(i));
+      break;
+    case AxisKind::kMaxSleep:
+      config.protocol.sleep.max_s = numbers.at(i);
+      break;
+    case AxisKind::kAlertThreshold:
+      config.protocol.alert_threshold_s = numbers.at(i);
+      break;
+    case AxisKind::kNodeCount:
+      if (numbers.at(i) < 0.0) {
+        throw std::invalid_argument("Axis node_count: value must be >= 0");
+      }
+      config.deployment.count = static_cast<std::size_t>(numbers.at(i));
+      break;
+    case AxisKind::kStimulus:
+      config.stimulus = world::stimulus_kind_from_string(labels.at(i));
+      break;
+    case AxisKind::kFailureFraction:
+      config.failures.fraction = numbers.at(i);
+      // A failure axis is meaningless with a zero-length window; default to
+      // the whole run unless the manifest base configured one.
+      if (config.failures.window_end_s <= config.failures.window_start_s) {
+        config.failures.window_end_s = config.duration_s;
+      }
+      break;
+    case AxisKind::kChannelLoss:
+      config.channel_loss = numbers.at(i);
+      if (config.channel == world::ChannelKind::kPerfect &&
+          config.channel_loss > 0.0) {
+        config.channel = world::ChannelKind::kBernoulli;
+      }
+      break;
+    case AxisKind::kDuration:
+      config.duration_s = numbers.at(i);
+      break;
+  }
+}
+
+void Axis::validate() const {
+  if (size() == 0) {
+    throw std::invalid_argument(std::string("Axis ") + to_string(kind) +
+                                ": no values");
+  }
+  if (axis_is_categorical(kind) && !numbers.empty()) {
+    throw std::invalid_argument(std::string("Axis ") + to_string(kind) +
+                                ": expects string values");
+  }
+  if (!axis_is_categorical(kind) && !labels.empty()) {
+    throw std::invalid_argument(std::string("Axis ") + to_string(kind) +
+                                ": expects numeric values");
+  }
+  // Applying every value to a scratch config surfaces bad labels (unknown
+  // policy/stimulus names) at manifest-load time instead of mid-campaign.
+  world::ScenarioConfig scratch;
+  for (std::size_t i = 0; i < size(); ++i) apply(scratch, i);
+}
+
+Axis Axis::from_json(const io::Json& j) {
+  Axis axis;
+  axis.kind = axis_kind_from_string(j.at("axis").as_string());
+  for (const auto& v : j.at("values").as_array()) {
+    if (axis_is_categorical(axis.kind)) {
+      axis.labels.push_back(v.as_string());
+    } else {
+      axis.numbers.push_back(v.as_double());
+    }
+  }
+  axis.validate();
+  return axis;
+}
+
+io::Json Axis::to_json() const {
+  io::Json j;
+  j["axis"] = std::string(to_string(kind));
+  io::Json values{io::JsonArray{}};
+  if (axis_is_categorical(kind)) {
+    for (const auto& l : labels) values.push_back(l);
+  } else {
+    for (const auto n : numbers) values.push_back(n);
+  }
+  j["values"] = std::move(values);
+  return j;
+}
+
+}  // namespace pas::exp

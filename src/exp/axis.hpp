@@ -1,0 +1,79 @@
+// Sweep axes for experiment campaigns.
+//
+// An Axis is one dimension of a campaign grid: a scenario field to vary
+// (policy, sleep cap, alert threshold, node count, stimulus kind, failure
+// rate, channel loss, duration) plus the list of values to try. Axes are
+// declared in the manifest; the grid expander (grid.hpp) takes their cross
+// product. Categorical axes (policy, stimulus) carry string labels, numeric
+// axes doubles — value_string() renders either for CSV output and resume
+// keys.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "io/json.hpp"
+#include "world/scenario.hpp"
+
+namespace pas::exp {
+
+enum class AxisKind : std::uint8_t {
+  kPolicy,           // protocol.policy — "NS" / "SAS" / "PAS"
+  kMaxSleep,         // protocol.sleep.max_s (Figs 4/6 x-axis)
+  kAlertThreshold,   // protocol.alert_threshold_s (Figs 5/7 x-axis)
+  kNodeCount,        // deployment.count
+  kStimulus,         // stimulus kind — "radial" / "pde" / "plume" / "two-sources"
+  kFailureFraction,  // failures.fraction
+  kChannelLoss,      // channel_loss (switches a perfect channel to Bernoulli)
+  kDuration,         // duration_s
+};
+
+[[nodiscard]] constexpr const char* to_string(AxisKind k) noexcept {
+  switch (k) {
+    case AxisKind::kPolicy: return "policy";
+    case AxisKind::kMaxSleep: return "max_sleep_s";
+    case AxisKind::kAlertThreshold: return "alert_threshold_s";
+    case AxisKind::kNodeCount: return "node_count";
+    case AxisKind::kStimulus: return "stimulus";
+    case AxisKind::kFailureFraction: return "failure_fraction";
+    case AxisKind::kChannelLoss: return "channel_loss";
+    case AxisKind::kDuration: return "duration_s";
+  }
+  return "?";
+}
+
+[[nodiscard]] AxisKind axis_kind_from_string(std::string_view s);
+
+/// Policy and stimulus axes take string values; the rest numbers.
+[[nodiscard]] constexpr bool axis_is_categorical(AxisKind k) noexcept {
+  return k == AxisKind::kPolicy || k == AxisKind::kStimulus;
+}
+
+struct Axis {
+  AxisKind kind = AxisKind::kMaxSleep;
+  std::vector<double> numbers;      // numeric axes
+  std::vector<std::string> labels;  // categorical axes
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return axis_is_categorical(kind) ? labels.size() : numbers.size();
+  }
+
+  /// The i-th value rendered for CSV cells and progress lines. Numbers use
+  /// round-trip formatting so output is byte-stable across runs.
+  [[nodiscard]] std::string value_string(std::size_t i) const;
+
+  /// Applies the i-th value onto a scenario config.
+  void apply(world::ScenarioConfig& config, std::size_t i) const;
+
+  /// Throws std::invalid_argument on an empty axis or a value of the wrong
+  /// type for the axis kind.
+  void validate() const;
+
+  /// Manifest shape: {"axis": "max_sleep_s", "values": [5, 10, 20]}.
+  [[nodiscard]] static Axis from_json(const io::Json& j);
+  [[nodiscard]] io::Json to_json() const;
+};
+
+}  // namespace pas::exp

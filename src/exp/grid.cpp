@@ -1,0 +1,68 @@
+#include "exp/grid.hpp"
+
+#include "sim/rng.hpp"
+
+namespace pas::exp {
+
+std::string GridPoint::label(const Manifest& manifest) const {
+  std::string out;
+  for (std::size_t a = 0; a < coords.size(); ++a) {
+    if (!out.empty()) out.push_back(' ');
+    out += to_string(manifest.axes[a].kind);
+    out.push_back('=');
+    out += manifest.axes[a].value_string(coords[a]);
+  }
+  if (out.empty()) out = "base";
+  return out;
+}
+
+std::uint64_t point_seed(std::uint64_t seed_base, std::size_t index) noexcept {
+  // Scramble the index with the golden-ratio constant before mixing so that
+  // seed_base and index perturb different bit patterns; one SplitMix64 step
+  // then decorrelates the streams.
+  sim::SplitMix64 mixer(seed_base ^
+                        ((static_cast<std::uint64_t>(index) + 1) *
+                         0x9E3779B97F4A7C15ULL));
+  return mixer.next();
+}
+
+std::vector<std::string> axis_columns(const Manifest& manifest) {
+  std::vector<std::string> columns;
+  columns.reserve(manifest.axes.size());
+  for (const auto& axis : manifest.axes) {
+    columns.emplace_back(to_string(axis.kind));
+  }
+  return columns;
+}
+
+std::vector<GridPoint> expand_grid(const Manifest& manifest) {
+  manifest.validate();
+  const std::size_t total = manifest.point_count();
+  std::vector<GridPoint> points;
+  points.reserve(total);
+
+  std::vector<std::size_t> coords(manifest.axes.size(), 0);
+  for (std::size_t index = 0; index < total; ++index) {
+    GridPoint p;
+    p.index = index;
+    p.coords = coords;
+    p.config = manifest.base;
+    p.seed = point_seed(manifest.seed_base, index);
+    p.config.seed = p.seed;
+    p.values.reserve(manifest.axes.size());
+    for (std::size_t a = 0; a < manifest.axes.size(); ++a) {
+      manifest.axes[a].apply(p.config, coords[a]);
+      p.values.push_back(manifest.axes[a].value_string(coords[a]));
+    }
+    points.push_back(std::move(p));
+
+    // Odometer increment, last axis fastest (row-major).
+    for (std::size_t a = manifest.axes.size(); a-- > 0;) {
+      if (++coords[a] < manifest.axes[a].size()) break;
+      coords[a] = 0;
+    }
+  }
+  return points;
+}
+
+}  // namespace pas::exp

@@ -1,0 +1,53 @@
+// Deterministic grid expansion.
+//
+// Expands a manifest's axes into the full cross product of grid points, in
+// row-major order (first declared axis slowest, last fastest — the order
+// nested for-loops would produce). Point indices are therefore stable for a
+// given manifest, which is what makes resume sound: the CSV's `point`
+// column identifies the same parameter combination across runs.
+//
+// Each point also gets its own root seed derived from the manifest's
+// seed_base and the point index via SplitMix64, so every point draws from
+// an independent, reproducible RNG stream regardless of which shard or
+// thread executes it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exp/manifest.hpp"
+#include "world/scenario.hpp"
+
+namespace pas::exp {
+
+struct GridPoint {
+  /// Row-major index into the grid; the resume key.
+  std::size_t index = 0;
+  /// Per-axis value index (coords[a] indexes manifest.axes[a]).
+  std::vector<std::size_t> coords;
+  /// Base scenario with every axis value applied and seed set to `seed`.
+  world::ScenarioConfig config{};
+  /// Root seed for replication 0; replication r runs with seed + r.
+  std::uint64_t seed = 0;
+  /// Axis values rendered as strings, aligned with axis_columns().
+  std::vector<std::string> values;
+
+  /// "policy=PAS max_sleep_s=20" — progress lines and error messages.
+  [[nodiscard]] std::string label(const Manifest& manifest) const;
+};
+
+/// Root seed of point `index` in a campaign rooted at `seed_base`.
+/// SplitMix64 over the golden-ratio-scrambled index: consecutive points get
+/// decorrelated streams, and the mapping never changes with axis order.
+[[nodiscard]] std::uint64_t point_seed(std::uint64_t seed_base,
+                                       std::size_t index) noexcept;
+
+/// CSV column names contributed by the manifest's axes, in declared order.
+[[nodiscard]] std::vector<std::string> axis_columns(const Manifest& manifest);
+
+/// The full grid in index order. An axis-free manifest yields one point
+/// (the base scenario).
+[[nodiscard]] std::vector<GridPoint> expand_grid(const Manifest& manifest);
+
+}  // namespace pas::exp

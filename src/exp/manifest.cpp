@@ -1,0 +1,83 @@
+#include "exp/manifest.hpp"
+
+#include <stdexcept>
+
+#include "world/config_json.hpp"
+
+namespace pas::exp {
+
+std::size_t Manifest::point_count() const noexcept {
+  std::size_t n = 1;
+  for (const auto& axis : axes) n *= axis.size();
+  return n;
+}
+
+void Manifest::validate() const {
+  if (replications == 0) {
+    throw std::invalid_argument("Manifest: replications must be >= 1");
+  }
+  for (std::size_t i = 0; i < axes.size(); ++i) {
+    axes[i].validate();
+    for (std::size_t k = i + 1; k < axes.size(); ++k) {
+      if (axes[i].kind == axes[k].kind) {
+        throw std::invalid_argument(std::string("Manifest: duplicate axis ") +
+                                    to_string(axes[i].kind));
+      }
+    }
+  }
+  base.protocol.validate();
+}
+
+Manifest Manifest::from_json(const io::Json& j) {
+  for (const auto& [key, value] : j.as_object()) {
+    (void)value;
+    if (key != "name" && key != "description" && key != "replications" &&
+        key != "seed_base" && key != "base" && key != "axes") {
+      throw std::runtime_error("Manifest: unknown key \"" + key + "\"");
+    }
+  }
+  Manifest m;
+  m.name = j.string_or("name", m.name);
+  m.description = j.string_or("description", m.description);
+  const double reps =
+      j.number_or("replications", static_cast<double>(m.replications));
+  if (reps < 0.0) {
+    throw std::runtime_error("Manifest: replications must be >= 0");
+  }
+  m.replications = static_cast<std::size_t>(reps);
+  const double seed_base =
+      j.number_or("seed_base", static_cast<double>(m.seed_base));
+  if (seed_base < 0.0) {
+    throw std::runtime_error("Manifest: seed_base must be >= 0");
+  }
+  m.seed_base = static_cast<std::uint64_t>(seed_base);
+  if (j.contains("base")) {
+    m.base = world::scenario_from_json(j.at("base"));
+  }
+  if (j.contains("axes")) {
+    for (const auto& a : j.at("axes").as_array()) {
+      m.axes.push_back(Axis::from_json(a));
+    }
+  }
+  m.validate();
+  return m;
+}
+
+Manifest Manifest::load(const std::string& path) {
+  return from_json(io::Json::parse_file(path));
+}
+
+io::Json Manifest::to_json() const {
+  io::Json j;
+  j["name"] = name;
+  if (!description.empty()) j["description"] = description;
+  j["replications"] = replications;
+  j["seed_base"] = static_cast<double>(seed_base);
+  j["base"] = world::to_json(base);
+  io::Json axes_json{io::JsonArray{}};
+  for (const auto& axis : axes) axes_json.push_back(axis.to_json());
+  j["axes"] = std::move(axes_json);
+  return j;
+}
+
+}  // namespace pas::exp

@@ -1,0 +1,61 @@
+// Campaign manifests.
+//
+// A Manifest declares one experiment campaign: a base scenario, the axes to
+// sweep, the number of replications per grid point, and the root seed the
+// per-point RNG streams derive from. Manifests live in JSON files (see
+// examples/campaign.json) so campaigns are versionable artifacts — the
+// manifest plus the code revision fully determines every number in the
+// output.
+//
+// JSON shape:
+//   {
+//     "name": "fig4",
+//     "description": "delay vs max sleep",
+//     "replications": 30,
+//     "seed_base": 1,
+//     "base": { ... scenario_from_json shape, all fields optional ... },
+//     "axes": [
+//       {"axis": "policy", "values": ["NS", "SAS", "PAS"]},
+//       {"axis": "max_sleep_s", "values": [5, 10, 15, 20]}
+//     ]
+//   }
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exp/axis.hpp"
+#include "io/json.hpp"
+#include "world/scenario.hpp"
+
+namespace pas::exp {
+
+struct Manifest {
+  std::string name = "campaign";
+  std::string description;
+  world::ScenarioConfig base{};
+  /// Declared order is grid nesting order: the last axis varies fastest.
+  std::vector<Axis> axes;
+  std::size_t replications = 30;
+  std::uint64_t seed_base = 1;
+
+  /// Product of axis sizes (1 for an axis-free manifest: a single point).
+  [[nodiscard]] std::size_t point_count() const noexcept;
+
+  /// Total simulator runs (point_count × replications).
+  [[nodiscard]] std::size_t run_count() const noexcept {
+    return point_count() * replications;
+  }
+
+  /// Throws std::invalid_argument / std::runtime_error on an empty axis,
+  /// zero replications, or duplicate axis kinds.
+  void validate() const;
+
+  [[nodiscard]] static Manifest from_json(const io::Json& j);
+  /// Reads and parses a manifest file; validates before returning.
+  [[nodiscard]] static Manifest load(const std::string& path);
+  [[nodiscard]] io::Json to_json() const;
+};
+
+}  // namespace pas::exp

@@ -1,0 +1,92 @@
+#include "exp/runner.hpp"
+
+#include <chrono>
+#include <filesystem>
+#include <future>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include "runtime/thread_pool.hpp"
+#include "world/sweep.hpp"
+
+namespace pas::exp {
+
+world::ReplicatedMetrics run_point(const GridPoint& point,
+                                   std::size_t replications) {
+  // Replications run serially inside the job: point-level parallelism is
+  // ample for ≥100-point campaigns, and a flat pool keeps results
+  // independent of shard count.
+  return world::run_replicated(point.config, replications, nullptr);
+}
+
+CampaignReport run_campaign(const Manifest& manifest,
+                            const CampaignOptions& options) {
+  const auto t0 = std::chrono::steady_clock::now();
+  manifest.validate();
+  const auto points = expand_grid(manifest);
+
+  if (!options.resume) {
+    for (const auto& path : {options.out_csv, options.out_json}) {
+      if (!path.empty() && std::filesystem::exists(path)) {
+        throw std::runtime_error("run_campaign: " + path +
+                                 " exists; pass resume to continue it or "
+                                 "remove it to start over");
+      }
+    }
+  }
+
+  // Each point's expected seed + axis-value cells, so resume can reject
+  // rows produced by a different manifest.
+  std::vector<std::vector<std::string>> identity;
+  identity.reserve(points.size());
+  for (const auto& p : points) {
+    std::vector<std::string> cells{std::to_string(p.seed)};
+    cells.insert(cells.end(), p.values.begin(), p.values.end());
+    identity.push_back(std::move(cells));
+  }
+
+  Aggregator aggregator(options.out_csv, options.out_json,
+                        axis_columns(manifest), points.size(),
+                        std::move(identity));
+  const std::size_t recovered = aggregator.load_existing();
+  const auto pending = aggregator.pending();
+
+  std::mutex progress_mutex;
+  const auto execute = [&](std::size_t index) {
+    const GridPoint& point = points[index];
+    const auto metrics = run_point(point, manifest.replications);
+    aggregator.record(point.index, point.seed, point.values, metrics);
+    if (options.progress) {
+      const std::lock_guard lock(progress_mutex);
+      options.progress(PointSummary::of(point.index, point.seed, metrics),
+                       aggregator.done_count(), points.size());
+    }
+  };
+
+  if (options.jobs == 1) {
+    for (const auto index : pending) execute(index);
+  } else {
+    runtime::ThreadPool pool(options.jobs);
+    std::vector<std::future<void>> futures;
+    futures.reserve(pending.size());
+    for (const auto index : pending) {
+      futures.push_back(pool.submit([&execute, index] { execute(index); }));
+    }
+    for (auto& f : futures) f.get();  // propagate the first failure
+  }
+
+  aggregator.finalize();
+
+  CampaignReport report;
+  report.total_points = points.size();
+  report.computed = pending.size();
+  report.skipped = recovered;
+  report.replications = manifest.replications;
+  report.wall_s = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  return report;
+}
+
+}  // namespace pas::exp

@@ -1,0 +1,56 @@
+// Sharded campaign execution.
+//
+// run_campaign() expands a manifest's grid, asks the aggregator which
+// points already have rows (resume), and executes the rest as independent
+// jobs on a runtime::ThreadPool — one job per grid point, the point's
+// replications running serially inside the job around the single-threaded
+// simulation kernel. Every job derives its seeds from the manifest alone
+// (see grid.hpp), so shard count and scheduling order never change any
+// number: `--jobs 1` and `--jobs 8` produce byte-identical output.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "exp/aggregate.hpp"
+#include "exp/grid.hpp"
+#include "exp/manifest.hpp"
+
+namespace pas::exp {
+
+struct CampaignOptions {
+  /// Worker threads; 0 = hardware concurrency, 1 = run serially in-line.
+  std::size_t jobs = 0;
+  /// Load `out_csv` (if present) and skip points that already have rows.
+  /// Without this flag an existing output file is an error, not data loss.
+  bool resume = false;
+  /// CSV output path; empty aggregates in memory only (benches, tests).
+  std::string out_csv;
+  /// Optional JSON-lines mirror of every row.
+  std::string out_json;
+  /// Invoked after each point completes (serialized; never concurrently).
+  std::function<void(const PointSummary&, std::size_t done,
+                     std::size_t total)>
+      progress;
+};
+
+struct CampaignReport {
+  std::size_t total_points = 0;
+  std::size_t computed = 0;  // points simulated by this invocation
+  std::size_t skipped = 0;   // points recovered from the resume file
+  std::size_t replications = 0;
+  double wall_s = 0.0;
+};
+
+/// Runs one replicated point exactly as a campaign job would (benches and
+/// tests share the engine's execution path through this).
+[[nodiscard]] world::ReplicatedMetrics run_point(const GridPoint& point,
+                                                 std::size_t replications);
+
+/// Executes the campaign. Throws on manifest/IO errors; a failing point's
+/// exception propagates after in-flight jobs drain.
+CampaignReport run_campaign(const Manifest& manifest,
+                            const CampaignOptions& options);
+
+}  // namespace pas::exp

@@ -1,8 +1,9 @@
-// Minimal JSON value + serializer (output only).
+// Minimal JSON value, serializer, and parser.
 //
 // Examples dump scenario configuration and results as JSON for downstream
-// tooling. Writing (not parsing) is all the library needs, so this stays a
-// ~150-line value type instead of a vendored dependency.
+// tooling, and the experiment engine (src/exp) loads campaign manifests
+// from JSON files. A ~300-line value type covers both directions without a
+// vendored dependency.
 #pragma once
 
 #include <cstdint>
@@ -34,14 +35,44 @@ class Json {
   Json(JsonObject o) : value_(std::move(o)) {}
 
   [[nodiscard]] bool is_null() const noexcept { return std::holds_alternative<std::nullptr_t>(value_); }
+  [[nodiscard]] bool is_bool() const noexcept { return std::holds_alternative<bool>(value_); }
+  [[nodiscard]] bool is_number() const noexcept { return std::holds_alternative<double>(value_); }
+  [[nodiscard]] bool is_string() const noexcept { return std::holds_alternative<std::string>(value_); }
   [[nodiscard]] bool is_object() const noexcept { return std::holds_alternative<JsonObject>(value_); }
   [[nodiscard]] bool is_array() const noexcept { return std::holds_alternative<JsonArray>(value_); }
+
+  /// Typed accessors; throw std::runtime_error on a type mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const JsonArray& as_array() const;
+  [[nodiscard]] const JsonObject& as_object() const;
 
   /// Object element access; creates the object/key as needed.
   Json& operator[](const std::string& key);
 
+  /// True if this is an object containing `key`.
+  [[nodiscard]] bool contains(const std::string& key) const noexcept;
+
+  /// Const object lookup; throws std::runtime_error if absent/not an object.
+  [[nodiscard]] const Json& at(const std::string& key) const;
+
+  /// Convenience lookups with fallbacks for optional manifest fields.
+  [[nodiscard]] double number_or(const std::string& key, double fallback) const;
+  [[nodiscard]] std::string string_or(const std::string& key,
+                                      std::string fallback) const;
+  [[nodiscard]] bool bool_or(const std::string& key, bool fallback) const;
+
   /// Appends to an array (converts null to array first).
   void push_back(Json v);
+
+  /// Parses a complete JSON document. Throws std::runtime_error (with a
+  /// byte offset) on malformed input or trailing garbage.
+  [[nodiscard]] static Json parse(std::string_view text);
+
+  /// Reads and parses a JSON file. Throws std::runtime_error if the file
+  /// cannot be read or does not parse.
+  [[nodiscard]] static Json parse_file(const std::string& path);
 
   /// Serialises compactly (indent < 0) or pretty-printed with `indent`
   /// spaces per level.

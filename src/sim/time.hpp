@@ -19,6 +19,11 @@ using Duration = double;
 /// Sentinel for "never" / "not yet happened".
 inline constexpr Time kNever = std::numeric_limits<Time>::infinity();
 
+/// Sentinel for "arbitrarily far in the past" — initialises last-event
+/// stamps so that any `now - stamp >= interval` rate-limit check passes on
+/// first use. The mirror image of kNever.
+inline constexpr Time kLongAgo = -std::numeric_limits<Time>::infinity();
+
 /// Returns true for a finite, non-negative time usable as an event stamp.
 [[nodiscard]] constexpr bool is_valid_time(Time t) noexcept {
   return t >= 0.0 && t < kNever;

@@ -1,5 +1,8 @@
 #include "world/config_json.hpp"
 
+#include <stdexcept>
+#include <string>
+
 namespace pas::world {
 
 namespace {
@@ -41,12 +44,15 @@ io::Json to_json(const ScenarioConfig& config) {
   dep["kind"] = to_string(config.deployment.kind);
   dep["count"] = config.deployment.count;
   dep["region_m"] = config.deployment.region.width();
+  dep["grid_jitter"] = config.deployment.grid_jitter;
+  dep["min_separation"] = config.deployment.min_separation;
   j["deployment"] = std::move(dep);
 
   io::Json radio;
   radio["range_m"] = config.radio.range_m;
   radio["data_rate_bps"] = config.radio.data_rate_bps;
   radio["max_jitter_s"] = config.radio.max_jitter_s;
+  radio["propagation_s"] = config.radio.propagation_s;
   j["radio"] = std::move(radio);
 
   io::Json power;
@@ -55,6 +61,7 @@ io::Json to_json(const ScenarioConfig& config) {
   power["radio_rx_w"] = config.power.radio_rx_w;
   power["radio_tx_w"] = config.power.radio_tx_w;
   power["transition_w"] = config.power.transition_w;
+  power["transition_time_s"] = config.power.transition_time_s;
   power["data_rate_bps"] = config.power.data_rate_bps;
   j["power"] = std::move(power);
 
@@ -104,14 +111,13 @@ io::Json to_json(const ScenarioConfig& config) {
   j["stimulus"] = std::move(stim);
 
   io::Json chan;
+  chan["kind"] = to_string(config.channel);
   switch (config.channel) {
-    case ChannelKind::kPerfect: chan["kind"] = "perfect"; break;
+    case ChannelKind::kPerfect: break;
     case ChannelKind::kBernoulli:
-      chan["kind"] = "bernoulli";
       chan["loss"] = config.channel_loss;
       break;
     case ChannelKind::kGilbertElliott:
-      chan["kind"] = "gilbert-elliott";
       chan["p_good_to_bad"] = config.gilbert.p_good_to_bad;
       chan["p_bad_to_good"] = config.gilbert.p_bad_to_good;
       chan["loss_good"] = config.gilbert.loss_good;
@@ -176,6 +182,266 @@ io::Json run_record(const ScenarioConfig& config, const RunResult& result) {
   for (const auto& o : result.outcomes) outcomes.push_back(to_json(o));
   j["outcomes"] = std::move(outcomes);
   return j;
+}
+
+// --- Deserialisation --------------------------------------------------------
+
+namespace {
+
+[[noreturn]] void unknown_value(const char* what, std::string_view s) {
+  throw std::runtime_error(std::string("scenario_from_json: unknown ") + what +
+                           " \"" + std::string(s) + "\"");
+}
+
+void read_known_keys(const io::Json& j, const char* context,
+                     std::initializer_list<std::string_view> known) {
+  for (const auto& [key, value] : j.as_object()) {
+    (void)value;
+    bool ok = false;
+    for (const auto k : known) {
+      if (key == k) {
+        ok = true;
+        break;
+      }
+    }
+    if (!ok) {
+      throw std::runtime_error(std::string("scenario_from_json: unknown key \"") +
+                               key + "\" in " + context);
+    }
+  }
+}
+
+geom::Vec2 vec_from_json(const io::Json& j) {
+  read_known_keys(j, "vector", {"x", "y"});
+  return geom::Vec2{j.number_or("x", 0.0), j.number_or("y", 0.0)};
+}
+
+stimulus::RadialFrontConfig radial_from_json(
+    const io::Json& j, stimulus::RadialFrontConfig base) {
+  read_known_keys(j, "radial", {"source", "base_speed_mps", "accel",
+                                "start_time_s", "max_radius_m", "harmonics"});
+  if (j.contains("source")) base.source = vec_from_json(j.at("source"));
+  base.base_speed = j.number_or("base_speed_mps", base.base_speed);
+  base.accel = j.number_or("accel", base.accel);
+  base.start_time = j.number_or("start_time_s", base.start_time);
+  base.max_radius = j.number_or("max_radius_m", base.max_radius);
+  if (j.contains("harmonics")) {
+    base.harmonics.clear();
+    for (const auto& h : j.at("harmonics").as_array()) {
+      read_known_keys(h, "harmonic", {"k", "amplitude", "phase"});
+      base.harmonics.push_back(stimulus::RadialFrontConfig::Harmonic{
+          .k = static_cast<int>(h.number_or("k", 1)),
+          .amplitude = h.number_or("amplitude", 0.0),
+          .phase = h.number_or("phase", 0.0),
+      });
+    }
+  }
+  return base;
+}
+
+}  // namespace
+
+StimulusKind stimulus_kind_from_string(std::string_view s) {
+  if (s == "radial") return StimulusKind::kRadial;
+  if (s == "pde") return StimulusKind::kPde;
+  if (s == "plume") return StimulusKind::kPlume;
+  if (s == "two-sources") return StimulusKind::kTwoSources;
+  unknown_value("stimulus kind", s);
+}
+
+ChannelKind channel_kind_from_string(std::string_view s) {
+  if (s == "perfect") return ChannelKind::kPerfect;
+  if (s == "bernoulli") return ChannelKind::kBernoulli;
+  if (s == "gilbert-elliott") return ChannelKind::kGilbertElliott;
+  unknown_value("channel kind", s);
+}
+
+DeploymentKind deployment_kind_from_string(std::string_view s) {
+  if (s == "grid") return DeploymentKind::kGrid;
+  if (s == "uniform") return DeploymentKind::kUniform;
+  if (s == "poisson-disk") return DeploymentKind::kPoissonDisk;
+  unknown_value("deployment kind", s);
+}
+
+core::Policy policy_from_string(std::string_view s) {
+  if (s == "NS") return core::Policy::kNeverSleep;
+  if (s == "SAS") return core::Policy::kSas;
+  if (s == "PAS") return core::Policy::kPas;
+  unknown_value("policy", s);
+}
+
+node::RampKind ramp_kind_from_string(std::string_view s) {
+  if (s == "linear") return node::RampKind::kLinear;
+  if (s == "exponential") return node::RampKind::kExponential;
+  if (s == "fixed") return node::RampKind::kFixed;
+  unknown_value("ramp kind", s);
+}
+
+ScenarioConfig scenario_from_json(const io::Json& j, ScenarioConfig base) {
+  read_known_keys(j, "scenario",
+                  {"seed", "duration_s", "deployment", "radio", "power",
+                   "protocol", "stimulus", "channel", "failures"});
+
+  const double seed = j.number_or("seed", static_cast<double>(base.seed));
+  if (seed < 0.0) {
+    throw std::runtime_error("scenario_from_json: seed must be >= 0");
+  }
+  base.seed = static_cast<std::uint64_t>(seed);
+  base.duration_s = j.number_or("duration_s", base.duration_s);
+
+  if (j.contains("deployment")) {
+    const auto& d = j.at("deployment");
+    read_known_keys(d, "deployment",
+                    {"kind", "count", "region_m", "grid_jitter",
+                     "min_separation"});
+    if (d.contains("kind")) {
+      base.deployment.kind = deployment_kind_from_string(d.at("kind").as_string());
+    }
+    const double count =
+        d.number_or("count", static_cast<double>(base.deployment.count));
+    if (count < 0.0) {
+      throw std::runtime_error(
+          "scenario_from_json: deployment count must be >= 0");
+    }
+    base.deployment.count = static_cast<std::size_t>(count);
+    if (d.contains("region_m")) {
+      base.deployment.region = geom::Aabb::square(d.at("region_m").as_double());
+    }
+    base.deployment.grid_jitter =
+        d.number_or("grid_jitter", base.deployment.grid_jitter);
+    base.deployment.min_separation =
+        d.number_or("min_separation", base.deployment.min_separation);
+  }
+
+  if (j.contains("radio")) {
+    const auto& r = j.at("radio");
+    read_known_keys(r, "radio",
+                    {"range_m", "data_rate_bps", "max_jitter_s",
+                     "propagation_s"});
+    base.radio.range_m = r.number_or("range_m", base.radio.range_m);
+    base.radio.data_rate_bps =
+        r.number_or("data_rate_bps", base.radio.data_rate_bps);
+    base.radio.max_jitter_s =
+        r.number_or("max_jitter_s", base.radio.max_jitter_s);
+    base.radio.propagation_s =
+        r.number_or("propagation_s", base.radio.propagation_s);
+  }
+
+  if (j.contains("power")) {
+    const auto& p = j.at("power");
+    read_known_keys(p, "power",
+                    {"mcu_active_w", "sleep_w", "radio_rx_w", "radio_tx_w",
+                     "transition_w", "transition_time_s", "data_rate_bps"});
+    base.power.mcu_active_w = p.number_or("mcu_active_w", base.power.mcu_active_w);
+    base.power.sleep_w = p.number_or("sleep_w", base.power.sleep_w);
+    base.power.radio_rx_w = p.number_or("radio_rx_w", base.power.radio_rx_w);
+    base.power.radio_tx_w = p.number_or("radio_tx_w", base.power.radio_tx_w);
+    base.power.transition_w = p.number_or("transition_w", base.power.transition_w);
+    base.power.transition_time_s =
+        p.number_or("transition_time_s", base.power.transition_time_s);
+    base.power.data_rate_bps =
+        p.number_or("data_rate_bps", base.power.data_rate_bps);
+  }
+
+  if (j.contains("protocol")) {
+    const auto& p = j.at("protocol");
+    read_known_keys(
+        p, "protocol",
+        {"policy", "alert_threshold_s", "sleep_ramp", "sleep_initial_s",
+         "sleep_increment_s", "sleep_factor", "sleep_max_s", "response_wait_s",
+         "covered_timeout_s"});
+    if (p.contains("policy")) {
+      base.protocol.policy = policy_from_string(p.at("policy").as_string());
+    }
+    base.protocol.alert_threshold_s =
+        p.number_or("alert_threshold_s", base.protocol.alert_threshold_s);
+    if (p.contains("sleep_ramp")) {
+      base.protocol.sleep.kind =
+          ramp_kind_from_string(p.at("sleep_ramp").as_string());
+    }
+    base.protocol.sleep.initial_s =
+        p.number_or("sleep_initial_s", base.protocol.sleep.initial_s);
+    base.protocol.sleep.increment_s =
+        p.number_or("sleep_increment_s", base.protocol.sleep.increment_s);
+    base.protocol.sleep.factor =
+        p.number_or("sleep_factor", base.protocol.sleep.factor);
+    base.protocol.sleep.max_s =
+        p.number_or("sleep_max_s", base.protocol.sleep.max_s);
+    base.protocol.response_wait_s =
+        p.number_or("response_wait_s", base.protocol.response_wait_s);
+    base.protocol.covered_timeout_s =
+        p.number_or("covered_timeout_s", base.protocol.covered_timeout_s);
+  }
+
+  if (j.contains("stimulus")) {
+    const auto& s = j.at("stimulus");
+    read_known_keys(s, "stimulus",
+                    {"kind", "radial", "radial_second", "pde", "plume"});
+    if (s.contains("kind")) {
+      base.stimulus = stimulus_kind_from_string(s.at("kind").as_string());
+    }
+    if (s.contains("radial")) {
+      base.radial = radial_from_json(s.at("radial"), base.radial);
+    }
+    if (s.contains("radial_second")) {
+      base.radial_second =
+          radial_from_json(s.at("radial_second"), base.radial_second);
+    }
+    if (s.contains("pde")) {
+      const auto& p = s.at("pde");
+      read_known_keys(p, "pde", {"source", "diffusivity", "wind",
+                                 "source_rate", "threshold", "grid"});
+      if (p.contains("source")) base.pde.source = vec_from_json(p.at("source"));
+      base.pde.diffusivity = p.number_or("diffusivity", base.pde.diffusivity);
+      if (p.contains("wind")) base.pde.wind = vec_from_json(p.at("wind"));
+      base.pde.source_rate = p.number_or("source_rate", base.pde.source_rate);
+      base.pde.threshold = p.number_or("threshold", base.pde.threshold);
+      if (p.contains("grid")) {
+        base.pde.nx = static_cast<int>(p.at("grid").as_double());
+        base.pde.ny = base.pde.nx;
+      }
+    }
+    if (s.contains("plume")) {
+      const auto& p = s.at("plume");
+      read_known_keys(p, "plume",
+                      {"source", "mass", "diffusivity", "wind", "threshold"});
+      if (p.contains("source")) base.plume.source = vec_from_json(p.at("source"));
+      base.plume.mass = p.number_or("mass", base.plume.mass);
+      base.plume.diffusivity = p.number_or("diffusivity", base.plume.diffusivity);
+      if (p.contains("wind")) base.plume.wind = vec_from_json(p.at("wind"));
+      base.plume.threshold = p.number_or("threshold", base.plume.threshold);
+    }
+  }
+
+  if (j.contains("channel")) {
+    const auto& c = j.at("channel");
+    read_known_keys(c, "channel",
+                    {"kind", "loss", "p_good_to_bad", "p_bad_to_good",
+                     "loss_good", "loss_bad"});
+    if (c.contains("kind")) {
+      base.channel = channel_kind_from_string(c.at("kind").as_string());
+    }
+    base.channel_loss = c.number_or("loss", base.channel_loss);
+    base.gilbert.p_good_to_bad =
+        c.number_or("p_good_to_bad", base.gilbert.p_good_to_bad);
+    base.gilbert.p_bad_to_good =
+        c.number_or("p_bad_to_good", base.gilbert.p_bad_to_good);
+    base.gilbert.loss_good = c.number_or("loss_good", base.gilbert.loss_good);
+    base.gilbert.loss_bad = c.number_or("loss_bad", base.gilbert.loss_bad);
+  }
+
+  if (j.contains("failures")) {
+    const auto& f = j.at("failures");
+    read_known_keys(f, "failures",
+                    {"fraction", "window_start_s", "window_end_s"});
+    base.failures.fraction = f.number_or("fraction", base.failures.fraction);
+    base.failures.window_start_s =
+        f.number_or("window_start_s", base.failures.window_start_s);
+    base.failures.window_end_s =
+        f.number_or("window_end_s", base.failures.window_end_s);
+  }
+
+  return base;
 }
 
 }  // namespace pas::world

@@ -1,9 +1,11 @@
-// JSON serialisation of scenario configurations and run metrics.
+// JSON serialisation (and scenario deserialisation) of configurations and
+// run metrics.
 //
 // Examples emit these so downstream tooling (plotting scripts, experiment
 // trackers) can consume runs without parsing tables; the JSON also serves
 // as a complete, human-readable record of every parameter that shaped a
-// result.
+// result. The experiment engine parses the same shape back to build the
+// base scenario of a campaign manifest (see src/exp/manifest.hpp).
 #pragma once
 
 #include "io/json.hpp"
@@ -25,5 +27,28 @@ namespace pas::world {
 /// Complete run record: {"config": ..., "metrics": ..., "outcomes": [...]}.
 [[nodiscard]] io::Json run_record(const ScenarioConfig& config,
                                   const RunResult& result);
+
+/// Applies the fields present in `j` (the to_json(ScenarioConfig) shape,
+/// all fields optional) on top of `base` and returns the result. Unknown
+/// keys throw std::runtime_error so manifest typos fail loudly instead of
+/// silently running the default scenario.
+[[nodiscard]] ScenarioConfig scenario_from_json(const io::Json& j,
+                                                ScenarioConfig base = {});
+
+/// String → enum helpers shared by JSON parsing and the experiment axes.
+[[nodiscard]] StimulusKind stimulus_kind_from_string(std::string_view s);
+[[nodiscard]] ChannelKind channel_kind_from_string(std::string_view s);
+[[nodiscard]] DeploymentKind deployment_kind_from_string(std::string_view s);
+[[nodiscard]] core::Policy policy_from_string(std::string_view s);
+[[nodiscard]] node::RampKind ramp_kind_from_string(std::string_view s);
+
+[[nodiscard]] constexpr const char* to_string(ChannelKind k) noexcept {
+  switch (k) {
+    case ChannelKind::kPerfect: return "perfect";
+    case ChannelKind::kBernoulli: return "bernoulli";
+    case ChannelKind::kGilbertElliott: return "gilbert-elliott";
+  }
+  return "?";
+}
 
 }  // namespace pas::world

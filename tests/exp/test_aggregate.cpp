@@ -1,0 +1,196 @@
+// Aggregator: incremental CSV/JSON output, resume recovery, finalize.
+#include "exp/aggregate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "io/json.hpp"
+
+namespace pas::exp {
+namespace {
+
+namespace fs = std::filesystem;
+
+class AggregateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("pas_agg_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+    csv_ = (dir_ / "out.csv").string();
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  static world::ReplicatedMetrics fake_metrics(double delay) {
+    world::ReplicatedMetrics m;
+    m.delay_s = {.n = 2, .mean = delay, .stddev = 0.0, .min = delay,
+                 .max = delay, .ci95_half = 0.0};
+    m.energy_j = {.n = 2, .mean = 4.0, .stddev = 0.0, .min = 4.0, .max = 4.0,
+                  .ci95_half = 0.0};
+    m.active_fraction = {.n = 2, .mean = 0.5, .stddev = 0.0, .min = 0.5,
+                         .max = 0.5, .ci95_half = 0.0};
+    m.mean_missed = 1.0;
+    m.mean_broadcasts = 10.0;
+    m.runs.resize(2);
+    return m;
+  }
+
+  static std::vector<std::string> read_lines(const std::string& path) {
+    std::ifstream in(path);
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+    return lines;
+  }
+
+  fs::path dir_;
+  std::string csv_;
+};
+
+TEST_F(AggregateTest, WritesHeaderAndRowsIncrementally) {
+  Aggregator agg(csv_, "", {"policy"}, 3);
+  EXPECT_EQ(agg.load_existing(), 0U);
+  agg.record(1, 111, {"SAS"}, fake_metrics(2.0));
+  // One row is on disk (flushed) before the campaign completes.
+  auto lines = read_lines(csv_);
+  ASSERT_EQ(lines.size(), 2U);
+  EXPECT_EQ(lines[0].substr(0, 11), "point,seed,");
+  EXPECT_EQ(lines[1].substr(0, 6), "1,111,");
+  EXPECT_FALSE(agg.is_done(0));
+  EXPECT_TRUE(agg.is_done(1));
+  EXPECT_EQ(agg.pending(), (std::vector<std::size_t>{0, 2}));
+}
+
+TEST_F(AggregateTest, ResumeSkipsCompletedPoints) {
+  {
+    Aggregator agg(csv_, "", {"policy"}, 4);
+    agg.load_existing();
+    agg.record(0, 100, {"NS"}, fake_metrics(0.0));
+    agg.record(2, 102, {"PAS"}, fake_metrics(1.5));
+  }  // "killed" campaign: rows 0 and 2 on disk
+
+  Aggregator resumed(csv_, "", {"policy"}, 4);
+  EXPECT_EQ(resumed.load_existing(), 2U);
+  EXPECT_TRUE(resumed.is_done(0));
+  EXPECT_FALSE(resumed.is_done(1));
+  EXPECT_TRUE(resumed.is_done(2));
+  EXPECT_EQ(resumed.pending(), (std::vector<std::size_t>{1, 3}));
+
+  resumed.record(1, 101, {"SAS"}, fake_metrics(2.0));
+  resumed.record(3, 103, {"PAS"}, fake_metrics(3.0));
+  resumed.finalize();
+
+  const auto lines = read_lines(csv_);
+  ASSERT_EQ(lines.size(), 5U);
+  for (std::size_t p = 0; p < 4; ++p) {
+    EXPECT_EQ(lines[p + 1].substr(0, 2), std::to_string(p) + ",");
+  }
+}
+
+TEST_F(AggregateTest, ResumeDropsTruncatedTrailingRow) {
+  {
+    Aggregator agg(csv_, "", {"policy"}, 3);
+    agg.load_existing();
+    agg.record(0, 100, {"NS"}, fake_metrics(0.0));
+  }
+  {
+    // Simulate a kill mid-write: append half a row.
+    std::ofstream out(csv_, std::ios::app);
+    out << "1,101,SAS,2,0.5";  // far fewer cells than the header
+  }
+  Aggregator resumed(csv_, "", {"policy"}, 3);
+  EXPECT_EQ(resumed.load_existing(), 1U);
+  EXPECT_FALSE(resumed.is_done(1));
+  // The compacted file no longer carries the damaged point-1 line.
+  const auto lines = read_lines(csv_);
+  ASSERT_EQ(lines.size(), 2U);  // header + intact row 0
+  EXPECT_EQ(lines[1].substr(0, 2), "0,");
+}
+
+TEST_F(AggregateTest, HeaderMismatchThrows) {
+  {
+    std::ofstream out(csv_);
+    out << "point,seed,wrong,columns\n";
+  }
+  Aggregator agg(csv_, "", {"policy"}, 3);
+  EXPECT_THROW(agg.load_existing(), std::runtime_error);
+}
+
+TEST_F(AggregateTest, FinalizeRequiresCompleteness) {
+  Aggregator agg(csv_, "", {}, 2);
+  agg.load_existing();
+  agg.record(0, 100, {}, fake_metrics(0.0));
+  EXPECT_THROW(agg.finalize(), std::logic_error);
+}
+
+TEST_F(AggregateTest, JsonLinesMirrorRows) {
+  const std::string jsonl = (dir_ / "out.jsonl").string();
+  Aggregator agg(csv_, jsonl, {"policy"}, 1);
+  agg.load_existing();
+  agg.record(0, 100, {"PAS"}, fake_metrics(2.5));
+  agg.finalize();
+  const auto lines = read_lines(jsonl);
+  ASSERT_EQ(lines.size(), 1U);
+  EXPECT_NE(lines[0].find("\"policy\":\"PAS\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"delay_mean_s\":2.5"), std::string::npos);
+  // Rows must be valid JSON documents.
+  EXPECT_NO_THROW((void)io::Json::parse(lines[0]));
+}
+
+TEST_F(AggregateTest, NonFiniteMetricsBecomeJsonNull) {
+  const std::string jsonl = (dir_ / "out.jsonl").string();
+  Aggregator agg(csv_, jsonl, {"policy"}, 1);
+  agg.load_existing();
+  auto m = fake_metrics(std::numeric_limits<double>::quiet_NaN());
+  m.energy_j.mean = std::numeric_limits<double>::infinity();
+  agg.record(0, 100, {"PAS"}, m);
+  const auto lines = read_lines(jsonl);
+  ASSERT_EQ(lines.size(), 1U);
+  EXPECT_NE(lines[0].find("\"delay_mean_s\":null"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"energy_mean_j\":null"), std::string::npos);
+  EXPECT_NO_THROW((void)io::Json::parse(lines[0]));  // still valid JSON
+}
+
+TEST_F(AggregateTest, ResumeRejectsRowsFromDifferentManifest) {
+  {
+    Aggregator agg(csv_, "", {"max_sleep_s"}, 2,
+                   {{"100", "5"}, {"101", "10"}});
+    agg.load_existing();
+    agg.record(0, 100, {"5"}, fake_metrics(1.0));
+  }
+  // Same columns, but the campaign now expects different axis values for
+  // point 0 (as if the manifest's sweep values changed).
+  Aggregator changed(csv_, "", {"max_sleep_s"}, 2,
+                     {{"100", "7"}, {"101", "10"}});
+  EXPECT_THROW(changed.load_existing(), std::runtime_error);
+
+  // A changed seed_base is caught the same way.
+  Aggregator reseeded(csv_, "", {"max_sleep_s"}, 2,
+                      {{"999", "5"}, {"998", "10"}});
+  EXPECT_THROW(reseeded.load_existing(), std::runtime_error);
+
+  // The matching manifest still resumes cleanly.
+  Aggregator same(csv_, "", {"max_sleep_s"}, 2, {{"100", "5"}, {"101", "10"}});
+  EXPECT_EQ(same.load_existing(), 1U);
+}
+
+TEST_F(AggregateTest, InMemoryAggregationNeedsNoFiles) {
+  Aggregator agg("", "", {"policy"}, 2);
+  agg.load_existing();
+  agg.record(0, 1, {"NS"}, fake_metrics(0.0));
+  agg.record(1, 2, {"PAS"}, fake_metrics(1.0));
+  agg.finalize();
+  EXPECT_EQ(agg.done_count(), 2U);
+  EXPECT_EQ(agg.summaries().at(1).delay_s.mean, 1.0);
+  EXPECT_TRUE(fs::directory_iterator(dir_) == fs::directory_iterator());
+}
+
+}  // namespace
+}  // namespace pas::exp

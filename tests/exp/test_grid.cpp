@@ -1,0 +1,105 @@
+// Grid expansion: ordering, determinism, seed derivation, axis application.
+#include "exp/grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace pas::exp {
+namespace {
+
+Manifest two_axis_manifest() {
+  Manifest m;
+  m.seed_base = 42;
+  m.replications = 2;
+  m.axes = {
+      Axis{.kind = AxisKind::kPolicy, .labels = {"NS", "SAS", "PAS"}},
+      Axis{.kind = AxisKind::kMaxSleep, .numbers = {5.0, 10.0}},
+  };
+  return m;
+}
+
+TEST(Grid, RowMajorOrderLastAxisFastest) {
+  const auto points = expand_grid(two_axis_manifest());
+  ASSERT_EQ(points.size(), 6U);
+  // (policy, sleep): NS/5, NS/10, SAS/5, SAS/10, PAS/5, PAS/10.
+  const std::vector<std::vector<std::size_t>> want = {
+      {0, 0}, {0, 1}, {1, 0}, {1, 1}, {2, 0}, {2, 1}};
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(points[i].index, i);
+    EXPECT_EQ(points[i].coords, want[i]) << "point " << i;
+  }
+  EXPECT_EQ(points[0].config.protocol.policy, core::Policy::kNeverSleep);
+  EXPECT_DOUBLE_EQ(points[0].config.protocol.sleep.max_s, 5.0);
+  EXPECT_EQ(points[5].config.protocol.policy, core::Policy::kPas);
+  EXPECT_DOUBLE_EQ(points[5].config.protocol.sleep.max_s, 10.0);
+  EXPECT_EQ(points[3].values, (std::vector<std::string>{"SAS", "10"}));
+}
+
+TEST(Grid, ExpansionIsDeterministic) {
+  const auto a = expand_grid(two_axis_manifest());
+  const auto b = expand_grid(two_axis_manifest());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].seed, b[i].seed);
+    EXPECT_EQ(a[i].values, b[i].values);
+    EXPECT_EQ(a[i].config.seed, b[i].config.seed);
+  }
+}
+
+TEST(Grid, PointSeedsAreDistinctAndBaseDependent) {
+  std::set<std::uint64_t> seeds;
+  for (std::size_t p = 0; p < 10000; ++p) {
+    seeds.insert(point_seed(1, p));
+  }
+  EXPECT_EQ(seeds.size(), 10000U);  // no collisions across a 10k campaign
+  EXPECT_NE(point_seed(1, 0), point_seed(2, 0));
+  EXPECT_EQ(point_seed(7, 3), point_seed(7, 3));
+}
+
+TEST(Grid, AxisFreeManifestIsOnePoint) {
+  Manifest m;
+  m.seed_base = 5;
+  const auto points = expand_grid(m);
+  ASSERT_EQ(points.size(), 1U);
+  EXPECT_TRUE(points[0].values.empty());
+  EXPECT_EQ(points[0].config.seed, point_seed(5, 0));
+  EXPECT_EQ(points[0].label(m), "base");
+}
+
+TEST(Grid, AppliesEveryAxisKind) {
+  Manifest m;
+  m.axes = {
+      Axis{.kind = AxisKind::kNodeCount, .numbers = {50.0}},
+      Axis{.kind = AxisKind::kStimulus, .labels = {"plume"}},
+      Axis{.kind = AxisKind::kFailureFraction, .numbers = {0.25}},
+      Axis{.kind = AxisKind::kChannelLoss, .numbers = {0.3}},
+      Axis{.kind = AxisKind::kAlertThreshold, .numbers = {12.0}},
+      Axis{.kind = AxisKind::kDuration, .numbers = {99.0}},
+  };
+  const auto points = expand_grid(m);
+  ASSERT_EQ(points.size(), 1U);
+  const auto& cfg = points[0].config;
+  EXPECT_EQ(cfg.deployment.count, 50U);
+  EXPECT_EQ(cfg.stimulus, world::StimulusKind::kPlume);
+  EXPECT_DOUBLE_EQ(cfg.failures.fraction, 0.25);
+  // The failure axis defaults the window to the run length as configured at
+  // application time (the base's 150 s; the duration axis applies later).
+  EXPECT_DOUBLE_EQ(cfg.failures.window_end_s, 150.0);
+  EXPECT_EQ(cfg.channel, world::ChannelKind::kBernoulli);
+  EXPECT_DOUBLE_EQ(cfg.channel_loss, 0.3);
+  EXPECT_DOUBLE_EQ(cfg.protocol.alert_threshold_s, 12.0);
+  EXPECT_DOUBLE_EQ(cfg.duration_s, 99.0);
+
+  EXPECT_EQ(points[0].label(m),
+            "node_count=50 stimulus=plume failure_fraction=0.25 "
+            "channel_loss=0.3 alert_threshold_s=12 duration_s=99");
+}
+
+TEST(Grid, AxisColumnsMatchDeclaredOrder) {
+  const auto columns = axis_columns(two_axis_manifest());
+  EXPECT_EQ(columns, (std::vector<std::string>{"policy", "max_sleep_s"}));
+}
+
+}  // namespace
+}  // namespace pas::exp

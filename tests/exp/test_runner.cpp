@@ -1,0 +1,157 @@
+// End-to-end campaign execution: parallel-vs-serial equality, resume, and
+// the no-clobber guard. Small grids keep the suite fast; the inner
+// simulations are real.
+#include "exp/runner.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "world/paper_setup.hpp"
+
+namespace pas::exp {
+namespace {
+
+namespace fs = std::filesystem;
+
+Manifest small_manifest() {
+  Manifest m;
+  m.name = "runner-test";
+  m.base = world::paper_scenario();
+  m.base.duration_s = 60.0;  // shortened horizon keeps the suite quick
+  m.replications = 2;
+  m.seed_base = 3;
+  m.axes = {
+      Axis{.kind = AxisKind::kPolicy, .labels = {"NS", "SAS", "PAS"}},
+      Axis{.kind = AxisKind::kMaxSleep, .numbers = {5.0, 15.0}},
+  };
+  return m;
+}
+
+class RunnerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("pas_runner_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  static std::string slurp(const fs::path& path) {
+    std::ifstream in(path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(RunnerTest, SerialAndParallelOutputsAreByteIdentical) {
+  const Manifest m = small_manifest();
+
+  CampaignOptions serial;
+  serial.jobs = 1;
+  serial.out_csv = (dir_ / "serial.csv").string();
+  const auto serial_report = run_campaign(m, serial);
+
+  CampaignOptions parallel;
+  parallel.jobs = 4;
+  parallel.out_csv = (dir_ / "parallel.csv").string();
+  const auto parallel_report = run_campaign(m, parallel);
+
+  EXPECT_EQ(serial_report.total_points, 6U);
+  EXPECT_EQ(serial_report.computed, 6U);
+  EXPECT_EQ(parallel_report.computed, 6U);
+  const std::string a = slurp(dir_ / "serial.csv");
+  const std::string b = slurp(dir_ / "parallel.csv");
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(RunnerTest, ResumeRecomputesOnlyMissingPoints) {
+  const Manifest m = small_manifest();
+  const std::string out = (dir_ / "campaign.csv").string();
+
+  CampaignOptions options;
+  options.jobs = 1;
+  options.out_csv = out;
+  run_campaign(m, options);
+  const std::string complete = slurp(out);
+
+  // Delete half the rows (keep the header and every second row — the
+  // odd-indexed points), as if the campaign had been killed.
+  {
+    std::istringstream in(complete);
+    std::ofstream truncated(out, std::ios::trunc);
+    std::string line;
+    std::size_t n = 0;
+    while (std::getline(in, line)) {
+      if (n == 0 || n % 2 == 0) truncated << line << '\n';
+      ++n;
+    }
+  }
+
+  options.resume = true;
+  std::vector<std::size_t> recomputed;
+  options.progress = [&recomputed](const PointSummary& s, std::size_t,
+                                   std::size_t) {
+    recomputed.push_back(s.point);
+  };
+  const auto report = run_campaign(m, options);
+  EXPECT_EQ(report.skipped, 3U);
+  EXPECT_EQ(report.computed, 3U);
+  EXPECT_EQ(recomputed.size(), 3U);
+  // Only even points (the deleted rows) were simulated again...
+  for (const auto p : recomputed) EXPECT_EQ(p % 2, 0U) << "point " << p;
+  // ...and the resumed file is byte-identical to the uninterrupted run.
+  EXPECT_EQ(slurp(out), complete);
+}
+
+TEST_F(RunnerTest, RefusesToClobberWithoutResume) {
+  const Manifest m = small_manifest();
+  CampaignOptions options;
+  options.jobs = 1;
+  options.out_csv = (dir_ / "campaign.csv").string();
+  run_campaign(m, options);
+  EXPECT_THROW(run_campaign(m, options), std::runtime_error);
+}
+
+TEST_F(RunnerTest, ProgressReportsMonotonicCompletion) {
+  const Manifest m = small_manifest();
+  CampaignOptions options;
+  options.jobs = 2;
+  std::vector<std::size_t> done_counts;
+  options.progress = [&done_counts](const PointSummary&, std::size_t done,
+                                    std::size_t total) {
+    EXPECT_EQ(total, 6U);
+    done_counts.push_back(done);
+  };
+  const auto report = run_campaign(m, options);
+  EXPECT_EQ(report.computed, 6U);
+  ASSERT_EQ(done_counts.size(), 6U);
+  // Counts are non-decreasing (record and progress are not one atomic step,
+  // so two workers may observe the same done count) and end complete.
+  for (std::size_t i = 1; i < done_counts.size(); ++i) {
+    EXPECT_LE(done_counts[i - 1], done_counts[i]);
+  }
+  EXPECT_EQ(done_counts.back(), 6U);
+}
+
+TEST_F(RunnerTest, RunPointMatchesDirectReplication) {
+  const Manifest m = small_manifest();
+  const auto points = expand_grid(m);
+  const auto engine = run_point(points[4], m.replications);
+  const auto direct =
+      world::run_replicated(points[4].config, m.replications, nullptr);
+  EXPECT_DOUBLE_EQ(engine.delay_s.mean, direct.delay_s.mean);
+  EXPECT_DOUBLE_EQ(engine.energy_j.mean, direct.energy_j.mean);
+  EXPECT_EQ(engine.runs.size(), direct.runs.size());
+}
+
+}  // namespace
+}  // namespace pas::exp

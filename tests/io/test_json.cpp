@@ -69,5 +69,69 @@ TEST(Json, TypeErrorsThrow) {
   EXPECT_THROW(j.push_back(1), std::logic_error);
 }
 
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_EQ(Json::parse("true").as_bool(), true);
+  EXPECT_EQ(Json::parse("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(Json::parse("3.5").as_double(), 3.5);
+  EXPECT_DOUBLE_EQ(Json::parse("-2e3").as_double(), -2000.0);
+  EXPECT_EQ(Json::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(Json::parse(R"("a\"b\\c\nd\te")").as_string(), "a\"b\\c\nd\te");
+  EXPECT_EQ(Json::parse(R"("Aé")").as_string(), "A\xc3\xa9");
+}
+
+TEST(JsonParse, Containers) {
+  const Json j = Json::parse(R"({"a": [1, 2, 3], "b": {"c": true}, "d": null})");
+  ASSERT_TRUE(j.is_object());
+  EXPECT_EQ(j.at("a").as_array().size(), 3U);
+  EXPECT_DOUBLE_EQ(j.at("a").as_array()[1].as_double(), 2.0);
+  EXPECT_TRUE(j.at("b").at("c").as_bool());
+  EXPECT_TRUE(j.at("d").is_null());
+  EXPECT_TRUE(j.contains("a"));
+  EXPECT_FALSE(j.contains("z"));
+}
+
+TEST(JsonParse, WhitespaceAndEmpty) {
+  EXPECT_TRUE(Json::parse(" \n\t{ } ").is_object());
+  EXPECT_TRUE(Json::parse("[]").is_array());
+  EXPECT_EQ(Json::parse("[ ]").as_array().size(), 0U);
+}
+
+TEST(JsonParse, RoundTripsDump) {
+  Json j;
+  j["name"] = "pas";
+  j["values"].push_back(1.5);
+  j["values"].push_back(-2.25);
+  j["nested"]["flag"] = true;
+  const Json reparsed = Json::parse(j.dump(2));
+  EXPECT_EQ(reparsed.dump(), j.dump());
+}
+
+TEST(JsonParse, MalformedThrows) {
+  EXPECT_THROW(Json::parse(""), std::runtime_error);
+  EXPECT_THROW(Json::parse("{"), std::runtime_error);
+  EXPECT_THROW(Json::parse("[1,]"), std::runtime_error);
+  EXPECT_THROW(Json::parse("{\"a\":1,}"), std::runtime_error);
+  EXPECT_THROW(Json::parse("tru"), std::runtime_error);
+  EXPECT_THROW(Json::parse("1 2"), std::runtime_error);
+  EXPECT_THROW(Json::parse("\"unterminated"), std::runtime_error);
+  EXPECT_THROW(Json::parse("{\"a\" 1}"), std::runtime_error);
+}
+
+TEST(JsonParse, AccessorFallbacks) {
+  const Json j = Json::parse(R"({"n": 4, "s": "x", "f": false})");
+  EXPECT_DOUBLE_EQ(j.number_or("n", 9.0), 4.0);
+  EXPECT_DOUBLE_EQ(j.number_or("missing", 9.0), 9.0);
+  EXPECT_EQ(j.string_or("s", "d"), "x");
+  EXPECT_EQ(j.string_or("missing", "d"), "d");
+  EXPECT_FALSE(j.bool_or("f", true));
+  EXPECT_TRUE(j.bool_or("missing", true));
+  EXPECT_THROW((void)j.at("missing"), std::runtime_error);
+  EXPECT_THROW((void)j.at("n").as_string(), std::runtime_error);
+}
+
 }  // namespace
 }  // namespace pas::io

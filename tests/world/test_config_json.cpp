@@ -89,5 +89,58 @@ TEST(MetricsJson, RoundNumbersPresent) {
   EXPECT_NE(dump.find("\"alert_entries\""), std::string::npos);
 }
 
+TEST(ScenarioFromJson, RoundTripsSerialisedConfig) {
+  ScenarioConfig cfg = paper_scenario();
+  cfg.seed = 77;
+  cfg.protocol.policy = core::Policy::kSas;
+  cfg.channel = ChannelKind::kGilbertElliott;
+  cfg.gilbert.loss_bad = 0.7;
+  cfg.failures.fraction = 0.15;
+  cfg.failures.window_end_s = 90.0;
+  cfg.stimulus = StimulusKind::kTwoSources;
+
+  const ScenarioConfig parsed =
+      scenario_from_json(io::Json::parse(to_json(cfg).dump()));
+  EXPECT_EQ(parsed.seed, cfg.seed);
+  EXPECT_EQ(parsed.protocol.policy, cfg.protocol.policy);
+  EXPECT_EQ(parsed.channel, cfg.channel);
+  EXPECT_DOUBLE_EQ(parsed.gilbert.loss_bad, cfg.gilbert.loss_bad);
+  EXPECT_DOUBLE_EQ(parsed.failures.fraction, cfg.failures.fraction);
+  EXPECT_DOUBLE_EQ(parsed.failures.window_end_s, cfg.failures.window_end_s);
+  EXPECT_EQ(parsed.stimulus, cfg.stimulus);
+  EXPECT_DOUBLE_EQ(parsed.radial.base_speed, cfg.radial.base_speed);
+  EXPECT_DOUBLE_EQ(parsed.radial_second.start_time,
+                   cfg.radial_second.start_time);
+  ASSERT_EQ(parsed.radial.harmonics.size(), cfg.radial.harmonics.size());
+  EXPECT_DOUBLE_EQ(parsed.radial.harmonics[1].amplitude,
+                   cfg.radial.harmonics[1].amplitude);
+  EXPECT_EQ(parsed.deployment.count, cfg.deployment.count);
+  EXPECT_DOUBLE_EQ(parsed.deployment.region.width(),
+                   cfg.deployment.region.width());
+  // Serialise → parse → serialise is a fixed point.
+  EXPECT_EQ(to_json(parsed).dump(), to_json(cfg).dump());
+}
+
+TEST(ScenarioFromJson, PartialOverridesKeepBase) {
+  const ScenarioConfig base = paper_scenario();
+  const ScenarioConfig parsed = scenario_from_json(
+      io::Json::parse(R"({"protocol": {"alert_threshold_s": 25}})"), base);
+  EXPECT_DOUBLE_EQ(parsed.protocol.alert_threshold_s, 25.0);
+  EXPECT_EQ(parsed.protocol.policy, base.protocol.policy);
+  EXPECT_EQ(parsed.deployment.count, base.deployment.count);
+  EXPECT_DOUBLE_EQ(parsed.radial.base_speed, base.radial.base_speed);
+}
+
+TEST(ScenarioFromJson, UnknownKeysThrow) {
+  EXPECT_THROW(scenario_from_json(io::Json::parse(R"({"sede": 1})")),
+               std::runtime_error);
+  EXPECT_THROW(
+      scenario_from_json(io::Json::parse(R"({"radio": {"range": 10}})")),
+      std::runtime_error);
+  EXPECT_THROW(scenario_from_json(
+                   io::Json::parse(R"({"protocol": {"policy": "BOGUS"}})")),
+               std::runtime_error);
+}
+
 }  // namespace
 }  // namespace pas::world
