@@ -21,6 +21,7 @@
 #include "exp/manifest.hpp"
 #include "exp/runner.hpp"
 #include "io/table.hpp"
+#include "runtime/thread_pool.hpp"
 #include "world/paper_setup.hpp"
 #include "world/sweep.hpp"
 
@@ -93,7 +94,16 @@ inline exp::Manifest point_manifest(core::Policy policy, double max_sleep_s,
   return m;
 }
 
-/// Runs one sweep point of the paper scenario through the campaign engine.
+/// Shared worker pool for replication-parallel bench points. One pool per
+/// bench binary; replications land in an index-ordered buffer, so numbers
+/// are identical to the serial path (world::run_replicated).
+inline runtime::ThreadPool& bench_pool() {
+  static runtime::ThreadPool pool;
+  return pool;
+}
+
+/// Runs one sweep point of the paper scenario through the campaign engine,
+/// replications in parallel on the shared bench pool.
 inline world::ReplicatedMetrics run_point(core::Policy policy,
                                           double max_sleep_s,
                                           double alert_threshold_s,
@@ -101,7 +111,7 @@ inline world::ReplicatedMetrics run_point(core::Policy policy,
   const auto manifest = point_manifest(policy, max_sleep_s, alert_threshold_s,
                                        reps);
   const auto points = exp::expand_grid(manifest);
-  return exp::run_point(points.front(), reps);
+  return exp::run_point(points.front(), reps, &bench_pool());
 }
 
 }  // namespace pas::bench

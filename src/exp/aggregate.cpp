@@ -3,8 +3,11 @@
 #include <charconv>
 #include <cmath>
 #include <cstdio>
+#include <set>
 #include <stdexcept>
+#include <utility>
 
+#include "exp/grid.hpp"
 #include "io/csv.hpp"
 
 namespace pas::exp {
@@ -33,6 +36,12 @@ std::string join_csv(const std::vector<std::string>& cells) {
     line += io::CsvWriter::escape(cells[i]);
   }
   return line;
+}
+
+bool parse_index(const std::string& cell, std::size_t& out) {
+  const auto [ptr, ec] =
+      std::from_chars(cell.data(), cell.data() + cell.size(), out);
+  return ec == std::errc{} && ptr == cell.data() + cell.size();
 }
 
 /// True if the whole cell parses as a *finite* double (→ emit raw in JSON
@@ -70,30 +79,79 @@ PointSummary PointSummary::of(std::size_t point, std::uint64_t seed,
 }
 
 std::vector<std::string> Aggregator::metric_columns() {
-  return {"replications",         "delay_mean_s",  "delay_ci95_s",
-          "delay_min_s",          "delay_max_s",   "energy_mean_j",
-          "energy_ci95_j",        "energy_min_j",  "energy_max_j",
-          "active_fraction_mean", "missed_mean",   "broadcasts_mean"};
+  return {"replications",  "delay_mean_s",         "delay_ci95_s",
+          "delay_min_s",   "delay_max_s",          "delay_p50_s",
+          "delay_p95_s",   "delay_p99_s",          "energy_mean_j",
+          "energy_ci95_j", "energy_min_j",         "energy_max_j",
+          "active_fraction_mean",                  "missed_mean",
+          "broadcasts_mean"};
+}
+
+std::vector<std::string> Aggregator::per_run_metric_columns() {
+  return {"avg_delay_s", "p95_delay_s", "max_delay_s",     "avg_energy_j",
+          "active_fraction",            "missed",          "censored",
+          "broadcasts"};
+}
+
+Aggregator::Aggregator(AggregatorOptions options)
+    : csv_path_(std::move(options.csv_path)),
+      json_path_(std::move(options.json_path)),
+      per_run_path_(std::move(options.per_run_path)),
+      axis_count_(options.axis_names.size()),
+      total_points_(options.total_points),
+      replications_(options.replications),
+      expected_identity_(std::move(options.expected_identity)) {
+  if (!expected_identity_.empty() &&
+      expected_identity_.size() != total_points_) {
+    throw std::logic_error("Aggregator: expected_identity size mismatch");
+  }
+  if (!per_run_path_.empty() && replications_ == 0) {
+    throw std::logic_error(
+        "Aggregator: per-run output requires the replication count");
+  }
+  if (!per_run_path_.empty() && csv_path_.empty()) {
+    // Resume pairs per-run groups with summary rows; without the summary
+    // CSV every recovered group would look orphaned and be wiped.
+    throw std::logic_error(
+        "Aggregator: per-run output requires a summary CSV path");
+  }
+  if (!options.owned_points.empty()) {
+    owned_.assign(total_points_, 0);
+    for (const auto p : options.owned_points) {
+      if (p >= total_points_) {
+        throw std::logic_error("Aggregator: owned point out of range");
+      }
+      if (owned_[p] == 0) ++owned_count_;
+      owned_[p] = 1;
+    }
+  }
+  columns_ = {"point", "seed"};
+  columns_.insert(columns_.end(), options.axis_names.begin(),
+                  options.axis_names.end());
+  const auto metrics = metric_columns();
+  columns_.insert(columns_.end(), metrics.begin(), metrics.end());
+
+  per_run_columns_ = {"point", "rep", "seed"};
+  per_run_columns_.insert(per_run_columns_.end(), options.axis_names.begin(),
+                          options.axis_names.end());
+  const auto run_metrics = per_run_metric_columns();
+  per_run_columns_.insert(per_run_columns_.end(), run_metrics.begin(),
+                          run_metrics.end());
 }
 
 Aggregator::Aggregator(std::string csv_path, std::string json_path,
                        std::vector<std::string> axis_names,
                        std::size_t total_points,
                        std::vector<std::vector<std::string>> expected_identity)
-    : csv_path_(std::move(csv_path)),
-      json_path_(std::move(json_path)),
-      axis_count_(axis_names.size()),
-      total_points_(total_points),
-      expected_identity_(std::move(expected_identity)) {
-  if (!expected_identity_.empty() &&
-      expected_identity_.size() != total_points_) {
-    throw std::logic_error("Aggregator: expected_identity size mismatch");
-  }
-  columns_ = {"point", "seed"};
-  columns_.insert(columns_.end(), axis_names.begin(), axis_names.end());
-  const auto metrics = metric_columns();
-  columns_.insert(columns_.end(), metrics.begin(), metrics.end());
-}
+    : Aggregator(AggregatorOptions{
+          .csv_path = std::move(csv_path),
+          .json_path = std::move(json_path),
+          .per_run_path = {},
+          .axis_names = std::move(axis_names),
+          .total_points = total_points,
+          .replications = 0,
+          .expected_identity = std::move(expected_identity),
+          .owned_points = {}}) {}
 
 std::string Aggregator::csv_line(const std::vector<std::string>& cells) const {
   return join_csv(cells);
@@ -134,6 +192,111 @@ void Aggregator::open_appenders() {
       throw std::runtime_error("Aggregator: cannot open " + json_path_);
     }
   }
+  if (!per_run_path_.empty()) {
+    per_run_out_.open(per_run_path_, std::ios::app);
+    if (!per_run_out_) {
+      throw std::runtime_error("Aggregator: cannot open " + per_run_path_);
+    }
+  }
+}
+
+void Aggregator::load_rows_file(
+    const std::string& path, const std::vector<std::string>& want_header,
+    const char* flag_hint, std::size_t key_arity,
+    const std::function<void(std::size_t, std::size_t,
+                             std::vector<std::string>)>& on_row) {
+  std::ifstream in(path);
+  if (!in) return;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (first) {
+      first = false;
+      if (split_csv_line(line) != want_header) {
+        throw std::runtime_error(
+            "Aggregator: existing output header does not match this "
+            "campaign (" + path + "); delete it or change " + flag_hint);
+      }
+      continue;
+    }
+    auto cells = split_csv_line(line);
+    // A row truncated by a kill mid-write has the wrong cell count;
+    // drop it and let the runner recompute that point.
+    if (cells.size() != want_header.size()) continue;
+    std::size_t point = 0, rep = 0;
+    if (!parse_index(cells[0], point)) continue;
+    if (key_arity > 1 && !parse_index(cells[1], rep)) continue;
+    if (point >= total_points_) continue;
+    if (!owns(point)) {
+      throw std::runtime_error(
+          "Aggregator: row for point " + std::to_string(point) + " in " +
+          path +
+          " does not belong to this shard (wrong --shard/--out pairing?)");
+    }
+    on_row(point, rep, std::move(cells));
+  }
+}
+
+void Aggregator::load_point_rows() {
+  load_rows_file(
+      csv_path_, columns_, "--out", /*key_arity=*/1,
+      [this](std::size_t point, std::size_t, std::vector<std::string> cells) {
+        if (!expected_identity_.empty()) {
+          // cells[1..1+axis_count] are the seed + axis values, and the
+          // replications cell follows them; a mismatch means the file was
+          // produced by a different manifest, and resuming over it would
+          // mix incompatible results. (Seeds are independent of the
+          // replication count, hence the separate check.)
+          const auto& want = expected_identity_[point];
+          bool matches = true;
+          for (std::size_t k = 0; matches && k < want.size(); ++k) {
+            matches = cells[1 + k] == want[k];
+          }
+          if (matches && replications_ > 0) {
+            matches =
+                cells[1 + want.size()] == std::to_string(replications_);
+          }
+          if (!matches) {
+            throw std::runtime_error(
+                "Aggregator: row for point " + std::to_string(point) +
+                " in " + csv_path_ +
+                " was computed with different parameters (manifest "
+                "changed?); delete the file or change --out");
+          }
+        }
+        rows_[point] = std::move(cells);
+      });
+}
+
+void Aggregator::load_per_run_rows() {
+  load_rows_file(
+      per_run_path_, per_run_columns_, "--per-run",
+      /*key_arity=*/2,
+      [this](std::size_t point, std::size_t rep,
+             std::vector<std::string> cells) {
+        if (rep >= replications_) return;
+        if (!expected_identity_.empty()) {
+          // Mirror of load_point_rows' identity check: cells are
+          // point,rep,seed,axes...; the run's seed must be the point seed
+          // plus the replication index, and the axis cells must match.
+          const auto& want = expected_identity_[point];
+          std::size_t point_seed = 0;
+          bool matches = parse_index(want.front(), point_seed) &&
+                         cells[2] == std::to_string(point_seed + rep);
+          for (std::size_t k = 1; matches && k < want.size(); ++k) {
+            matches = cells[2 + k] == want[k];
+          }
+          if (!matches) {
+            throw std::runtime_error(
+                "Aggregator: run row for point " + std::to_string(point) +
+                " in " + per_run_path_ +
+                " was computed with different parameters (manifest "
+                "changed?); delete the file or change --per-run");
+          }
+        }
+        per_run_rows_[point][rep] = std::move(cells);
+      });
 }
 
 std::size_t Aggregator::load_existing() {
@@ -141,60 +304,31 @@ std::size_t Aggregator::load_existing() {
   if (loaded_) throw std::logic_error("Aggregator: load_existing called twice");
   loaded_ = true;
 
-  if (!csv_path_.empty()) {
-    std::ifstream in(csv_path_);
-    if (in) {
-      std::string line;
-      bool first = true;
-      while (std::getline(in, line)) {
-        if (line.empty()) continue;
-        if (first) {
-          first = false;
-          if (split_csv_line(line) != columns_) {
-            throw std::runtime_error(
-                "Aggregator: existing output header does not match this "
-                "campaign (" + csv_path_ + "); delete it or change --out");
-          }
-          continue;
-        }
-        auto cells = split_csv_line(line);
-        // A row truncated by a kill mid-write has the wrong cell count;
-        // drop it and let the runner recompute that point.
-        if (cells.size() != columns_.size()) continue;
-        std::size_t point = 0;
-        const auto [ptr, ec] = std::from_chars(
-            cells[0].data(), cells[0].data() + cells[0].size(), point);
-        if (ec != std::errc{} || ptr != cells[0].data() + cells[0].size()) {
-          continue;
-        }
-        if (point >= total_points_) continue;
-        if (!expected_identity_.empty()) {
-          // cells[1..1+axis_count] are the seed + axis values; a mismatch
-          // means the file was produced by a different manifest, and
-          // resuming over it would mix incompatible results.
-          const auto& want = expected_identity_[point];
-          bool matches = true;
-          for (std::size_t k = 0; k < want.size(); ++k) {
-            if (cells[1 + k] != want[k]) {
-              matches = false;
-              break;
-            }
-          }
-          if (!matches) {
-            throw std::runtime_error(
-                "Aggregator: row for point " + std::to_string(point) + " in " +
-                csv_path_ +
-                " was computed with different parameters (manifest changed?); "
-                "delete the file or change --out");
-          }
-        }
-        rows_[point] = std::move(cells);
+  if (!csv_path_.empty()) load_point_rows();
+  if (!per_run_path_.empty()) {
+    load_per_run_rows();
+    // A point is only truly done when its per-run group is complete: a
+    // kill can land between the per-run rows and the summary row. Torn
+    // groups are dropped and the point recomputed (and vice versa for
+    // orphaned groups without a summary row).
+    for (auto it = rows_.begin(); it != rows_.end();) {
+      const auto group = per_run_rows_.find(it->first);
+      if (group == per_run_rows_.end() ||
+          group->second.size() != replications_) {
+        if (group != per_run_rows_.end()) per_run_rows_.erase(group);
+        it = rows_.erase(it);
+      } else {
+        ++it;
       }
+    }
+    for (auto it = per_run_rows_.begin(); it != per_run_rows_.end();) {
+      it = rows_.count(it->first) == 0 ? per_run_rows_.erase(it)
+                                       : std::next(it);
     }
   }
 
   // Compact what we recovered (drops truncated/duplicate rows), writing the
-  // header either way, and leave both files open for appending.
+  // header either way, and leave the files open for appending.
   rewrite_files(/*require_complete=*/false);
   open_appenders();
   return rows_.size();
@@ -202,7 +336,7 @@ std::size_t Aggregator::load_existing() {
 
 void Aggregator::rewrite_files(bool require_complete) {
   // Caller holds mutex_.
-  if (require_complete && rows_.size() != total_points_) {
+  if (require_complete && rows_.size() != owned_count()) {
     throw std::logic_error("Aggregator: finalize with incomplete campaign");
   }
   if (!csv_path_.empty()) {
@@ -236,6 +370,25 @@ void Aggregator::rewrite_files(bool require_complete) {
       throw std::runtime_error("Aggregator: cannot replace " + json_path_);
     }
   }
+  if (!per_run_path_.empty()) {
+    if (per_run_out_.is_open()) per_run_out_.close();
+    const std::string tmp = per_run_path_ + ".tmp";
+    {
+      std::ofstream out(tmp, std::ios::trunc);
+      if (!out) throw std::runtime_error("Aggregator: cannot write " + tmp);
+      out << csv_line(per_run_columns_) << '\n';
+      for (const auto& [point, group] : per_run_rows_) {
+        (void)point;
+        for (const auto& [rep, cells] : group) {
+          (void)rep;
+          out << csv_line(cells) << '\n';
+        }
+      }
+    }
+    if (std::rename(tmp.c_str(), per_run_path_.c_str()) != 0) {
+      throw std::runtime_error("Aggregator: cannot replace " + per_run_path_);
+    }
+  }
 }
 
 bool Aggregator::is_done(std::size_t point) const {
@@ -246,9 +399,9 @@ bool Aggregator::is_done(std::size_t point) const {
 std::vector<std::size_t> Aggregator::pending() const {
   const std::lock_guard lock(mutex_);
   std::vector<std::size_t> out;
-  out.reserve(total_points_ - rows_.size());
+  out.reserve(owned_count() - rows_.size());
   for (std::size_t p = 0; p < total_points_; ++p) {
-    if (rows_.count(p) == 0) out.push_back(p);
+    if (owns(p) && rows_.count(p) == 0) out.push_back(p);
   }
   return out;
 }
@@ -259,22 +412,63 @@ void Aggregator::record(std::size_t point, std::uint64_t seed,
   if (axis_values.size() != axis_count_) {
     throw std::logic_error("Aggregator: axis value count mismatch");
   }
+  if (!owns(point)) {
+    throw std::logic_error("Aggregator: record for a point outside the shard");
+  }
   std::vector<std::string> cells;
   cells.reserve(columns_.size());
   cells.push_back(std::to_string(point));
   cells.push_back(std::to_string(seed));
   cells.insert(cells.end(), axis_values.begin(), axis_values.end());
   cells.push_back(std::to_string(m.runs.size()));
+  std::vector<double> delays;
+  delays.reserve(m.runs.size());
+  for (const auto& run : m.runs) delays.push_back(run.avg_delay_s);
+  const auto delay_pct = metrics::Percentiles::of(std::move(delays));
   for (const double v :
        {m.delay_s.mean, m.delay_s.ci95_half, m.delay_s.min, m.delay_s.max,
-        m.energy_j.mean, m.energy_j.ci95_half, m.energy_j.min, m.energy_j.max,
+        delay_pct.p50, delay_pct.p95, delay_pct.p99, m.energy_j.mean,
+        m.energy_j.ci95_half, m.energy_j.min, m.energy_j.max,
         m.active_fraction.mean, m.mean_missed, m.mean_broadcasts}) {
     cells.push_back(io::format_double(v));
+  }
+
+  // Per-run rows, one per replication (seed column is the run's own seed).
+  std::map<std::size_t, std::vector<std::string>> run_rows;
+  if (!per_run_path_.empty()) {
+    for (std::size_t r = 0; r < m.runs.size(); ++r) {
+      const auto& run = m.runs[r];
+      std::vector<std::string> rc;
+      rc.reserve(per_run_columns_.size());
+      rc.push_back(std::to_string(point));
+      rc.push_back(std::to_string(r));
+      rc.push_back(std::to_string(seed + r));
+      rc.insert(rc.end(), axis_values.begin(), axis_values.end());
+      for (const double v : {run.avg_delay_s, run.p95_delay_s,
+                             run.max_delay_s, run.avg_energy_j,
+                             run.avg_active_fraction}) {
+        rc.push_back(io::format_double(v));
+      }
+      rc.push_back(std::to_string(run.missed));
+      rc.push_back(std::to_string(run.censored));
+      rc.push_back(std::to_string(run.network.broadcasts));
+      run_rows.emplace(r, std::move(rc));
+    }
   }
 
   const std::lock_guard lock(mutex_);
   if (rows_.count(point) > 0) return;  // already recovered via resume
   summaries_.emplace(point, PointSummary::of(point, seed, m));
+  // Per-run rows land on disk before the summary row: resume treats a
+  // summary row without its full per-run group as torn either way, but
+  // this order makes the common kill point (between points) clean.
+  if (per_run_out_.is_open()) {
+    for (const auto& [r, rc] : run_rows) {
+      (void)r;
+      per_run_out_ << csv_line(rc) << '\n';
+    }
+    per_run_out_.flush();
+  }
   if (csv_out_.is_open()) {
     csv_out_ << csv_line(cells) << '\n';
     csv_out_.flush();
@@ -283,6 +477,7 @@ void Aggregator::record(std::size_t point, std::uint64_t seed,
     json_out_ << json_line(cells) << '\n';
     json_out_.flush();
   }
+  if (!per_run_path_.empty()) per_run_rows_.emplace(point, std::move(run_rows));
   rows_.emplace(point, std::move(cells));
 }
 
@@ -294,6 +489,178 @@ void Aggregator::finalize() {
 std::size_t Aggregator::done_count() const {
   const std::lock_guard lock(mutex_);
   return rows_.size();
+}
+
+// --- Shard merging ----------------------------------------------------------
+
+std::size_t merge_outputs(const std::vector<std::string>& inputs,
+                          const std::string& out_path,
+                          const Manifest* manifest) {
+  if (inputs.empty()) {
+    throw std::invalid_argument("merge_outputs: no input files");
+  }
+
+  // Manifest-derived expectations (empty when merging without one).
+  std::vector<std::string> want_point_header, want_per_run_header;
+  std::vector<GridPoint> grid;
+  if (manifest != nullptr) {
+    manifest->validate();
+    const auto axes = axis_columns(*manifest);
+    want_point_header = {"point", "seed"};
+    want_point_header.insert(want_point_header.end(), axes.begin(), axes.end());
+    const auto metrics = Aggregator::metric_columns();
+    want_point_header.insert(want_point_header.end(), metrics.begin(),
+                             metrics.end());
+    want_per_run_header = {"point", "rep", "seed"};
+    want_per_run_header.insert(want_per_run_header.end(), axes.begin(),
+                               axes.end());
+    const auto run_metrics = Aggregator::per_run_metric_columns();
+    want_per_run_header.insert(want_per_run_header.end(), run_metrics.begin(),
+                               run_metrics.end());
+    grid = expand_grid(*manifest);
+  }
+
+  std::string header_line;
+  std::vector<std::string> header;
+  bool per_run = false;
+  // (point, rep) → raw line; raw bytes are re-emitted untouched so the
+  // merged file is byte-identical to an unsharded run's output.
+  std::map<std::pair<std::size_t, std::size_t>, std::string> rows;
+
+  for (const auto& path : inputs) {
+    std::ifstream in(path);
+    if (!in) {
+      throw std::runtime_error("merge_outputs: cannot open " + path);
+    }
+    bool first = true;
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      if (first) {
+        first = false;
+        if (header.empty()) {
+          header_line = line;
+          header = split_csv_line(line);
+          per_run = header.size() > 1 && header[1] == "rep";
+          if (manifest != nullptr &&
+              header != (per_run ? want_per_run_header : want_point_header)) {
+            throw std::runtime_error(
+                "merge_outputs: header of " + path +
+                " does not match the manifest's output columns");
+          }
+        } else if (split_csv_line(line) != header) {
+          throw std::runtime_error(
+              "merge_outputs: header of " + path + " does not match " +
+              inputs.front() + " (shards of different campaigns?)");
+        }
+        continue;
+      }
+      const auto cells = split_csv_line(line);
+      if (cells.size() != header.size()) {
+        throw std::runtime_error(
+            "merge_outputs: truncated row in " + path +
+            "; resume that shard to completion before merging");
+      }
+      std::size_t point = 0, rep = 0;
+      if (!parse_index(cells[0], point) ||
+          (per_run && !parse_index(cells[1], rep))) {
+        throw std::runtime_error("merge_outputs: unparsable row key in " +
+                                 path);
+      }
+      if (manifest != nullptr) {
+        if (point >= grid.size()) {
+          throw std::runtime_error(
+              "merge_outputs: " + path + " has point " +
+              std::to_string(point) + " beyond the manifest's grid");
+        }
+        if (per_run && rep >= manifest->replications) {
+          throw std::runtime_error(
+              "merge_outputs: " + path + " has replication " +
+              std::to_string(rep) + " beyond the manifest's count");
+        }
+        const std::size_t seed_cell = per_run ? 2 : 1;
+        const std::uint64_t want_seed =
+            grid[point].seed + (per_run ? rep : 0);
+        bool matches = cells[seed_cell] == std::to_string(want_seed);
+        for (std::size_t a = 0; matches && a < grid[point].values.size();
+             ++a) {
+          matches = cells[seed_cell + 1 + a] == grid[point].values[a];
+        }
+        // Point seeds do not depend on the replication count, so a summary
+        // row's "replications" cell (right after the axes) is the only
+        // evidence of a changed count; per-run rows are caught by the
+        // rectangularity check instead.
+        if (matches && !per_run) {
+          matches = cells[seed_cell + 1 + grid[point].values.size()] ==
+                    std::to_string(manifest->replications);
+        }
+        if (!matches) {
+          throw std::runtime_error(
+              "merge_outputs: row for point " + std::to_string(point) +
+              " in " + path +
+              " was computed with different parameters (manifest mismatch)");
+        }
+      }
+      if (!rows.emplace(std::make_pair(point, rep), line).second) {
+        throw std::runtime_error(
+            "merge_outputs: point " + std::to_string(point) +
+            (per_run ? " replication " + std::to_string(rep) : std::string()) +
+            " appears in multiple inputs (overlapping shards?)");
+      }
+    }
+  }
+  if (header.empty()) {
+    throw std::runtime_error("merge_outputs: inputs contain no header");
+  }
+
+  // Completeness: the merged point set must have no gaps (a missing shard
+  // would otherwise go unnoticed), per-run groups must be rectangular, and
+  // a manifest pins the exact expected counts.
+  std::size_t max_point = 0, max_rep = 0;
+  std::set<std::size_t> points_seen;
+  std::map<std::size_t, std::size_t> reps_per_point;
+  for (const auto& [key, line] : rows) {
+    (void)line;
+    max_point = std::max(max_point, key.first);
+    max_rep = std::max(max_rep, key.second);
+    points_seen.insert(key.first);
+    ++reps_per_point[key.first];
+  }
+  const std::size_t want_points =
+      manifest != nullptr ? manifest->point_count() : max_point + 1;
+  const std::size_t want_reps =
+      manifest != nullptr ? (per_run ? manifest->replications : 1)
+                          : max_rep + 1;
+  if (rows.empty() || points_seen.size() != want_points) {
+    throw std::runtime_error(
+        "merge_outputs: merged inputs cover " +
+        std::to_string(points_seen.size()) + " of " +
+        std::to_string(want_points) +
+        " points; a shard output is missing or incomplete");
+  }
+  for (const auto& [point, count] : reps_per_point) {
+    if (count != want_reps) {
+      throw std::runtime_error(
+          "merge_outputs: point " + std::to_string(point) + " has " +
+          std::to_string(count) + " of " + std::to_string(want_reps) +
+          " replication rows; a shard output is incomplete");
+    }
+  }
+
+  const std::string tmp = out_path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) throw std::runtime_error("merge_outputs: cannot write " + tmp);
+    out << header_line << '\n';
+    for (const auto& [key, line] : rows) {
+      (void)key;
+      out << line << '\n';
+    }
+  }
+  if (std::rename(tmp.c_str(), out_path.c_str()) != 0) {
+    throw std::runtime_error("merge_outputs: cannot replace " + out_path);
+  }
+  return rows.size();
 }
 
 }  // namespace pas::exp

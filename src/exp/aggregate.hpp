@@ -2,24 +2,31 @@
 //
 // The Aggregator owns the campaign's output files. Completed points stream
 // in (from any thread, in any order) and are appended to the CSV — and
-// optionally a JSON-lines file — with a flush per row, so a killed campaign
-// leaves a valid, loadable record of everything it finished. On resume the
-// aggregator reads that record back and reports which points are already
-// done; the runner then schedules only the rest.
+// optionally a JSON-lines file and a per-replication CSV — with a flush per
+// row, so a killed campaign leaves a valid, loadable record of everything
+// it finished. On resume the aggregator reads that record back and reports
+// which points are already done; the runner then schedules only the rest.
 //
-// When every point is present, finalize() rewrites both files in point
-// order through a temp-file + rename, so the completed artifact is
-// byte-identical no matter how many shards produced it or how many times
+// When every owned point is present, finalize() rewrites the files in
+// point order through a temp-file + rename, so the completed artifact is
+// byte-identical no matter how many threads produced it or how many times
 // the campaign was resumed.
+//
+// Sharding: a campaign may be split across processes/machines with
+// `owned_points` — each shard aggregates only its own subset of the grid
+// into its own files, and merge_outputs() recombines the finalized shard
+// files into the exact bytes an unsharded run would have written.
 #pragma once
 
 #include <cstdint>
 #include <fstream>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "exp/manifest.hpp"
 #include "world/sweep.hpp"
 
 namespace pas::exp {
@@ -40,29 +47,51 @@ struct PointSummary {
                                        const world::ReplicatedMetrics& m);
 };
 
+struct AggregatorOptions {
+  /// CSV output path; empty aggregates in memory only (benches, tests).
+  std::string csv_path;
+  /// Optional JSON-lines mirror of every row.
+  std::string json_path;
+  /// Optional per-replication CSV (one row per run); requires
+  /// `replications` so resume can tell complete groups from torn ones.
+  std::string per_run_path;
+  std::vector<std::string> axis_names;
+  std::size_t total_points = 0;
+  /// Replications per point; only consulted when per_run_path is set.
+  std::size_t replications = 0;
+  /// Each point's expected {seed, axis values...} cells; resume uses it to
+  /// reject rows computed under a different manifest. Empty disables the
+  /// check (unit tests); the runner always passes it from the grid.
+  std::vector<std::vector<std::string>> expected_identity;
+  /// Point indices this shard owns, ascending. Empty means all points.
+  /// pending()/finalize() consider only owned points, and resume rejects
+  /// rows for foreign points (they signal a wrong --shard/--out pairing).
+  std::vector<std::size_t> owned_points;
+};
+
 class Aggregator {
  public:
-  /// `csv_path` may be empty (in-memory aggregation only, used by benches).
-  /// `json_path` optionally mirrors every row as JSON lines.
-  /// `expected_identity`, when non-empty, gives each point's expected
-  /// {seed, axis values...} cells; resume uses it to reject rows computed
-  /// under a different manifest (the runner passes it from the grid).
+  explicit Aggregator(AggregatorOptions options);
+
+  /// Convenience constructor for the common no-shard, no-per-run case.
   Aggregator(std::string csv_path, std::string json_path,
              std::vector<std::string> axis_names, std::size_t total_points,
              std::vector<std::vector<std::string>> expected_identity = {});
 
-  /// Loads completed rows from an existing CSV (resume). Throws
-  /// std::runtime_error if the file exists but its header does not match
-  /// this campaign's columns, or if a recovered row's seed/axis values
-  /// disagree with `expected_identity` (both are manifest/output
-  /// mismatches: resuming would silently produce wrong data). Returns the
-  /// number of points recovered. Call before the first record().
+  /// Loads completed rows from the existing output files (resume). Throws
+  /// std::runtime_error if a file exists but its header does not match
+  /// this campaign's columns, if a recovered row's seed/axis values
+  /// disagree with the expected identity, or if a row belongs to a point
+  /// outside this shard (all are manifest/output mismatches: resuming
+  /// would silently produce wrong data). A point whose per-run rows are
+  /// missing or torn is dropped and recomputed. Returns the number of
+  /// points recovered. Call before the first record().
   std::size_t load_existing();
 
   /// True if `point` already has a row (recorded now or recovered).
   [[nodiscard]] bool is_done(std::size_t point) const;
 
-  /// Indices in [0, total_points) with no row yet, ascending.
+  /// Owned indices with no row yet, ascending.
   [[nodiscard]] std::vector<std::size_t> pending() const;
 
   /// Records one completed point. Thread-safe; appends + flushes so the row
@@ -73,11 +102,15 @@ class Aggregator {
               const world::ReplicatedMetrics& m);
 
   /// Rewrites the output files in point order (temp file + atomic rename).
-  /// Requires every point recorded; throws std::logic_error otherwise.
+  /// Requires every owned point recorded; throws std::logic_error otherwise.
   void finalize();
 
   [[nodiscard]] std::size_t done_count() const;
   [[nodiscard]] std::size_t total_points() const noexcept { return total_points_; }
+  /// Number of points this shard owns (== total_points() unsharded).
+  [[nodiscard]] std::size_t owned_count() const noexcept {
+    return owned_.empty() ? total_points_ : owned_count_;
+  }
 
   /// Summaries recorded *this process* (resumed rows are not re-parsed into
   /// summaries), keyed by point index.
@@ -90,31 +123,79 @@ class Aggregator {
     return columns_;
   }
 
+  /// Per-run column list: "point", "rep", "seed", axes, per-run metrics.
+  [[nodiscard]] const std::vector<std::string>& per_run_columns() const noexcept {
+    return per_run_columns_;
+  }
+
   /// The metric column names shared by every campaign CSV.
   [[nodiscard]] static std::vector<std::string> metric_columns();
+
+  /// The metric column names of the per-replication CSV.
+  [[nodiscard]] static std::vector<std::string> per_run_metric_columns();
 
  private:
   [[nodiscard]] std::string csv_line(const std::vector<std::string>& cells) const;
   [[nodiscard]] std::string json_line(const std::vector<std::string>& cells) const;
+  [[nodiscard]] bool owns(std::size_t point) const {
+    return owned_.empty() || (point < owned_.size() && owned_[point] != 0);
+  }
   void open_appenders();
-  /// Rewrites both output files from `rows_` via temp file + rename.
-  /// Caller must hold mutex_.
+  /// Rewrites the output files from `rows_`/`per_run_rows_` via temp file +
+  /// rename. Caller must hold mutex_.
   void rewrite_files(bool require_complete);
+  /// Shared resume-file reader: header validation, torn-row dropping,
+  /// bounds and shard-ownership checks; `on_row` receives each surviving
+  /// row's (point, rep, cells) — rep is 0 when key_arity is 1.
+  void load_rows_file(
+      const std::string& path, const std::vector<std::string>& want_header,
+      const char* flag_hint, std::size_t key_arity,
+      const std::function<void(std::size_t, std::size_t,
+                               std::vector<std::string>)>& on_row);
+  void load_point_rows();
+  void load_per_run_rows();
 
   std::string csv_path_;
   std::string json_path_;
+  std::string per_run_path_;
   std::size_t axis_count_ = 0;
   std::size_t total_points_ = 0;
+  std::size_t replications_ = 0;
   std::vector<std::string> columns_;
+  std::vector<std::string> per_run_columns_;
   std::vector<std::vector<std::string>> expected_identity_;
+  /// Ownership bitmap indexed by point; empty means "owns everything".
+  std::vector<std::uint8_t> owned_;
+  std::size_t owned_count_ = 0;
 
   mutable std::mutex mutex_;
   /// point index → full row cells (axis values + metrics), resume state.
   std::map<std::size_t, std::vector<std::string>> rows_;
+  /// point index → replication index → per-run row cells.
+  std::map<std::size_t, std::map<std::size_t, std::vector<std::string>>>
+      per_run_rows_;
   std::map<std::size_t, PointSummary> summaries_;
   std::ofstream csv_out_;
   std::ofstream json_out_;
+  std::ofstream per_run_out_;
   bool loaded_ = false;
 };
+
+/// Recombines finalized shard outputs into `out_path`, byte-identical to
+/// the file an unsharded run would have produced. All inputs must carry an
+/// identical header; every (point, rep) may appear in exactly one input;
+/// the merged point set must be gap-free from 0. Works for both the
+/// point-summary CSV and the per-run CSV (recognized by its "rep" column).
+///
+/// When `manifest` is non-null the merge additionally validates the inputs
+/// against it: the header must match the manifest's output columns, every
+/// row's seed/axis cells must match the expanded grid, and the merged file
+/// must cover the full grid — so shards of *different* manifests (or stale
+/// outputs) are rejected instead of silently combined.
+///
+/// Returns the number of merged data rows.
+std::size_t merge_outputs(const std::vector<std::string>& inputs,
+                          const std::string& out_path,
+                          const Manifest* manifest = nullptr);
 
 }  // namespace pas::exp

@@ -16,6 +16,10 @@ AxisKind axis_kind_from_string(std::string_view s) {
   if (s == "failure_fraction") return AxisKind::kFailureFraction;
   if (s == "channel_loss") return AxisKind::kChannelLoss;
   if (s == "duration_s") return AxisKind::kDuration;
+  if (s == "deployment") return AxisKind::kDeployment;
+  if (s == "radio_range_m") return AxisKind::kRadioRange;
+  if (s == "sleep_ramp") return AxisKind::kSleepRamp;
+  if (s == "ge_p_good_to_bad") return AxisKind::kGilbertPGoodToBad;
   throw std::runtime_error("Axis: unknown axis \"" + std::string(s) + "\"");
 }
 
@@ -61,6 +65,30 @@ void Axis::apply(world::ScenarioConfig& config, std::size_t i) const {
       break;
     case AxisKind::kDuration:
       config.duration_s = numbers.at(i);
+      break;
+    case AxisKind::kDeployment:
+      config.deployment.kind =
+          world::deployment_kind_from_string(labels.at(i));
+      break;
+    case AxisKind::kRadioRange:
+      if (numbers.at(i) <= 0.0) {
+        throw std::invalid_argument("Axis radio_range_m: value must be > 0");
+      }
+      config.radio.range_m = numbers.at(i);
+      break;
+    case AxisKind::kSleepRamp:
+      config.protocol.sleep.kind =
+          world::ramp_kind_from_string(labels.at(i));
+      break;
+    case AxisKind::kGilbertPGoodToBad:
+      if (numbers.at(i) < 0.0 || numbers.at(i) > 1.0) {
+        throw std::invalid_argument(
+            "Axis ge_p_good_to_bad: value must be in [0, 1]");
+      }
+      config.gilbert.p_good_to_bad = numbers.at(i);
+      // Sweeping a Gilbert–Elliott parameter implies the bursty channel;
+      // the other GE parameters come from the manifest base (or defaults).
+      config.channel = world::ChannelKind::kGilbertElliott;
       break;
   }
 }

@@ -28,6 +28,10 @@ enum class AxisKind : std::uint8_t {
   kFailureFraction,  // failures.fraction
   kChannelLoss,      // channel_loss (switches a perfect channel to Bernoulli)
   kDuration,         // duration_s
+  kDeployment,       // deployment.kind — "grid" / "uniform" / "poisson-disk"
+  kRadioRange,       // radio.range_m (connectivity/density sweeps)
+  kSleepRamp,        // protocol.sleep.kind — "linear" / "exponential" / "fixed"
+  kGilbertPGoodToBad,  // gilbert.p_good_to_bad (switches the channel to GE)
 };
 
 [[nodiscard]] constexpr const char* to_string(AxisKind k) noexcept {
@@ -40,15 +44,21 @@ enum class AxisKind : std::uint8_t {
     case AxisKind::kFailureFraction: return "failure_fraction";
     case AxisKind::kChannelLoss: return "channel_loss";
     case AxisKind::kDuration: return "duration_s";
+    case AxisKind::kDeployment: return "deployment";
+    case AxisKind::kRadioRange: return "radio_range_m";
+    case AxisKind::kSleepRamp: return "sleep_ramp";
+    case AxisKind::kGilbertPGoodToBad: return "ge_p_good_to_bad";
   }
   return "?";
 }
 
 [[nodiscard]] AxisKind axis_kind_from_string(std::string_view s);
 
-/// Policy and stimulus axes take string values; the rest numbers.
+/// Policy, stimulus, deployment, and sleep-ramp axes take string values;
+/// the rest numbers.
 [[nodiscard]] constexpr bool axis_is_categorical(AxisKind k) noexcept {
-  return k == AxisKind::kPolicy || k == AxisKind::kStimulus;
+  return k == AxisKind::kPolicy || k == AxisKind::kStimulus ||
+         k == AxisKind::kDeployment || k == AxisKind::kSleepRamp;
 }
 
 struct Axis {

@@ -16,14 +16,25 @@ void Manifest::validate() const {
   if (replications == 0) {
     throw std::invalid_argument("Manifest: replications must be >= 1");
   }
+  bool sweeps_channel_loss = false, sweeps_ge = false;
   for (std::size_t i = 0; i < axes.size(); ++i) {
     axes[i].validate();
+    sweeps_channel_loss |= axes[i].kind == AxisKind::kChannelLoss;
+    sweeps_ge |= axes[i].kind == AxisKind::kGilbertPGoodToBad;
     for (std::size_t k = i + 1; k < axes.size(); ++k) {
       if (axes[i].kind == axes[k].kind) {
         throw std::invalid_argument(std::string("Manifest: duplicate axis ") +
                                     to_string(axes[i].kind));
       }
     }
+  }
+  if (sweeps_channel_loss && sweeps_ge) {
+    // ge_p_good_to_bad selects the Gilbert–Elliott channel, which ignores
+    // channel_loss — combining the axes would emit a channel_loss column
+    // with no effect on the simulation.
+    throw std::invalid_argument(
+        "Manifest: channel_loss and ge_p_good_to_bad axes cannot be "
+        "combined (the Gilbert-Elliott channel ignores channel_loss)");
   }
   base.protocol.validate();
 }

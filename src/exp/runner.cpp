@@ -1,33 +1,74 @@
 #include "exp/runner.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <filesystem>
 #include <future>
 #include <mutex>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
-#include "runtime/thread_pool.hpp"
 #include "world/sweep.hpp"
 
 namespace pas::exp {
 
+namespace {
+
+/// Replications per sub-job. Whole points when the pending grid alone
+/// saturates the pool (cheapest schedule); otherwise contiguous chunks
+/// sized so roughly 2×jobs sub-jobs exist, which keeps every core busy on
+/// replication-heavy, point-poor campaigns. Chunking never changes output:
+/// runs land in a replication-indexed buffer reduced in index order.
+std::size_t auto_rep_chunk(std::size_t pending_points, std::size_t reps,
+                           std::size_t jobs) {
+  if (pending_points == 0 || jobs <= 1 || pending_points >= jobs * 2) {
+    return reps;
+  }
+  const std::size_t jobs_per_point =
+      (jobs * 2 + pending_points - 1) / pending_points;
+  return std::max<std::size_t>(1, (reps + jobs_per_point - 1) / jobs_per_point);
+}
+
+/// One pending point's in-flight state: the replication-indexed result
+/// buffer and the number of sub-jobs still running. The last sub-job to
+/// finish owns the reduction — an order-independent meeting point, since
+/// every earlier sub-job only wrote its own disjoint slice of `runs`.
+/// The buffer is allocated by whichever sub-job starts first (alloc) and
+/// released by the reduction, so a big campaign holds buffers only for
+/// the handful of points actually in flight, not the whole pending grid.
+struct PointTask {
+  const GridPoint* point = nullptr;
+  std::vector<metrics::RunMetrics> runs;
+  std::once_flag alloc;
+  std::atomic<std::size_t> remaining{0};
+};
+
+}  // namespace
+
 world::ReplicatedMetrics run_point(const GridPoint& point,
-                                   std::size_t replications) {
-  // Replications run serially inside the job: point-level parallelism is
-  // ample for ≥100-point campaigns, and a flat pool keeps results
-  // independent of shard count.
-  return world::run_replicated(point.config, replications, nullptr);
+                                   std::size_t replications,
+                                   runtime::ThreadPool* pool) {
+  return world::run_replicated(point.config, replications, pool);
 }
 
 CampaignReport run_campaign(const Manifest& manifest,
                             const CampaignOptions& options) {
   const auto t0 = std::chrono::steady_clock::now();
   manifest.validate();
+  if (options.shard_count == 0) {
+    throw std::invalid_argument("run_campaign: shard_count must be >= 1");
+  }
+  if (options.shard_index >= options.shard_count) {
+    throw std::invalid_argument(
+        "run_campaign: shard_index must be < shard_count");
+  }
   const auto points = expand_grid(manifest);
 
   if (!options.resume) {
-    for (const auto& path : {options.out_csv, options.out_json}) {
+    for (const auto& path :
+         {options.out_csv, options.out_json, options.per_run_csv}) {
       if (!path.empty() && std::filesystem::exists(path)) {
         throw std::runtime_error("run_campaign: " + path +
                                  " exists; pass resume to continue it or "
@@ -46,32 +87,81 @@ CampaignReport run_campaign(const Manifest& manifest,
     identity.push_back(std::move(cells));
   }
 
-  Aggregator aggregator(options.out_csv, options.out_json,
-                        axis_columns(manifest), points.size(),
-                        std::move(identity));
+  AggregatorOptions agg_options;
+  agg_options.csv_path = options.out_csv;
+  agg_options.json_path = options.out_json;
+  agg_options.per_run_path = options.per_run_csv;
+  agg_options.axis_names = axis_columns(manifest);
+  agg_options.total_points = points.size();
+  agg_options.replications = manifest.replications;
+  agg_options.expected_identity = std::move(identity);
+  if (options.shard_count > 1) {
+    for (std::size_t p = options.shard_index; p < points.size();
+         p += options.shard_count) {
+      agg_options.owned_points.push_back(p);
+    }
+  }
+  Aggregator aggregator(std::move(agg_options));
   const std::size_t recovered = aggregator.load_existing();
   const auto pending = aggregator.pending();
 
+  const std::size_t reps = manifest.replications;
+  const std::size_t jobs =
+      options.jobs != 0
+          ? options.jobs
+          : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  const std::size_t chunk =
+      options.rep_chunk != 0
+          ? std::min(options.rep_chunk, reps)
+          : auto_rep_chunk(pending.size(), reps, jobs);
+  const std::size_t chunks_per_point = (reps + chunk - 1) / chunk;
+
+  std::vector<PointTask> tasks(pending.size());
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    tasks[i].point = &points[pending[i]];
+    tasks[i].remaining.store(chunks_per_point, std::memory_order_relaxed);
+  }
+
   std::mutex progress_mutex;
-  const auto execute = [&](std::size_t index) {
-    const GridPoint& point = points[index];
-    const auto metrics = run_point(point, manifest.replications);
+  const auto finish_point = [&](PointTask& task) {
+    const GridPoint& point = *task.point;
+    const auto metrics = world::reduce_runs(std::move(task.runs));
     aggregator.record(point.index, point.seed, point.values, metrics);
     if (options.progress) {
       const std::lock_guard lock(progress_mutex);
       options.progress(PointSummary::of(point.index, point.seed, metrics),
-                       aggregator.done_count(), points.size());
+                       aggregator.done_count(), aggregator.owned_count());
+    }
+  };
+  const auto run_chunk = [&](PointTask& task, std::size_t begin,
+                             std::size_t end) {
+    std::call_once(task.alloc, [&task, reps] { task.runs.resize(reps); });
+    for (std::size_t r = begin; r < end; ++r) {
+      task.runs[r] = world::run_replication(task.point->config, r);
+    }
+    // acq_rel: the final decrement must observe every other chunk's writes
+    // to task.runs before reducing them.
+    if (task.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      finish_point(task);
     }
   };
 
   if (options.jobs == 1) {
-    for (const auto index : pending) execute(index);
+    for (auto& task : tasks) {
+      for (std::size_t begin = 0; begin < reps; begin += chunk) {
+        run_chunk(task, begin, std::min(reps, begin + chunk));
+      }
+    }
   } else {
     runtime::ThreadPool pool(options.jobs);
     std::vector<std::future<void>> futures;
-    futures.reserve(pending.size());
-    for (const auto index : pending) {
-      futures.push_back(pool.submit([&execute, index] { execute(index); }));
+    futures.reserve(tasks.size() * chunks_per_point);
+    for (auto& task : tasks) {
+      for (std::size_t begin = 0; begin < reps; begin += chunk) {
+        const std::size_t end = std::min(reps, begin + chunk);
+        futures.push_back(pool.submit(
+            [&run_chunk, &task, begin, end] { run_chunk(task, begin, end); }));
+      }
     }
     for (auto& f : futures) f.get();  // propagate the first failure
   }
@@ -80,6 +170,7 @@ CampaignReport run_campaign(const Manifest& manifest,
 
   CampaignReport report;
   report.total_points = points.size();
+  report.owned_points = aggregator.owned_count();
   report.computed = pending.size();
   report.skipped = recovered;
   report.replications = manifest.replications;

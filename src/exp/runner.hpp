@@ -1,12 +1,21 @@
 // Sharded campaign execution.
 //
 // run_campaign() expands a manifest's grid, asks the aggregator which
-// points already have rows (resume), and executes the rest as independent
-// jobs on a runtime::ThreadPool — one job per grid point, the point's
-// replications running serially inside the job around the single-threaded
-// simulation kernel. Every job derives its seeds from the manifest alone
-// (see grid.hpp), so shard count and scheduling order never change any
-// number: `--jobs 1` and `--jobs 8` produce byte-identical output.
+// points already have rows (resume), and executes the rest as jobs on a
+// runtime::ThreadPool. Every job derives its seeds from the manifest alone
+// (see grid.hpp), so shard count, worker count, and scheduling order never
+// change any number: `--jobs 1` and `--jobs 8` produce byte-identical
+// output.
+//
+// Two scale-out directions compose with that guarantee:
+//  * Process-level sharding (`shard_index`/`shard_count`): each process
+//    owns the points with index ≡ shard_index (mod shard_count), writes an
+//    independently resumable output, and merge_outputs() (aggregate.hpp)
+//    recombines the shard files into the unsharded bytes.
+//  * Replication-level parallelism (`rep_chunk`): a point's replications
+//    are split into contiguous sub-jobs that run concurrently on the pool
+//    and meet in an order-independent reduction (world::reduce_runs), so a
+//    one-point 10k-replication study still saturates every core.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +25,7 @@
 #include "exp/aggregate.hpp"
 #include "exp/grid.hpp"
 #include "exp/manifest.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace pas::exp {
 
@@ -29,6 +39,16 @@ struct CampaignOptions {
   std::string out_csv;
   /// Optional JSON-lines mirror of every row.
   std::string out_json;
+  /// Optional per-replication CSV (one row per run) for p95/p99 reporting.
+  std::string per_run_csv;
+  /// This process executes points with index ≡ shard_index (mod
+  /// shard_count). The default 0/1 runs the whole grid.
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
+  /// Replications per sub-job within a point. 0 = automatic: whole points
+  /// when the grid alone saturates the pool, smaller chunks otherwise.
+  /// manifest.replications (or larger) forces one job per point.
+  std::size_t rep_chunk = 0;
   /// Invoked after each point completes (serialized; never concurrently).
   std::function<void(const PointSummary&, std::size_t done,
                      std::size_t total)>
@@ -36,20 +56,24 @@ struct CampaignOptions {
 };
 
 struct CampaignReport {
-  std::size_t total_points = 0;
-  std::size_t computed = 0;  // points simulated by this invocation
-  std::size_t skipped = 0;   // points recovered from the resume file
+  std::size_t total_points = 0;  // full grid, all shards
+  std::size_t owned_points = 0;  // points this shard is responsible for
+  std::size_t computed = 0;      // points simulated by this invocation
+  std::size_t skipped = 0;       // points recovered from the resume file
   std::size_t replications = 0;
   double wall_s = 0.0;
 };
 
 /// Runs one replicated point exactly as a campaign job would (benches and
-/// tests share the engine's execution path through this).
-[[nodiscard]] world::ReplicatedMetrics run_point(const GridPoint& point,
-                                                 std::size_t replications);
+/// tests share the engine's execution path through this). A non-null
+/// `pool` executes the replications in parallel with identical results.
+[[nodiscard]] world::ReplicatedMetrics run_point(
+    const GridPoint& point, std::size_t replications,
+    runtime::ThreadPool* pool = nullptr);
 
-/// Executes the campaign. Throws on manifest/IO errors; a failing point's
-/// exception propagates after in-flight jobs drain.
+/// Executes the campaign (or this process's shard of it). Throws on
+/// manifest/IO errors; a failing point's exception propagates after
+/// in-flight jobs drain.
 CampaignReport run_campaign(const Manifest& manifest,
                             const CampaignOptions& options);
 

@@ -67,4 +67,20 @@ double quantile(std::vector<double> values, double q) {
   return quantile_sorted(values, q);
 }
 
+std::vector<double> quantiles(std::vector<double> values,
+                              std::span<const double> qs) {
+  std::sort(values.begin(), values.end());
+  std::vector<double> out;
+  out.reserve(qs.size());
+  for (const double q : qs) out.push_back(quantile_sorted(values, q));
+  return out;
+}
+
+Percentiles Percentiles::of(std::vector<double> values) {
+  if (values.empty()) return {};
+  static constexpr double kQs[] = {0.50, 0.95, 0.99};
+  const auto v = quantiles(std::move(values), kQs);
+  return Percentiles{.p50 = v[0], .p95 = v[1], .p99 = v[2]};
+}
+
 }  // namespace pas::metrics

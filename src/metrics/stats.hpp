@@ -56,4 +56,20 @@ struct Summary {
 /// Convenience: copies, sorts, and takes the quantile.
 [[nodiscard]] double quantile(std::vector<double> values, double q);
 
+/// Evaluates several quantiles over a single sort of `values`. Returns one
+/// result per entry of `qs`, in order. Throws on an empty sample.
+[[nodiscard]] std::vector<double> quantiles(std::vector<double> values,
+                                            std::span<const double> qs);
+
+/// The campaign reporting percentiles (median / p95 / p99), interpolated.
+/// An empty sample yields all zeros, matching Summary::of's convention so
+/// degenerate points still produce a well-formed CSV row.
+struct Percentiles {
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+
+  [[nodiscard]] static Percentiles of(std::vector<double> values);
+};
+
 }  // namespace pas::metrics

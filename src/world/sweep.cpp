@@ -4,32 +4,23 @@
 
 namespace pas::world {
 
-ReplicatedMetrics run_replicated(const ScenarioConfig& base,
-                                 std::size_t replications,
-                                 runtime::ThreadPool* pool) {
-  if (replications == 0) {
-    throw std::invalid_argument("run_replicated: need >= 1 replication");
+metrics::RunMetrics run_replication(const ScenarioConfig& base,
+                                    std::size_t r) {
+  ScenarioConfig cfg = base;
+  cfg.seed = base.seed + r;
+  cfg.enable_trace = false;  // traces are per-run debugging, not sweeps
+  return run_scenario(cfg).metrics;
+}
+
+ReplicatedMetrics reduce_runs(std::vector<metrics::RunMetrics> runs) {
+  if (runs.empty()) {
+    throw std::invalid_argument("reduce_runs: need >= 1 replication");
   }
-
-  std::vector<metrics::RunMetrics> runs(replications);
-  const auto one = [&base, &runs](std::size_t r) {
-    ScenarioConfig cfg = base;
-    cfg.seed = base.seed + r;
-    cfg.enable_trace = false;  // traces are per-run debugging, not sweeps
-    runs[r] = run_scenario(cfg).metrics;
-  };
-
-  if (pool != nullptr) {
-    runtime::parallel_for(*pool, replications, one);
-  } else {
-    for (std::size_t r = 0; r < replications; ++r) one(r);
-  }
-
   ReplicatedMetrics out;
   std::vector<double> delays, energies, fractions;
-  delays.reserve(replications);
-  energies.reserve(replications);
-  fractions.reserve(replications);
+  delays.reserve(runs.size());
+  energies.reserve(runs.size());
+  fractions.reserve(runs.size());
   double missed = 0.0, broadcasts = 0.0;
   for (const auto& m : runs) {
     delays.push_back(m.avg_delay_s);
@@ -41,10 +32,31 @@ ReplicatedMetrics run_replicated(const ScenarioConfig& base,
   out.delay_s = metrics::Summary::of(delays);
   out.energy_j = metrics::Summary::of(energies);
   out.active_fraction = metrics::Summary::of(fractions);
-  out.mean_missed = missed / static_cast<double>(replications);
-  out.mean_broadcasts = broadcasts / static_cast<double>(replications);
+  out.mean_missed = missed / static_cast<double>(runs.size());
+  out.mean_broadcasts = broadcasts / static_cast<double>(runs.size());
   out.runs = std::move(runs);
   return out;
+}
+
+ReplicatedMetrics run_replicated(const ScenarioConfig& base,
+                                 std::size_t replications,
+                                 runtime::ThreadPool* pool) {
+  if (replications == 0) {
+    throw std::invalid_argument("run_replicated: need >= 1 replication");
+  }
+
+  std::vector<metrics::RunMetrics> runs(replications);
+  const auto one = [&base, &runs](std::size_t r) {
+    runs[r] = run_replication(base, r);
+  };
+
+  if (pool != nullptr) {
+    runtime::parallel_for(*pool, replications, one);
+  } else {
+    for (std::size_t r = 0; r < replications; ++r) one(r);
+  }
+
+  return reduce_runs(std::move(runs));
 }
 
 }  // namespace pas::world

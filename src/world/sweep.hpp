@@ -24,6 +24,20 @@ struct ReplicatedMetrics {
   std::vector<metrics::RunMetrics> runs;
 };
 
+/// Runs replication `r` of `base` — seed base.seed + r, traces disabled —
+/// the unit of work the campaign runner schedules. Exposed so the engine's
+/// replication-split path and run_replicated share one definition of what
+/// "replication r" means.
+[[nodiscard]] metrics::RunMetrics run_replication(const ScenarioConfig& base,
+                                                  std::size_t r);
+
+/// Reduces per-run metrics (indexed by replication) into the replicated
+/// aggregate. Order-independent by construction: `runs` is already in
+/// replication order no matter which thread produced which entry, so any
+/// parallel schedule yields the same numbers as the serial loop.
+[[nodiscard]] ReplicatedMetrics reduce_runs(
+    std::vector<metrics::RunMetrics> runs);
+
 /// Runs `replications` copies of `base` with seeds base.seed + r. When
 /// `pool` is non-null the replications execute in parallel (results are
 /// ordered by replication index either way, so output is deterministic).

@@ -10,7 +10,9 @@
 #include <fstream>
 #include <sstream>
 
+#include "io/csv.hpp"
 #include "io/json.hpp"
+#include "metrics/stats.hpp"
 
 namespace pas::exp {
 namespace {
@@ -179,6 +181,108 @@ TEST_F(AggregateTest, ResumeRejectsRowsFromDifferentManifest) {
   // The matching manifest still resumes cleanly.
   Aggregator same(csv_, "", {"max_sleep_s"}, 2, {{"100", "5"}, {"101", "10"}});
   EXPECT_EQ(same.load_existing(), 1U);
+}
+
+TEST_F(AggregateTest, OwnedPointsRestrictPendingAndFinalize) {
+  AggregatorOptions options;
+  options.csv_path = csv_;
+  options.axis_names = {"policy"};
+  options.total_points = 4;
+  options.owned_points = {0, 2};
+  Aggregator agg(std::move(options));
+  EXPECT_EQ(agg.owned_count(), 2U);
+  agg.load_existing();
+  EXPECT_EQ(agg.pending(), (std::vector<std::size_t>{0, 2}));
+  // Foreign points are a scheduling bug, not data.
+  EXPECT_THROW(agg.record(1, 101, {"SAS"}, fake_metrics(1.0)),
+               std::logic_error);
+  agg.record(0, 100, {"NS"}, fake_metrics(0.0));
+  agg.record(2, 102, {"PAS"}, fake_metrics(2.0));
+  // Complete for this shard even though points 1 and 3 have no rows.
+  agg.finalize();
+  const auto lines = read_lines(csv_);
+  ASSERT_EQ(lines.size(), 3U);
+  EXPECT_EQ(lines[1].substr(0, 2), "0,");
+  EXPECT_EQ(lines[2].substr(0, 2), "2,");
+}
+
+TEST_F(AggregateTest, PerRunRowsMirrorEveryReplication) {
+  const std::string runs_csv = (dir_ / "runs.csv").string();
+  AggregatorOptions options;
+  options.csv_path = csv_;
+  options.per_run_path = runs_csv;
+  options.axis_names = {"policy"};
+  options.total_points = 1;
+  options.replications = 2;
+  Aggregator agg(std::move(options));
+  agg.load_existing();
+  auto m = fake_metrics(2.0);
+  m.runs[0].avg_delay_s = 1.5;
+  m.runs[1].avg_delay_s = 2.5;
+  agg.record(0, 100, {"PAS"}, m);
+  agg.finalize();
+
+  const auto lines = read_lines(runs_csv);
+  ASSERT_EQ(lines.size(), 3U);  // header + one row per replication
+  EXPECT_EQ(lines[0].substr(0, 15), "point,rep,seed,");
+  // Replication r runs with seed 100 + r.
+  EXPECT_EQ(lines[1].substr(0, 10), "0,0,100,PA");
+  EXPECT_EQ(lines[2].substr(0, 10), "0,1,101,PA");
+  EXPECT_NE(lines[1].find(",1.5,"), std::string::npos);
+  EXPECT_NE(lines[2].find(",2.5,"), std::string::npos);
+}
+
+TEST_F(AggregateTest, ResumeDropsPointsWithTornPerRunGroups) {
+  const std::string runs_csv = (dir_ / "runs.csv").string();
+  const auto make_options = [&] {
+    AggregatorOptions options;
+    options.csv_path = csv_;
+    options.per_run_path = runs_csv;
+    options.axis_names = {"policy"};
+    options.total_points = 2;
+    options.replications = 2;
+    return options;
+  };
+  {
+    Aggregator agg(make_options());
+    agg.load_existing();
+    agg.record(0, 100, {"NS"}, fake_metrics(0.0));
+    agg.record(1, 101, {"PAS"}, fake_metrics(1.0));
+  }
+  // Tear point 1's per-run group (as if killed mid-write): its summary row
+  // must not count as done on resume.
+  {
+    const auto lines = read_lines(runs_csv);
+    ASSERT_EQ(lines.size(), 5U);
+    std::ofstream out(runs_csv, std::ios::trunc);
+    for (std::size_t i = 0; i + 1 < lines.size(); ++i) out << lines[i] << '\n';
+  }
+  Aggregator resumed(make_options());
+  EXPECT_EQ(resumed.load_existing(), 1U);
+  EXPECT_TRUE(resumed.is_done(0));
+  EXPECT_FALSE(resumed.is_done(1));
+  // The compacted per-run file dropped the torn group entirely.
+  EXPECT_EQ(read_lines(runs_csv).size(), 3U);
+}
+
+TEST_F(AggregateTest, MainCsvCarriesDelayPercentileColumns) {
+  Aggregator agg(csv_, "", {"policy"}, 1);
+  agg.load_existing();
+  auto m = fake_metrics(2.0);
+  m.runs[0].avg_delay_s = 1.0;
+  m.runs[1].avg_delay_s = 3.0;
+  agg.record(0, 100, {"PAS"}, m);
+  const auto lines = read_lines(csv_);
+  ASSERT_EQ(lines.size(), 2U);
+  EXPECT_NE(lines[0].find("delay_p50_s,delay_p95_s,delay_p99_s"),
+            std::string::npos);
+  // Interpolated over the per-run delays {1, 3}, rendered exactly as the
+  // aggregator does (round-trip formatting).
+  const auto pct = metrics::Percentiles::of({1.0, 3.0});
+  const std::string want = "," + io::format_double(pct.p50) + "," +
+                           io::format_double(pct.p95) + "," +
+                           io::format_double(pct.p99) + ",";
+  EXPECT_NE(lines[1].find(want), std::string::npos);
 }
 
 TEST_F(AggregateTest, InMemoryAggregationNeedsNoFiles) {

@@ -96,6 +96,70 @@ TEST(Grid, AppliesEveryAxisKind) {
             "channel_loss=0.3 alert_threshold_s=12 duration_s=99");
 }
 
+TEST(Grid, AppliesDeploymentRadioRampAndGilbertAxes) {
+  Manifest m;
+  m.axes = {
+      Axis{.kind = AxisKind::kDeployment, .labels = {"poisson-disk"}},
+      Axis{.kind = AxisKind::kRadioRange, .numbers = {12.5}},
+      Axis{.kind = AxisKind::kSleepRamp, .labels = {"exponential"}},
+      Axis{.kind = AxisKind::kGilbertPGoodToBad, .numbers = {0.1}},
+  };
+  const auto points = expand_grid(m);
+  ASSERT_EQ(points.size(), 1U);
+  const auto& cfg = points[0].config;
+  EXPECT_EQ(cfg.deployment.kind, world::DeploymentKind::kPoissonDisk);
+  EXPECT_DOUBLE_EQ(cfg.radio.range_m, 12.5);
+  EXPECT_EQ(cfg.protocol.sleep.kind, node::RampKind::kExponential);
+  EXPECT_DOUBLE_EQ(cfg.gilbert.p_good_to_bad, 0.1);
+  // A Gilbert–Elliott axis implies the bursty channel.
+  EXPECT_EQ(cfg.channel, world::ChannelKind::kGilbertElliott);
+
+  EXPECT_EQ(points[0].label(m),
+            "deployment=poisson-disk radio_range_m=12.5 "
+            "sleep_ramp=exponential ge_p_good_to_bad=0.1");
+  EXPECT_EQ(axis_columns(m),
+            (std::vector<std::string>{"deployment", "radio_range_m",
+                                      "sleep_ramp", "ge_p_good_to_bad"}));
+}
+
+TEST(Grid, NewAxesRejectBadValues) {
+  // Unknown categorical labels and out-of-range numbers fail at
+  // validate() time (manifest load), not mid-campaign.
+  Axis deployment{.kind = AxisKind::kDeployment, .labels = {"ring"}};
+  EXPECT_THROW(deployment.validate(), std::runtime_error);
+  Axis ramp{.kind = AxisKind::kSleepRamp, .labels = {"quadratic"}};
+  EXPECT_THROW(ramp.validate(), std::runtime_error);
+  Axis range{.kind = AxisKind::kRadioRange, .numbers = {0.0}};
+  EXPECT_THROW(range.validate(), std::invalid_argument);
+  Axis ge{.kind = AxisKind::kGilbertPGoodToBad, .numbers = {1.5}};
+  EXPECT_THROW(ge.validate(), std::invalid_argument);
+}
+
+TEST(Grid, ManifestRejectsChannelLossCombinedWithGilbertAxis) {
+  // ge_p_good_to_bad switches every point to the Gilbert–Elliott channel,
+  // which ignores channel_loss; sweeping both would emit a channel_loss
+  // column with no effect on the simulation.
+  Manifest m;
+  m.axes.push_back(Axis{.kind = AxisKind::kChannelLoss, .numbers = {0.1}});
+  m.axes.push_back(
+      Axis{.kind = AxisKind::kGilbertPGoodToBad, .numbers = {0.05}});
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+}
+
+TEST(Grid, NewAxesRoundTripThroughJson) {
+  for (const char* spec :
+       {R"({"axis": "deployment", "values": ["grid", "uniform"]})",
+        R"({"axis": "radio_range_m", "values": [8, 10, 12]})",
+        R"({"axis": "sleep_ramp", "values": ["linear", "fixed"]})",
+        R"({"axis": "ge_p_good_to_bad", "values": [0.01, 0.05]})"}) {
+    const auto axis = Axis::from_json(io::Json::parse(spec));
+    const auto back = Axis::from_json(axis.to_json());
+    EXPECT_EQ(back.kind, axis.kind) << spec;
+    EXPECT_EQ(back.labels, axis.labels) << spec;
+    EXPECT_EQ(back.numbers, axis.numbers) << spec;
+  }
+}
+
 TEST(Grid, AxisColumnsMatchDeclaredOrder) {
   const auto columns = axis_columns(two_axis_manifest());
   EXPECT_EQ(columns, (std::vector<std::string>{"policy", "max_sleep_s"}));

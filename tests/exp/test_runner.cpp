@@ -112,6 +112,35 @@ TEST_F(RunnerTest, ResumeRecomputesOnlyMissingPoints) {
   EXPECT_EQ(slurp(out), complete);
 }
 
+TEST_F(RunnerTest, ResumeRejectsChangedReplicationCount) {
+  Manifest m = small_manifest();
+  CampaignOptions options;
+  options.jobs = 1;
+  options.out_csv = (dir_ / "campaign.csv").string();
+  run_campaign(m, options);
+  // Point seeds don't depend on the replication count, so only the rows'
+  // replications cell betrays the change; resuming must refuse to mix.
+  m.replications = 5;
+  options.resume = true;
+  EXPECT_THROW((void)run_campaign(m, options), std::runtime_error);
+}
+
+TEST_F(RunnerTest, ResumeRejectsPerRunRowsFromAnotherCampaign) {
+  Manifest m = small_manifest();
+  CampaignOptions options;
+  options.jobs = 1;
+  options.out_csv = (dir_ / "campaign.csv").string();
+  options.per_run_csv = (dir_ / "runs.csv").string();
+  run_campaign(m, options);
+  // Same axes and replication count, different seeds: a fresh summary file
+  // plus the old per-run file must be refused via the run rows' seed cells,
+  // not silently adopted into the new campaign's artifact.
+  m.seed_base += 1;
+  options.out_csv = (dir_ / "campaign2.csv").string();
+  options.resume = true;
+  EXPECT_THROW((void)run_campaign(m, options), std::runtime_error);
+}
+
 TEST_F(RunnerTest, RefusesToClobberWithoutResume) {
   const Manifest m = small_manifest();
   CampaignOptions options;
@@ -151,6 +180,69 @@ TEST_F(RunnerTest, RunPointMatchesDirectReplication) {
   EXPECT_DOUBLE_EQ(engine.delay_s.mean, direct.delay_s.mean);
   EXPECT_DOUBLE_EQ(engine.energy_j.mean, direct.energy_j.mean);
   EXPECT_EQ(engine.runs.size(), direct.runs.size());
+}
+
+TEST_F(RunnerTest, RunPointOnPoolMatchesSerial) {
+  const Manifest m = small_manifest();
+  const auto points = expand_grid(m);
+  runtime::ThreadPool pool(4);
+  const auto parallel = run_point(points[2], 4, &pool);
+  const auto serial = run_point(points[2], 4);
+  EXPECT_DOUBLE_EQ(parallel.delay_s.mean, serial.delay_s.mean);
+  EXPECT_DOUBLE_EQ(parallel.delay_s.stddev, serial.delay_s.stddev);
+  EXPECT_DOUBLE_EQ(parallel.energy_j.mean, serial.energy_j.mean);
+}
+
+// A replication-heavy single point split into sub-jobs must reproduce the
+// serial bytes exactly: the split only changes the schedule, never the
+// per-replication seeds or the reduction order.
+TEST_F(RunnerTest, ReplicationSplitIsByteIdenticalToSerial) {
+  Manifest m = small_manifest();
+  m.axes.clear();  // one point
+  m.replications = 6;
+
+  CampaignOptions serial;
+  serial.jobs = 1;
+  serial.out_csv = (dir_ / "serial.csv").string();
+  serial.per_run_csv = (dir_ / "serial_runs.csv").string();
+  run_campaign(m, serial);
+
+  CampaignOptions split;
+  split.jobs = 4;
+  split.rep_chunk = 1;  // every replication its own sub-job
+  split.out_csv = (dir_ / "split.csv").string();
+  split.per_run_csv = (dir_ / "split_runs.csv").string();
+  const auto report = run_campaign(m, split);
+  EXPECT_EQ(report.computed, 1U);
+
+  EXPECT_EQ(slurp(dir_ / "split.csv"), slurp(dir_ / "serial.csv"));
+  EXPECT_EQ(slurp(dir_ / "split_runs.csv"), slurp(dir_ / "serial_runs.csv"));
+
+  // The automatic chunk (rep_chunk = 0) picks some split for a one-point
+  // campaign; whatever it picks, the bytes must not change.
+  CampaignOptions autosplit;
+  autosplit.jobs = 4;
+  autosplit.out_csv = (dir_ / "auto.csv").string();
+  run_campaign(m, autosplit);
+  EXPECT_EQ(slurp(dir_ / "auto.csv"), slurp(dir_ / "serial.csv"));
+}
+
+TEST_F(RunnerTest, PerRunOutputHasOneRowPerReplication) {
+  const Manifest m = small_manifest();
+  CampaignOptions options;
+  options.jobs = 2;
+  options.out_csv = (dir_ / "out.csv").string();
+  options.per_run_csv = (dir_ / "runs.csv").string();
+  run_campaign(m, options);
+
+  std::ifstream in(dir_ / "runs.csv");
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line.substr(0, 15), "point,rep,seed,");
+  EXPECT_NE(line.find("p95_delay_s"), std::string::npos);
+  std::size_t rows = 0;
+  while (std::getline(in, line)) ++rows;
+  EXPECT_EQ(rows, 6U * m.replications);
 }
 
 }  // namespace

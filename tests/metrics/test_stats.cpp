@@ -94,5 +94,35 @@ TEST(Quantile, EmptyThrows) {
   EXPECT_THROW((void)quantile_sorted({}, 0.5), std::invalid_argument);
 }
 
+TEST(Quantile, ManyQuantilesShareOneSort) {
+  const std::vector<double> qs{0.0, 0.5, 1.0};
+  const auto out = quantiles({30.0, 10.0, 20.0}, qs);
+  ASSERT_EQ(out.size(), 3U);
+  EXPECT_DOUBLE_EQ(out[0], 10.0);
+  EXPECT_DOUBLE_EQ(out[1], 20.0);
+  EXPECT_DOUBLE_EQ(out[2], 30.0);
+  EXPECT_THROW((void)quantiles({}, qs), std::invalid_argument);
+}
+
+TEST(Percentiles, OfSample) {
+  // 0..100 inclusive: the interpolated pN is exactly N.
+  std::vector<double> xs;
+  for (int i = 100; i >= 0; --i) xs.push_back(static_cast<double>(i));
+  const auto p = Percentiles::of(std::move(xs));
+  EXPECT_DOUBLE_EQ(p.p50, 50.0);
+  EXPECT_DOUBLE_EQ(p.p95, 95.0);
+  EXPECT_DOUBLE_EQ(p.p99, 99.0);
+}
+
+TEST(Percentiles, EmptyAndSingle) {
+  const auto empty = Percentiles::of({});
+  EXPECT_DOUBLE_EQ(empty.p50, 0.0);
+  EXPECT_DOUBLE_EQ(empty.p95, 0.0);
+  EXPECT_DOUBLE_EQ(empty.p99, 0.0);
+  const auto one = Percentiles::of({7.0});
+  EXPECT_DOUBLE_EQ(one.p50, 7.0);
+  EXPECT_DOUBLE_EQ(one.p99, 7.0);
+}
+
 }  // namespace
 }  // namespace pas::metrics

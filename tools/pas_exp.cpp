@@ -3,51 +3,141 @@
 //   pas-exp --manifest examples/campaign.json --jobs 8 --out out.csv
 //   pas-exp --manifest examples/campaign.json --jobs 8 --out out.csv --resume
 //
+//   # split one manifest across machines, then recombine:
+//   pas-exp --manifest c.json --shard 0/2 --out s0.csv     # machine A
+//   pas-exp --manifest c.json --shard 1/2 --out s1.csv     # machine B
+//   pas-exp --merge s0.csv s1.csv --out full.csv --manifest c.json
+//
 // The manifest declares the base scenario, the axes to sweep, and the
 // replication count (see src/exp/manifest.hpp for the schema). Output is
-// one CSV row per grid point; --resume reloads an interrupted campaign's
-// file and computes only the missing points. Results are independent of
-// --jobs: the completed file is byte-identical for any worker count.
+// one CSV row per grid point (plus optional per-replication rows via
+// --per-run); --resume reloads an interrupted campaign's file and computes
+// only the missing points. Results are independent of --jobs, --shard, and
+// --rep-chunk: the completed (merged) file is byte-identical for any
+// parallel schedule.
+#include <charconv>
 #include <cstdio>
 #include <exception>
 #include <string>
 
+#include "exp/aggregate.hpp"
 #include "exp/grid.hpp"
 #include "exp/manifest.hpp"
 #include "exp/runner.hpp"
 #include "io/cli.hpp"
 
+namespace {
+
+/// Parses "i/N" into shard index + count. Returns false on malformed input.
+bool parse_shard(const std::string& spec, std::size_t& index,
+                 std::size_t& count) {
+  const auto slash = spec.find('/');
+  if (slash == std::string::npos) return false;
+  const char* begin = spec.data();
+  auto r1 = std::from_chars(begin, begin + slash, index);
+  if (r1.ec != std::errc{} || r1.ptr != begin + slash) return false;
+  auto r2 = std::from_chars(begin + slash + 1, begin + spec.size(), count);
+  if (r2.ec != std::errc{} || r2.ptr != begin + spec.size()) return false;
+  return count >= 1 && index < count;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   std::string manifest_path;
   std::string out_csv = "out.csv";
   std::string out_json;
+  std::string per_run_csv;
+  std::string shard_spec;
   std::uint64_t jobs = 0;
+  std::uint64_t rep_chunk = 0;
   bool resume = false;
   bool quiet = false;
   bool dry_run = false;
+  bool merge = false;
 
   pas::io::Cli cli("pas-exp",
                    "Run a scenario-grid experiment campaign from a JSON "
-                   "manifest, sharded across worker threads, with resumable "
-                   "CSV/JSON output.");
+                   "manifest, sharded across worker threads (and, via "
+                   "--shard, across machines), with resumable CSV/JSON "
+                   "output. --merge recombines finalized shard outputs.");
   cli.add_string("manifest", &manifest_path,
-                 "Path to the campaign manifest (required)");
+                 "Path to the campaign manifest (required except --merge, "
+                 "where it optionally validates the shard files)");
   cli.add_string("out", &out_csv, "Output CSV path");
   cli.add_string("json", &out_json, "Optional JSON-lines output path");
+  cli.add_string("per-run", &per_run_csv,
+                 "Optional per-replication CSV (one row per run; enables "
+                 "p95/p99 quantile reporting)");
+  cli.add_string("shard", &shard_spec,
+                 "Run only this shard of the grid, format i/N (points with "
+                 "index % N == i)");
   cli.add_uint("jobs", &jobs,
                "Worker threads (0 = hardware concurrency, 1 = serial)");
+  cli.add_uint("rep-chunk", &rep_chunk,
+               "Replications per sub-job within a point (0 = automatic)");
   cli.add_flag("resume", &resume,
                "Reload --out and compute only the missing points");
+  cli.add_flag("merge", &merge,
+               "Merge finalized shard CSVs (positional args) into --out");
   cli.add_flag("quiet", &quiet, "Suppress per-point progress lines");
   cli.add_flag("dry-run", &dry_run,
                "Print the expanded grid and exit without simulating");
   if (!cli.parse(argc, argv)) return cli.status();
-  if (manifest_path.empty()) {
-    std::fprintf(stderr, "pas-exp: --manifest is required (try --help)\n");
-    return 2;
-  }
 
   try {
+    if (merge) {
+      const auto& inputs = cli.positional();
+      if (inputs.empty()) {
+        std::fprintf(stderr,
+                     "pas-exp: --merge needs shard CSVs as positional "
+                     "arguments (try --help)\n");
+        return 2;
+      }
+      // Campaign-execution options have no meaning here; accepting them
+      // would let e.g. --json name a file that is never written, or
+      // --dry-run suggest no output gets touched when --out is overwritten.
+      if (!out_json.empty() || !per_run_csv.empty() || !shard_spec.empty() ||
+          resume || dry_run || jobs != 0 || rep_chunk != 0) {
+        std::fprintf(stderr,
+                     "pas-exp: --merge takes only input CSVs, --out, and "
+                     "--manifest (merge per-run shard files in a separate "
+                     "--merge invocation)\n");
+        return 2;
+      }
+      pas::exp::Manifest manifest;
+      const bool validate = !manifest_path.empty();
+      if (validate) manifest = pas::exp::Manifest::load(manifest_path);
+      const auto rows = pas::exp::merge_outputs(
+          inputs, out_csv, validate ? &manifest : nullptr);
+      std::printf("merged %zu rows from %zu shard files -> %s%s\n", rows,
+                  inputs.size(), out_csv.c_str(),
+                  validate ? " (validated against manifest)" : "");
+      return 0;
+    }
+
+    if (!cli.positional().empty()) {
+      // Without this, a forgotten --merge would silently launch a full
+      // campaign over the shard CSVs instead of merging them.
+      std::fprintf(stderr,
+                   "pas-exp: unexpected positional argument \"%s\" (input "
+                   "CSVs are only accepted with --merge)\n",
+                   cli.positional().front().c_str());
+      return 2;
+    }
+    if (manifest_path.empty()) {
+      std::fprintf(stderr, "pas-exp: --manifest is required (try --help)\n");
+      return 2;
+    }
+    pas::exp::CampaignOptions options;
+    if (!shard_spec.empty() &&
+        !parse_shard(shard_spec, options.shard_index, options.shard_count)) {
+      std::fprintf(stderr,
+                   "pas-exp: --shard expects i/N with i < N (got \"%s\")\n",
+                   shard_spec.c_str());
+      return 2;
+    }
+
     const auto manifest = pas::exp::Manifest::load(manifest_path);
     std::printf("campaign %s: %zu points x %zu replications = %zu runs\n",
                 manifest.name.c_str(), manifest.point_count(),
@@ -56,6 +146,10 @@ int main(int argc, char** argv) {
     const auto points = pas::exp::expand_grid(manifest);
     if (dry_run) {
       for (const auto& p : points) {
+        if (options.shard_count > 1 &&
+            p.index % options.shard_count != options.shard_index) {
+          continue;
+        }
         std::printf("  [%zu] %s (seed %llu)\n", p.index,
                     p.label(manifest).c_str(),
                     static_cast<unsigned long long>(p.seed));
@@ -63,11 +157,12 @@ int main(int argc, char** argv) {
       return 0;
     }
 
-    pas::exp::CampaignOptions options;
     options.jobs = static_cast<std::size_t>(jobs);
+    options.rep_chunk = static_cast<std::size_t>(rep_chunk);
     options.resume = resume;
     options.out_csv = out_csv;
     options.out_json = out_json;
+    options.per_run_csv = per_run_csv;
     if (!quiet) {
       options.progress = [&points, &manifest](
                              const pas::exp::PointSummary& s,
@@ -80,10 +175,15 @@ int main(int argc, char** argv) {
     }
 
     const auto report = pas::exp::run_campaign(manifest, options);
+    if (options.shard_count > 1) {
+      std::printf("shard %zu/%zu: %zu of %zu points\n", options.shard_index,
+                  options.shard_count, report.owned_points,
+                  report.total_points);
+    }
     std::printf(
         "done: %zu points (%zu computed, %zu resumed) in %.1fs "
         "(%.1f runs/s) -> %s\n",
-        report.total_points, report.computed, report.skipped, report.wall_s,
+        report.owned_points, report.computed, report.skipped, report.wall_s,
         report.wall_s > 0.0
             ? static_cast<double>(report.computed * report.replications) /
                   report.wall_s
