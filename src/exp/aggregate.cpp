@@ -486,6 +486,37 @@ void Aggregator::finalize() {
   rewrite_files(/*require_complete=*/true);
 }
 
+void Aggregator::compact() {
+  const std::lock_guard lock(mutex_);
+  rewrite_files(/*require_complete=*/false);
+  open_appenders();
+}
+
+void Aggregator::discard_points(const std::vector<std::size_t>& points) {
+  const std::lock_guard lock(mutex_);
+  bool changed = false;
+  for (const auto p : points) {
+    changed = rows_.erase(p) > 0 || changed;
+    per_run_rows_.erase(p);
+    summaries_.erase(p);
+  }
+  if (changed) {
+    rewrite_files(/*require_complete=*/false);
+    open_appenders();
+  }
+}
+
+std::vector<std::size_t> Aggregator::done_points() const {
+  const std::lock_guard lock(mutex_);
+  std::vector<std::size_t> out;
+  out.reserve(rows_.size());
+  for (const auto& [point, cells] : rows_) {
+    (void)cells;
+    out.push_back(point);
+  }
+  return out;
+}
+
 std::size_t Aggregator::done_count() const {
   const std::lock_guard lock(mutex_);
   return rows_.size();

@@ -105,6 +105,22 @@ class Aggregator {
   /// Requires every owned point recorded; throws std::logic_error otherwise.
   void finalize();
 
+  /// finalize() without the completeness requirement: rewrites whatever is
+  /// recorded so far in point order and reopens the files for appending.
+  /// Orchestrator workers call this on clean shutdown so a part file is
+  /// always sorted and free of torn rows even though the worker owns only
+  /// the leases it happened to receive.
+  void compact();
+
+  /// Forgets the given points (recorded or recovered) and rewrites the
+  /// files without them. The orchestrator's crash recovery uses this to
+  /// drop rows that a dead worker wrote for a point another worker already
+  /// completed — the duplicate would otherwise poison merge_outputs().
+  void discard_points(const std::vector<std::size_t>& points);
+
+  /// Point indices that currently have a row, ascending.
+  [[nodiscard]] std::vector<std::size_t> done_points() const;
+
   [[nodiscard]] std::size_t done_count() const;
   [[nodiscard]] std::size_t total_points() const noexcept { return total_points_; }
   /// Number of points this shard owns (== total_points() unsharded).

@@ -65,4 +65,16 @@ std::vector<GridPoint> expand_grid(const Manifest& manifest) {
   return points;
 }
 
+std::vector<std::vector<std::string>> grid_identity(
+    const std::vector<GridPoint>& points) {
+  std::vector<std::vector<std::string>> identity;
+  identity.reserve(points.size());
+  for (const auto& p : points) {
+    std::vector<std::string> cells{std::to_string(p.seed)};
+    cells.insert(cells.end(), p.values.begin(), p.values.end());
+    identity.push_back(std::move(cells));
+  }
+  return identity;
+}
+
 }  // namespace pas::exp

@@ -50,4 +50,11 @@ struct GridPoint {
 /// (the base scenario).
 [[nodiscard]] std::vector<GridPoint> expand_grid(const Manifest& manifest);
 
+/// Each point's expected {seed, axis values...} cells, aligned with the
+/// output columns after "point". Resume and the orchestrator's crash
+/// sanitization use it to reject rows computed under a different manifest
+/// (see AggregatorOptions::expected_identity).
+[[nodiscard]] std::vector<std::vector<std::string>> grid_identity(
+    const std::vector<GridPoint>& points);
+
 }  // namespace pas::exp

@@ -77,14 +77,10 @@ CampaignReport run_campaign(const Manifest& manifest,
     }
   }
 
-  // Each point's expected seed + axis-value cells, so resume can reject
-  // rows produced by a different manifest.
-  std::vector<std::vector<std::string>> identity;
-  identity.reserve(points.size());
-  for (const auto& p : points) {
-    std::vector<std::string> cells{std::to_string(p.seed)};
-    cells.insert(cells.end(), p.values.begin(), p.values.end());
-    identity.push_back(std::move(cells));
+  if (!options.owned_points.empty() && options.shard_count > 1) {
+    throw std::invalid_argument(
+        "run_campaign: owned_points and shard_index/shard_count are "
+        "mutually exclusive ownership specs");
   }
 
   AggregatorOptions agg_options;
@@ -94,8 +90,12 @@ CampaignReport run_campaign(const Manifest& manifest,
   agg_options.axis_names = axis_columns(manifest);
   agg_options.total_points = points.size();
   agg_options.replications = manifest.replications;
-  agg_options.expected_identity = std::move(identity);
-  if (options.shard_count > 1) {
+  // Resume rejects rows produced by a different manifest via the expected
+  // per-point identity cells.
+  agg_options.expected_identity = grid_identity(points);
+  if (!options.owned_points.empty()) {
+    agg_options.owned_points = options.owned_points;
+  } else if (options.shard_count > 1) {
     for (std::size_t p = options.shard_index; p < points.size();
          p += options.shard_count) {
       agg_options.owned_points.push_back(p);

@@ -1,0 +1,117 @@
+#include "orch/lease.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace pas::orch {
+
+Lease& LeaseTable::get(std::uint64_t id, const char* op) {
+  const auto it = leases_.find(id);
+  if (it == leases_.end()) {
+    throw std::logic_error(std::string("LeaseTable: ") + op +
+                           " for unknown lease " + std::to_string(id));
+  }
+  return it->second;
+}
+
+std::uint64_t LeaseTable::issue(int worker,
+                                const std::vector<std::size_t>& points,
+                                Clock::time_point now) {
+  if (points.empty()) {
+    throw std::logic_error("LeaseTable: cannot issue an empty lease");
+  }
+  std::set<std::size_t> pending;
+  for (const auto p : points) {
+    if (leased_points_.count(p) > 0) {
+      throw std::logic_error("LeaseTable: point " + std::to_string(p) +
+                             " is already under an active lease");
+    }
+    if (!pending.insert(p).second) {
+      throw std::logic_error("LeaseTable: duplicate point " +
+                             std::to_string(p) + " within one lease");
+    }
+  }
+  Lease lease;
+  lease.id = next_id_++;
+  lease.worker = worker;
+  lease.points = points;
+  lease.pending = std::move(pending);
+  lease.issued = now;
+  lease.renewed = now;
+  leased_points_.insert(points.begin(), points.end());
+  const auto id = lease.id;
+  leases_.emplace(id, std::move(lease));
+  return id;
+}
+
+void LeaseTable::renew(std::uint64_t id, Clock::time_point now) {
+  get(id, "renew").renewed = now;
+}
+
+void LeaseTable::mark_done(std::uint64_t id, std::size_t point,
+                           Clock::time_point now) {
+  Lease& lease = get(id, "mark_done");
+  if (lease.pending.erase(point) == 0) {
+    throw std::logic_error("LeaseTable: point " + std::to_string(point) +
+                           " is not pending in lease " + std::to_string(id));
+  }
+  leased_points_.erase(point);
+  lease.renewed = now;
+}
+
+bool LeaseTable::is_complete(std::uint64_t id) const {
+  const auto it = leases_.find(id);
+  return it != leases_.end() && it->second.pending.empty();
+}
+
+void LeaseTable::complete(std::uint64_t id) {
+  const Lease& lease = get(id, "complete");
+  if (!lease.pending.empty()) {
+    throw std::logic_error("LeaseTable: lease " + std::to_string(id) +
+                           " still has " +
+                           std::to_string(lease.pending.size()) +
+                           " pending points");
+  }
+  leases_.erase(id);
+}
+
+std::vector<std::size_t> LeaseTable::revoke(std::uint64_t id) {
+  Lease& lease = get(id, "revoke");
+  // Preserve issue order for put_back, skipping finished points.
+  std::vector<std::size_t> unfinished;
+  unfinished.reserve(lease.pending.size());
+  for (const auto p : lease.points) {
+    if (lease.pending.count(p) > 0) {
+      unfinished.push_back(p);
+      leased_points_.erase(p);
+    }
+  }
+  leases_.erase(id);
+  return unfinished;
+}
+
+std::optional<std::uint64_t> LeaseTable::lease_of(int worker) const {
+  for (const auto& [id, lease] : leases_) {
+    if (lease.worker == worker) return id;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::uint64_t> LeaseTable::expired(Clock::time_point now,
+                                               double timeout_s) const {
+  std::vector<std::uint64_t> out;
+  if (timeout_s <= 0.0) return out;  // disabled
+  for (const auto& [id, lease] : leases_) {
+    const double silent =
+        std::chrono::duration<double>(now - lease.renewed).count();
+    if (silent > timeout_s) out.push_back(id);
+  }
+  return out;
+}
+
+const Lease* LeaseTable::find(std::uint64_t id) const {
+  const auto it = leases_.find(id);
+  return it == leases_.end() ? nullptr : &it->second;
+}
+
+}  // namespace pas::orch

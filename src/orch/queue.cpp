@@ -1,0 +1,31 @@
+#include "orch/queue.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pas::orch {
+
+WorkQueue::WorkQueue(std::vector<std::size_t> points, std::size_t max_lease)
+    : points_(points.begin(), points.end()), max_lease_(max_lease) {
+  if (max_lease_ == 0) {
+    throw std::invalid_argument("WorkQueue: max_lease must be >= 1");
+  }
+}
+
+std::vector<std::size_t> WorkQueue::take(std::size_t workers) {
+  if (workers == 0) {
+    throw std::invalid_argument("WorkQueue: workers must be >= 1");
+  }
+  const std::size_t guided = points_.size() / (2 * workers);
+  const std::size_t n = std::min(
+      {std::max<std::size_t>(1, guided), max_lease_, points_.size()});
+  std::vector<std::size_t> lease(points_.begin(), points_.begin() + n);
+  points_.erase(points_.begin(), points_.begin() + n);
+  return lease;
+}
+
+void WorkQueue::put_back(const std::vector<std::size_t>& points) {
+  points_.insert(points_.begin(), points.begin(), points.end());
+}
+
+}  // namespace pas::orch

@@ -1,0 +1,89 @@
+// Lease table invariants: duplicate-lease rejection, progress validation,
+// revocation, and heartbeat-driven expiry.
+#include "orch/lease.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pas::orch {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(LeaseTable, IssueMarkDoneCompleteLifecycle) {
+  LeaseTable table;
+  const auto t0 = Clock::now();
+  const auto id = table.issue(0, {4, 7, 9}, t0);
+  EXPECT_EQ(table.active(), 1U);
+  EXPECT_EQ(table.lease_of(0), id);
+  EXPECT_FALSE(table.lease_of(1).has_value());
+
+  table.mark_done(id, 7, t0);
+  EXPECT_FALSE(table.is_complete(id));
+  table.mark_done(id, 4, t0);
+  table.mark_done(id, 9, t0);
+  EXPECT_TRUE(table.is_complete(id));
+  table.complete(id);
+  EXPECT_EQ(table.active(), 0U);
+}
+
+TEST(LeaseTable, RejectsDuplicateLeases) {
+  LeaseTable table;
+  const auto t0 = Clock::now();
+  (void)table.issue(0, {1, 2, 3}, t0);
+  // A point already under lease must never be issued again — two workers
+  // would both compute it and merge would reject the duplicate rows.
+  EXPECT_THROW((void)table.issue(1, {3, 4}, t0), std::logic_error);
+  // A duplicate within a single lease is equally malformed.
+  EXPECT_THROW((void)table.issue(1, {5, 5}, t0), std::logic_error);
+  // An empty lease is a scheduler bug.
+  EXPECT_THROW((void)table.issue(1, {}, t0), std::logic_error);
+  // Once a point completes, a new lease may carry it again (re-issue after
+  // a duplicate-row discard is legal).
+  const auto id = table.lease_of(0).value();
+  table.mark_done(id, 3, t0);
+  EXPECT_NO_THROW((void)table.issue(1, {3}, t0));
+}
+
+TEST(LeaseTable, RejectsForeignAndRepeatedProgress) {
+  LeaseTable table;
+  const auto t0 = Clock::now();
+  const auto id = table.issue(0, {1, 2}, t0);
+  EXPECT_THROW(table.mark_done(id, 99, t0), std::logic_error);  // not leased
+  table.mark_done(id, 1, t0);
+  EXPECT_THROW(table.mark_done(id, 1, t0), std::logic_error);  // repeated
+  EXPECT_THROW(table.mark_done(id + 1, 2, t0), std::logic_error);  // unknown
+  EXPECT_THROW(table.complete(id), std::logic_error);  // still pending: 2
+  EXPECT_THROW(table.renew(id + 1, t0), std::logic_error);
+  EXPECT_THROW((void)table.revoke(id + 1), std::logic_error);
+}
+
+TEST(LeaseTable, RevokeReturnsUnfinishedPointsInIssueOrder) {
+  LeaseTable table;
+  const auto t0 = Clock::now();
+  const auto id = table.issue(2, {9, 3, 5, 1}, t0);
+  table.mark_done(id, 5, t0);
+  const auto unfinished = table.revoke(id);
+  EXPECT_EQ(unfinished, (std::vector<std::size_t>{9, 3, 1}));
+  EXPECT_EQ(table.active(), 0U);
+  // Revoked points are leasable again (the reassignment path).
+  EXPECT_NO_THROW((void)table.issue(3, unfinished, t0));
+}
+
+TEST(LeaseTable, ExpiryFollowsRenewals) {
+  LeaseTable table;
+  const auto t0 = Clock::now();
+  const auto a = table.issue(0, {1}, t0);
+  const auto b = table.issue(1, {2}, t0);
+  // 10 s later, only the renewed lease is alive under a 5 s timeout.
+  table.renew(b, t0 + 8s);
+  const auto expired = table.expired(t0 + 10s, 5.0);
+  EXPECT_EQ(expired, (std::vector<std::uint64_t>{a}));
+  // point_done counts as liveness too.
+  table.mark_done(a, 1, t0 + 9s);
+  EXPECT_TRUE(table.expired(t0 + 10s, 5.0).empty());
+  // Timeout 0 disables expiry entirely.
+  EXPECT_TRUE(table.expired(t0 + 10s, 0.0).empty());
+}
+
+}  // namespace
+}  // namespace pas::orch

@@ -1,0 +1,80 @@
+// Work-stealing queue: guided lease sizing, draining, and reassignment
+// ordering.
+#include "orch/queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+namespace pas::orch {
+namespace {
+
+std::vector<std::size_t> iota(std::size_t n) {
+  std::vector<std::size_t> v(n);
+  std::iota(v.begin(), v.end(), 0U);
+  return v;
+}
+
+TEST(WorkQueue, GuidedLeasesShrinkAsTheQueueDrains) {
+  WorkQueue queue(iota(100));
+  const auto first = queue.take(4);   // 100/(2*4) = 12
+  EXPECT_EQ(first.size(), 12U);
+  std::size_t last_size = first.size();
+  std::size_t total = first.size();
+  while (!queue.empty()) {
+    const auto lease = queue.take(4);
+    ASSERT_FALSE(lease.empty());
+    EXPECT_LE(lease.size(), last_size);  // monotonically non-increasing
+    last_size = lease.size();
+    total += lease.size();
+  }
+  EXPECT_EQ(total, 100U);
+  EXPECT_EQ(last_size, 1U);  // the tail is handed out point by point
+}
+
+TEST(WorkQueue, EveryPointIsLeasedExactlyOnce) {
+  WorkQueue queue(iota(37));
+  std::set<std::size_t> seen;
+  while (!queue.empty()) {
+    for (const auto p : queue.take(3)) {
+      EXPECT_TRUE(seen.insert(p).second) << "point " << p << " leased twice";
+    }
+  }
+  EXPECT_EQ(seen.size(), 37U);
+  EXPECT_TRUE(queue.take(3).empty());  // drained queue yields empty leases
+}
+
+TEST(WorkQueue, MaxLeaseCapsTheFirstLease) {
+  WorkQueue queue(iota(1000), /*max_lease=*/8);
+  EXPECT_EQ(queue.take(1).size(), 8U);
+}
+
+TEST(WorkQueue, SingleWorkerStillGetsBoundedLeases) {
+  // With one worker the guided size is remaining/2 — a crash must never
+  // lose the whole campaign's worth of leased work.
+  WorkQueue queue(iota(10), /*max_lease=*/64);
+  EXPECT_EQ(queue.take(1).size(), 5U);
+}
+
+TEST(WorkQueue, PutBackReissuesRecoveredWorkFirst) {
+  WorkQueue queue(iota(20), /*max_lease=*/4);
+  const auto lease = queue.take(2);  // points 0..3
+  ASSERT_EQ(lease.size(), 4U);
+  queue.put_back({lease[2], lease[3]});  // worker died with 2 unfinished
+  const auto next = queue.take(2);
+  ASSERT_GE(next.size(), 2U);
+  // Recovered points lead the queue, ahead of untouched work.
+  EXPECT_EQ(next[0], lease[2]);
+  EXPECT_EQ(next[1], lease[3]);
+  EXPECT_EQ(queue.remaining(), 20U - 4U + 2U - next.size());
+}
+
+TEST(WorkQueue, RejectsDegenerateParameters) {
+  EXPECT_THROW(WorkQueue({}, 0), std::invalid_argument);
+  WorkQueue queue(iota(4));
+  EXPECT_THROW((void)queue.take(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pas::orch

@@ -3,7 +3,11 @@
 //   pas-exp --manifest examples/campaign.json --jobs 8 --out out.csv
 //   pas-exp --manifest examples/campaign.json --jobs 8 --out out.csv --resume
 //
-//   # split one manifest across machines, then recombine:
+//   # one command instead of N terminals: a supervised multi-process
+//   # campaign with work-stealing leases, crash recovery, and auto-merge
+//   pas-exp --drive 4 --manifest examples/campaign.json --out out.csv
+//
+//   # split one manifest across machines by hand, then recombine:
 //   pas-exp --manifest c.json --shard 0/2 --out s0.csv     # machine A
 //   pas-exp --manifest c.json --shard 1/2 --out s1.csv     # machine B
 //   pas-exp --merge s0.csv s1.csv --out full.csv --manifest c.json
@@ -12,10 +16,12 @@
 // replication count (see src/exp/manifest.hpp for the schema). Output is
 // one CSV row per grid point (plus optional per-replication rows via
 // --per-run); --resume reloads an interrupted campaign's file and computes
-// only the missing points. Results are independent of --jobs, --shard, and
-// --rep-chunk: the completed (merged) file is byte-identical for any
-// parallel schedule.
+// only the missing points. Results are independent of --jobs, --shard,
+// --rep-chunk, and --drive: the completed (merged) file is byte-identical
+// for any parallel schedule, single- or multi-process.
+#include <algorithm>
 #include <charconv>
+#include <chrono>
 #include <cstdio>
 #include <exception>
 #include <string>
@@ -25,6 +31,8 @@
 #include "exp/manifest.hpp"
 #include "exp/runner.hpp"
 #include "io/cli.hpp"
+#include "orch/supervisor.hpp"
+#include "orch/worker_link.hpp"
 
 namespace {
 
@@ -41,6 +49,50 @@ bool parse_shard(const std::string& spec, std::size_t& index,
   return count >= 1 && index < count;
 }
 
+/// JSON string-escapes the campaign name (quotes, backslashes, control
+/// chars) so a creative manifest name cannot corrupt the bench file.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const unsigned char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(static_cast<char>(c));
+    } else if (c < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(static_cast<char>(c));
+    }
+  }
+  return out;
+}
+
+/// Appends one perf sample to the trajectory file (BENCH_orch.json in CI):
+/// flat JSON, one object per line, so runs accumulate append-only.
+void write_bench_json(const std::string& path,
+                      const pas::exp::Manifest& manifest, const char* mode,
+                      std::size_t workers, std::size_t jobs,
+                      std::size_t computed_points, double wall_s) {
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr) {
+    std::fprintf(stderr, "pas-exp: cannot write %s\n", path.c_str());
+    return;
+  }
+  const double reps =
+      static_cast<double>(computed_points * manifest.replications);
+  std::fprintf(f,
+               "{\"campaign\":\"%s\",\"mode\":\"%s\",\"workers\":%zu,"
+               "\"jobs\":%zu,\"points\":%zu,\"replications\":%zu,"
+               "\"computed_points\":%zu,\"wall_s\":%.3f,"
+               "\"reps_per_s\":%.1f}\n",
+               json_escape(manifest.name).c_str(), mode, workers, jobs,
+               manifest.point_count(), manifest.replications, computed_points,
+               wall_s, wall_s > 0.0 ? reps / wall_s : 0.0);
+  std::fclose(f);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -49,18 +101,25 @@ int main(int argc, char** argv) {
   std::string out_json;
   std::string per_run_csv;
   std::string shard_spec;
+  std::string bench_json;
   std::uint64_t jobs = 0;
   std::uint64_t rep_chunk = 0;
+  std::uint64_t drive_workers = 0;
+  std::uint64_t worker_id = 0;
+  double hang_timeout = 120.0;
   bool resume = false;
   bool quiet = false;
+  bool progress = false;
   bool dry_run = false;
   bool merge = false;
+  bool worker = false;
 
   pas::io::Cli cli("pas-exp",
                    "Run a scenario-grid experiment campaign from a JSON "
-                   "manifest, sharded across worker threads (and, via "
-                   "--shard, across machines), with resumable CSV/JSON "
-                   "output. --merge recombines finalized shard outputs.");
+                   "manifest, sharded across worker threads, worker "
+                   "processes (--drive), or machines (--shard), with "
+                   "resumable CSV/JSON output. --merge recombines "
+                   "finalized shard outputs.");
   cli.add_string("manifest", &manifest_path,
                  "Path to the campaign manifest (required except --merge, "
                  "where it optionally validates the shard files)");
@@ -73,16 +132,34 @@ int main(int argc, char** argv) {
                  "Run only this shard of the grid, format i/N (points with "
                  "index % N == i)");
   cli.add_uint("jobs", &jobs,
-               "Worker threads (0 = hardware concurrency, 1 = serial)");
+               "Worker threads (0 = hardware concurrency, 1 = serial; with "
+               "--drive: threads per worker process, 0 = 1)");
   cli.add_uint("rep-chunk", &rep_chunk,
                "Replications per sub-job within a point (0 = automatic)");
+  cli.add_uint("drive", &drive_workers,
+               "Supervise N worker processes with work-stealing leases, "
+               "crash recovery, and automatic merge into --out");
   cli.add_flag("resume", &resume,
-               "Reload --out and compute only the missing points");
+               "Reload --out (and, with --drive, any .w* part files) and "
+               "compute only the missing points");
   cli.add_flag("merge", &merge,
                "Merge finalized shard CSVs (positional args) into --out");
+  cli.add_flag("progress", &progress,
+               "Periodic one-line status (points done/total, reps/s, ETA) "
+               "instead of per-point lines");
   cli.add_flag("quiet", &quiet, "Suppress per-point progress lines");
   cli.add_flag("dry-run", &dry_run,
                "Print the expanded grid and exit without simulating");
+  cli.add_string("bench-json", &bench_json,
+                 "Append a {wall_s, reps_per_s, ...} sample to this file "
+                 "after a completed run");
+  cli.add_double("hang-timeout", &hang_timeout,
+                 "--drive: kill a worker silent for this many seconds and "
+                 "reassign its lease (0 disables)");
+  cli.add_flag("worker", &worker,
+               "Internal: run as a --drive worker process (protocol on "
+               "stdin/stdout)");
+  cli.add_uint("worker-id", &worker_id, "Internal: this worker's id");
   if (!cli.parse(argc, argv)) return cli.status();
 
   try {
@@ -98,7 +175,9 @@ int main(int argc, char** argv) {
       // would let e.g. --json name a file that is never written, or
       // --dry-run suggest no output gets touched when --out is overwritten.
       if (!out_json.empty() || !per_run_csv.empty() || !shard_spec.empty() ||
-          resume || dry_run || jobs != 0 || rep_chunk != 0) {
+          resume || dry_run || progress || jobs != 0 || rep_chunk != 0 ||
+          drive_workers != 0 || worker || worker_id != 0 ||
+          !bench_json.empty() || hang_timeout != 120.0) {
         std::fprintf(stderr,
                      "pas-exp: --merge takes only input CSVs, --out, and "
                      "--manifest (merge per-run shard files in a separate "
@@ -129,6 +208,18 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "pas-exp: --manifest is required (try --help)\n");
       return 2;
     }
+
+    if (worker) {
+      // Internal child mode of --drive: no human output, protocol only.
+      const auto manifest = pas::exp::Manifest::load(manifest_path);
+      pas::orch::WorkerOptions options;
+      options.out_csv = out_csv;
+      options.per_run_csv = per_run_csv;
+      options.worker_id = static_cast<int>(worker_id);
+      options.jobs = std::max<std::size_t>(1, static_cast<std::size_t>(jobs));
+      return pas::orch::run_worker(manifest, options);
+    }
+
     pas::exp::CampaignOptions options;
     if (!shard_spec.empty() &&
         !parse_shard(shard_spec, options.shard_index, options.shard_count)) {
@@ -157,13 +248,105 @@ int main(int argc, char** argv) {
       return 0;
     }
 
+    if (drive_workers > 0) {
+      if (!shard_spec.empty() || rep_chunk != 0 || !out_json.empty()) {
+        std::fprintf(stderr,
+                     "pas-exp: --drive is incompatible with --shard, "
+                     "--rep-chunk, and --json (drive owns the process "
+                     "split; JSON-lines shards cannot be merged)\n");
+        return 2;
+      }
+      pas::orch::DriveOptions drive_options;
+      drive_options.exe_path = pas::orch::self_exe_path(argv[0]);
+      drive_options.manifest_path = manifest_path;
+      drive_options.out_csv = out_csv;
+      drive_options.per_run_csv = per_run_csv;
+      drive_options.workers = static_cast<std::size_t>(drive_workers);
+      drive_options.jobs_per_worker =
+          std::max<std::size_t>(1, static_cast<std::size_t>(jobs));
+      drive_options.resume = resume;
+      drive_options.hang_timeout_s = hang_timeout;
+      drive_options.verbosity =
+          quiet ? pas::orch::DriveOptions::Verbosity::kQuiet
+                : (progress
+                       ? pas::orch::DriveOptions::Verbosity::kPeriodic
+                       : pas::orch::DriveOptions::Verbosity::kPerPoint);
+
+      const auto report = pas::orch::drive(manifest, drive_options);
+      if (report.interrupted) {
+        // The *exact* command that continues this campaign: every
+        // non-default knob the interrupted invocation carried, plus
+        // --resume.
+        std::string resume_cmd = "pas-exp --drive " +
+                                 std::to_string(drive_options.workers) +
+                                 " --manifest " + manifest_path + " --out " +
+                                 out_csv;
+        if (!per_run_csv.empty()) resume_cmd += " --per-run " + per_run_csv;
+        if (jobs != 0) resume_cmd += " --jobs " + std::to_string(jobs);
+        if (hang_timeout != 120.0) {
+          char buf[48];
+          std::snprintf(buf, sizeof(buf), " --hang-timeout %g", hang_timeout);
+          resume_cmd += buf;
+        }
+        if (!bench_json.empty()) resume_cmd += " --bench-json " + bench_json;
+        if (quiet) resume_cmd += " --quiet";
+        if (progress) resume_cmd += " --progress";
+        std::printf(
+            "interrupted: %zu of %zu points on disk; every part file is "
+            "resumable\nresume with: %s --resume\n",
+            report.computed + report.resumed, report.total_points,
+            resume_cmd.c_str());
+        return 130;
+      }
+      std::printf(
+          "done: %zu points (%zu computed, %zu resumed) via %zu workers "
+          "(%zu crashes, %zu respawns) in %.1fs (%.1f runs/s) -> %s\n",
+          report.total_points, report.computed, report.resumed,
+          report.workers_spawned, report.crashes, report.respawns,
+          report.wall_s,
+          report.wall_s > 0.0
+              ? static_cast<double>(report.computed * report.replications) /
+                    report.wall_s
+              : 0.0,
+          out_csv.c_str());
+      if (!bench_json.empty()) {
+        write_bench_json(bench_json, manifest, "drive",
+                         drive_options.workers, drive_options.jobs_per_worker,
+                         report.computed, report.wall_s);
+      }
+      return 0;
+    }
+
     options.jobs = static_cast<std::size_t>(jobs);
     options.rep_chunk = static_cast<std::size_t>(rep_chunk);
     options.resume = resume;
     options.out_csv = out_csv;
     options.out_json = out_json;
     options.per_run_csv = per_run_csv;
-    if (!quiet) {
+    const auto t0 = std::chrono::steady_clock::now();
+    if (progress && !quiet) {
+      // Periodic one-liner from the same per-point callback stream. The
+      // first line waits out one interval so the rate has data behind it.
+      auto last = t0;
+      std::size_t computed = 0;
+      options.progress = [&manifest, t0, last, computed](
+                             const pas::exp::PointSummary&, std::size_t done,
+                             std::size_t total) mutable {
+        ++computed;
+        const auto now = std::chrono::steady_clock::now();
+        if (done < total &&
+            std::chrono::duration<double>(now - last).count() < 1.0) {
+          return;
+        }
+        last = now;
+        std::printf("%s\n",
+                    pas::orch::progress_line(
+                        done, total, computed, manifest.replications,
+                        std::chrono::duration<double>(now - t0).count())
+                        .c_str());
+        std::fflush(stdout);
+      };
+    } else if (!quiet) {
       options.progress = [&points, &manifest](
                              const pas::exp::PointSummary& s,
                              std::size_t done, std::size_t total) {
@@ -189,6 +372,11 @@ int main(int argc, char** argv) {
                   report.wall_s
             : 0.0,
         out_csv.c_str());
+    if (!bench_json.empty()) {
+      write_bench_json(bench_json, manifest, "single", 1,
+                       options.jobs == 0 ? 0 : options.jobs, report.computed,
+                       report.wall_s);
+    }
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "pas-exp: %s\n", e.what());
