@@ -1,7 +1,15 @@
 // Microbenchmarks A4 — simulator-kernel throughput and parallel-sweep
 // scaling: the costs everything else in this repository is built on.
+//
+// BM_Simulator_EventStorm and BM_Scenario_SingleRun are the two numbers the
+// CI perf gate watches (tools/check_bench_regression.py against
+// bench/BENCH_kernel_baseline.json); keep their workloads stable.
 #include <benchmark/benchmark.h>
 
+#include <cstddef>
+#include <vector>
+
+#include "net/message.hpp"
 #include "runtime/parallel_for.hpp"
 #include "runtime/thread_pool.hpp"
 #include "sim/event_queue.hpp"
@@ -29,22 +37,110 @@ void BM_EventQueue_PushPop(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueue_PushPop)->Arg(1000)->Arg(10000)->Arg(100000);
 
+void BM_EventQueue_CancelHeavy(benchmark::State& state) {
+  // Protocol-shaped churn: a working set of pending timers is repeatedly
+  // cancelled and replaced before firing (exactly what wake/eval/recheck
+  // timers do on every state transition). Dominated by cancel() + push().
+  const auto n = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kLive = 256;
+  pas::sim::Pcg32 rng(7, 1);
+  for (auto _ : state) {
+    pas::sim::EventQueue q;
+    std::vector<pas::sim::EventId> live;
+    live.reserve(kLive);
+    for (std::size_t i = 0; i < kLive; ++i) {
+      live.push_back(q.push(rng.uniform(0.0, 1e3), [] {}));
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t k = i % kLive;
+      q.cancel(live[k]);
+      live[k] = q.push(rng.uniform(0.0, 1e3), [] {});
+    }
+    while (!q.empty()) {
+      benchmark::DoNotOptimize(q.pop().time);
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_EventQueue_CancelHeavy)->Arg(10000)->Arg(100000);
+
+void BM_EventQueue_MixedHorizon(benchmark::State& state) {
+  // A near-term working set churns on top of a stable far-future tail — the
+  // shape of a live protocol run (imminent MAC/wake events over distant
+  // failure and timeout events). Stresses heap locality with a deep heap.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kTail = 4096;
+  for (auto _ : state) {
+    pas::sim::EventQueue q;
+    for (std::size_t i = 0; i < kTail; ++i) {
+      q.push(1e6 + static_cast<double>(i), [] {});
+    }
+    double now = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      q.push(now + 0.5, [] {});
+      const auto popped = q.pop();
+      now = popped.time;
+      benchmark::DoNotOptimize(now);
+    }
+    q.clear();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_EventQueue_MixedHorizon)->Arg(10000)->Arg(100000);
+
 void BM_Simulator_EventStorm(benchmark::State& state) {
-  // Self-rescheduling event chain: measures per-event dispatch overhead.
+  // Self-rescheduling chain through a 16-byte POD functor: measures the
+  // kernel's per-event dispatch cost with the smallest realistic capture (a
+  // protocol timer's `this` + node index). (A previous version rescheduled
+  // a captured std::function, so every event also paid a heap-allocating
+  // self-copy of the callback — it benchmarked std::function, not us.)
+  struct Tick {
+    pas::sim::Simulator* sim;
+    std::size_t* remaining;
+    void operator()() const {
+      if (--*remaining > 0) sim->schedule_in(0.001, Tick{sim, remaining});
+    }
+  };
   const auto n = static_cast<std::size_t>(state.range(0));
   for (auto _ : state) {
     pas::sim::Simulator sim;
     std::size_t remaining = n;
-    std::function<void()> tick = [&] {
-      if (--remaining > 0) sim.schedule_in(0.001, tick);
-    };
-    sim.schedule_in(0.001, tick);
+    sim.schedule_in(0.001, Tick{&sim, &remaining});
     sim.run();
     benchmark::DoNotOptimize(sim.executed_events());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
 }
 BENCHMARK(BM_Simulator_EventStorm)->Arg(10000)->Arg(100000);
+
+void BM_Simulator_EventStormPayload(benchmark::State& state) {
+  // Same chain with a delivery-shaped capture: a net::Message-sized payload
+  // rides in every callback, exactly like Network::broadcast's per-neighbor
+  // closures — the most common event in a protocol run. Captures this size
+  // blow past std::function's inline buffer, so this variant also measures
+  // the allocation the SmallFn slab eliminates.
+  struct Tick {
+    pas::sim::Simulator* sim;
+    std::size_t* remaining;
+    unsigned char payload[sizeof(pas::net::Message)];
+    void operator()() const {
+      if (--*remaining > 0) {
+        Tick next = *this;
+        sim->schedule_in(0.001, next);
+      }
+    }
+  };
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    pas::sim::Simulator sim;
+    std::size_t remaining = n;
+    sim.schedule_in(0.001, Tick{&sim, &remaining, {}});
+    sim.run();
+    benchmark::DoNotOptimize(sim.executed_events());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_Simulator_EventStormPayload)->Arg(10000)->Arg(100000);
 
 void BM_Scenario_SingleRun(benchmark::State& state) {
   // One full paper-scenario simulation, the unit of every sweep.
@@ -59,6 +155,21 @@ void BM_Scenario_SingleRun(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Scenario_SingleRun)->Unit(benchmark::kMillisecond);
+
+void BM_Scenario_Replicated(benchmark::State& state) {
+  // A replicated point, serially — the unit of campaign work. Unlike
+  // SingleRun this path may reuse world state across replications, so the
+  // gap between the two is the workspace win.
+  pas::world::PaperSetupOverrides o;
+  o.policy = pas::core::Policy::kPas;
+  const auto cfg = pas::world::paper_scenario(o);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        pas::world::run_replicated(cfg, 8, nullptr).energy_j.mean);
+  }
+  state.SetItemsProcessed(8 * state.iterations());
+}
+BENCHMARK(BM_Scenario_Replicated)->Unit(benchmark::kMillisecond);
 
 void BM_Sweep_Parallel(benchmark::State& state) {
   // Replicated sweep over the thread pool: should scale with cores until

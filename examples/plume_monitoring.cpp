@@ -22,9 +22,8 @@ std::string render_frame(const pas::stimulus::StimulusModel& model,
                          const pas::world::RunResult& result,
                          pas::geom::Aabb region, double t, int cols,
                          int rows) {
-  std::string art = pas::stimulus::render_ascii(
-      [&](pas::geom::Vec2 p) { return model.concentration(p, t); }, region,
-      cols, rows, 0.0, 2.0);
+  std::string art =
+      pas::stimulus::render_ascii(model, t, region, cols, rows, 0.0, 2.0);
   for (std::size_t i = 0; i < result.positions.size(); ++i) {
     const auto p = result.positions[i];
     const int c = static_cast<int>((p.x - region.lo.x) / region.width() * cols);
@@ -102,8 +101,7 @@ int main(int argc, char** argv) {
     const auto points = pas::metrics::estimate_boundary_points(
         result.positions, covered, cfg.radio.range_m);
     const auto segments = pas::stimulus::extract_iso_segments(
-        [&](pas::geom::Vec2 p) { return model->concentration(p, t); },
-        cfg.deployment.region, 96, 96, cfg.pde.threshold);
+        *model, t, cfg.deployment.region, 96, 96, cfg.pde.threshold);
     if (!points.empty() && !segments.empty()) {
       double sum = 0.0, worst = 0.0;
       for (const auto& p : points) {

@@ -46,6 +46,14 @@ void Protocol::start() {
     Runtime& rt = runtime_[i];
     rt.sleep_interval = config_.sleep.initial_s;
 
+    // Bind each per-node handler exactly once; every later (re-)arm only
+    // schedules a trampoline instead of re-capturing a fresh closure.
+    rt.wake_timer.bind(simulator_, [this, i] { on_wake(i); });
+    rt.eval_timer.bind(simulator_, [this, i] { on_safe_evaluate(i); });
+    rt.recheck_timer.bind(simulator_, [this, i] { on_alert_recheck(i); });
+    rt.estimate_timer.bind(simulator_, [this, i] { on_covered_estimate(i); });
+    rt.covered_check_timer.bind(simulator_, [this, i] { on_covered_check(i); });
+
     network_.set_rx_handler(
         i, [this, i](const net::Message& msg) { on_message(i, msg); });
 
@@ -59,7 +67,7 @@ void Protocol::start() {
       nodes_[i].asleep = true;
       nodes_[i].meter.set_mode(energy::PowerMode::kSleep, simulator_.now());
       network_.set_listening(i, false);
-      rt.wake_event = simulator_.schedule_in(first, [this, i] { on_wake(i); });
+      rt.wake_timer.arm_in(first);
     } else {
       nodes_[i].asleep = false;
       network_.set_listening(i, true);
@@ -100,11 +108,9 @@ void Protocol::detect(std::uint32_t i) {
     // Gather covered neighbors' detection times to compute the actual
     // velocity (formula 1), then advertise the new state.
     send_request(i);
-    rt.estimate_event = simulator_.schedule_in(
-        config_.response_wait_s, [this, i] { on_covered_estimate(i); });
+    rt.estimate_timer.arm_in(config_.response_wait_s);
   }
-  rt.covered_check_event = simulator_.schedule_in(
-      config_.covered_timeout_s * 0.5, [this, i] { on_covered_check(i); });
+  rt.covered_check_timer.arm_in(config_.covered_timeout_s * 0.5);
 }
 
 void Protocol::on_covered_estimate(std::uint32_t i) {
@@ -119,9 +125,11 @@ void Protocol::on_covered_estimate(std::uint32_t i) {
           actual_velocity(nodes_[i].position, nodes_[i].detected, peers)) {
     rt.velocity = *actual;
     rt.velocity_valid = true;
-    std::ostringstream os;
-    os << "actual velocity " << rt.velocity;
-    trace(sim::TraceCategory::kMisc, i, os.str());
+    if (trace_ != nullptr && trace_->enabled()) {
+      std::ostringstream os;
+      os << "actual velocity " << rt.velocity;
+      trace(sim::TraceCategory::kMisc, i, os.str());
+    }
   }
   // else: keep any expected-velocity estimate from the alert phase; the
   // very first covered node (at the source) has neither.
@@ -142,8 +150,7 @@ void Protocol::on_covered_check(std::uint32_t i) {
     demote_to_safe(i);
     return;
   }
-  rt.covered_check_event = simulator_.schedule_in(
-      config_.covered_timeout_s * 0.5, [this, i] { on_covered_check(i); });
+  rt.covered_check_timer.arm_in(config_.covered_timeout_s * 0.5);
 }
 
 void Protocol::on_wake(std::uint32_t i) {
@@ -164,8 +171,7 @@ void Protocol::on_wake(std::uint32_t i) {
 
   send_request(i);
   rt.awaiting_eval = true;
-  rt.eval_event = simulator_.schedule_in(config_.response_wait_s,
-                                         [this, i] { on_safe_evaluate(i); });
+  rt.eval_timer.arm_in(config_.response_wait_s);
 }
 
 void Protocol::on_safe_evaluate(std::uint32_t i) {
@@ -204,8 +210,7 @@ void Protocol::enter_alert(std::uint32_t i) {
   set_state(i, NodeState::kAlert);
   ++stats_.alert_entries;
   rt.sleep_interval = config_.sleep.initial_s;  // restart schedule on return
-  rt.recheck_event = simulator_.schedule_in(config_.alert_recheck_s,
-                                            [this, i] { on_alert_recheck(i); });
+  rt.recheck_timer.arm_in(config_.alert_recheck_s);
   if (config_.alert_nodes_participate()) maybe_push_response(i);
 }
 
@@ -225,8 +230,7 @@ void Protocol::on_alert_recheck(std::uint32_t i) {
     return;
   }
   if (config_.alert_nodes_participate()) maybe_push_response(i);
-  rt.recheck_event = simulator_.schedule_in(config_.alert_recheck_s,
-                                            [this, i] { on_alert_recheck(i); });
+  rt.recheck_timer.arm_in(config_.alert_recheck_s);
 }
 
 void Protocol::demote_to_safe(std::uint32_t i) {
@@ -246,11 +250,12 @@ void Protocol::go_to_sleep(std::uint32_t i) {
   n.asleep = true;
   n.meter.set_mode(energy::PowerMode::kSleep, simulator_.now());
   network_.set_listening(i, false);
-  std::ostringstream os;
-  os << "sleeping for " << rt.sleep_interval << "s";
-  trace(sim::TraceCategory::kSleep, i, os.str());
-  rt.wake_event = simulator_.schedule_in(rt.sleep_interval,
-                                         [this, i] { on_wake(i); });
+  if (trace_ != nullptr && trace_->enabled()) {
+    std::ostringstream os;
+    os << "sleeping for " << rt.sleep_interval << "s";
+    trace(sim::TraceCategory::kSleep, i, os.str());
+  }
+  rt.wake_timer.arm_in(rt.sleep_interval);
 }
 
 void Protocol::send_request(std::uint32_t i) {
@@ -390,20 +395,22 @@ void Protocol::on_failure(std::uint32_t i) {
 
 void Protocol::cancel_pending(std::uint32_t i) {
   Runtime& rt = runtime_[i];
-  simulator_.cancel(rt.wake_event);
-  simulator_.cancel(rt.eval_event);
-  simulator_.cancel(rt.recheck_event);
-  simulator_.cancel(rt.estimate_event);
-  simulator_.cancel(rt.covered_check_event);
+  rt.wake_timer.cancel();
+  rt.eval_timer.cancel();
+  rt.recheck_timer.cancel();
+  rt.estimate_timer.cancel();
+  rt.covered_check_timer.cancel();
   rt.awaiting_eval = false;
 }
 
 void Protocol::set_state(std::uint32_t i, NodeState next) {
   Runtime& rt = runtime_[i];
   if (rt.state == next) return;
-  std::ostringstream os;
-  os << to_string(rt.state) << " -> " << to_string(next);
-  trace(sim::TraceCategory::kState, i, os.str());
+  if (trace_ != nullptr && trace_->enabled()) {
+    std::ostringstream os;
+    os << to_string(rt.state) << " -> " << to_string(next);
+    trace(sim::TraceCategory::kState, i, os.str());
+  }
   rt.state = next;
 }
 

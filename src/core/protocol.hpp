@@ -30,6 +30,7 @@
 #include "node/sensor_node.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
+#include "sim/timer.hpp"
 #include "sim/trace.hpp"
 #include "stimulus/arrival_map.hpp"
 #include "stimulus/field.hpp"
@@ -97,11 +98,13 @@ class Protocol {
     sim::Time last_push_time = sim::kLongAgo;
     sim::Time last_seen_covered = sim::kNever;
     bool awaiting_eval = false;
-    sim::EventId wake_event;
-    sim::EventId eval_event;
-    sim::EventId recheck_event;
-    sim::EventId estimate_event;
-    sim::EventId covered_check_event;
+    // Reusable self-rescheduling handles: each captures its handler once at
+    // start(); every re-arm afterwards schedules only an inline trampoline.
+    sim::Timer wake_timer;
+    sim::Timer eval_timer;
+    sim::Timer recheck_timer;
+    sim::Timer estimate_timer;
+    sim::Timer covered_check_timer;
   };
 
   // Event handlers.

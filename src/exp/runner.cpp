@@ -133,11 +133,24 @@ CampaignReport run_campaign(const Manifest& manifest,
                        aggregator.done_count(), aggregator.owned_count());
     }
   };
+  // Inline (jobs==1) chunks run on the caller's thread and use this
+  // campaign-scoped workspace; pool chunks use a per-worker thread_local
+  // whose lifetime is the pool's (run_campaign owns the pool, so nothing
+  // outlives the campaign). Either way replications re-seed a kept-warm
+  // world, and the stimulus-model cache carries across points that share a
+  // stimulus — for PDE campaigns that drops a full solver integration per
+  // replication.
+  world::Workspace inline_workspace;
   const auto run_chunk = [&](PointTask& task, std::size_t begin,
-                             std::size_t end) {
+                             std::size_t end, world::Workspace* caller_ws) {
     std::call_once(task.alloc, [&task, reps] { task.runs.resize(reps); });
+    world::Workspace& workspace = [&]() -> world::Workspace& {
+      if (caller_ws != nullptr) return *caller_ws;
+      static thread_local world::Workspace pool_workspace;
+      return pool_workspace;
+    }();
     for (std::size_t r = begin; r < end; ++r) {
-      task.runs[r] = world::run_replication(task.point->config, r);
+      task.runs[r] = world::run_replication(workspace, task.point->config, r);
     }
     // acq_rel: the final decrement must observe every other chunk's writes
     // to task.runs before reducing them.
@@ -149,7 +162,8 @@ CampaignReport run_campaign(const Manifest& manifest,
   if (options.jobs == 1) {
     for (auto& task : tasks) {
       for (std::size_t begin = 0; begin < reps; begin += chunk) {
-        run_chunk(task, begin, std::min(reps, begin + chunk));
+        run_chunk(task, begin, std::min(reps, begin + chunk),
+                  &inline_workspace);
       }
     }
   } else {
@@ -159,8 +173,9 @@ CampaignReport run_campaign(const Manifest& manifest,
     for (auto& task : tasks) {
       for (std::size_t begin = 0; begin < reps; begin += chunk) {
         const std::size_t end = std::min(reps, begin + chunk);
-        futures.push_back(pool.submit(
-            [&run_chunk, &task, begin, end] { run_chunk(task, begin, end); }));
+        futures.push_back(pool.submit([&run_chunk, &task, begin, end] {
+          run_chunk(task, begin, end, nullptr);
+        }));
       }
     }
     for (auto& f : futures) f.get();  // propagate the first failure

@@ -14,6 +14,8 @@ struct Aabb {
   constexpr Aabb() noexcept = default;
   constexpr Aabb(Vec2 low, Vec2 high) noexcept : lo(low), hi(high) {}
 
+  constexpr bool operator==(const Aabb&) const noexcept = default;
+
   [[nodiscard]] static constexpr Aabb square(double side) noexcept {
     return Aabb{{0.0, 0.0}, {side, side}};
   }

@@ -9,6 +9,13 @@ namespace pas::metrics {
 std::vector<NodeOutcome> collect_outcomes(
     const std::vector<node::SensorNode>& nodes) {
   std::vector<NodeOutcome> out;
+  collect_outcomes(nodes, out);
+  return out;
+}
+
+void collect_outcomes(const std::vector<node::SensorNode>& nodes,
+                      std::vector<NodeOutcome>& out) {
+  out.clear();
   out.reserve(nodes.size());
   for (const auto& n : nodes) {
     NodeOutcome o;
@@ -32,7 +39,6 @@ std::vector<NodeOutcome> collect_outcomes(
     o.tx_count = n.meter.tx_count();
     out.push_back(o);
   }
-  return out;
 }
 
 RunMetrics summarize(const std::vector<NodeOutcome>& outcomes,

@@ -73,6 +73,11 @@ struct RunMetrics {
 [[nodiscard]] std::vector<NodeOutcome> collect_outcomes(
     const std::vector<node::SensorNode>& nodes);
 
+/// Same, writing into a caller-owned buffer (cleared first) so replicated
+/// runs through world::Workspace reuse one allocation.
+void collect_outcomes(const std::vector<node::SensorNode>& nodes,
+                      std::vector<NodeOutcome>& out);
+
 /// Aggregates outcomes into the run-level metrics. Undetected nodes whose
 /// arrival falls after `censor_cutoff_s` count as censored rather than
 /// missed (run_scenario passes duration − max-sleep − slack; pass

@@ -10,22 +10,33 @@ namespace pas::net {
 Network::Network(sim::Simulator& simulator, std::vector<geom::Vec2> positions,
                  RadioConfig config, std::shared_ptr<Channel> channel,
                  const sim::SeedSequence& seeds)
-    : simulator_(simulator),
-      positions_(std::move(positions)),
-      config_(config),
-      channel_(std::move(channel)),
-      jitter_rng_(seeds.stream(sim::SeedSequence::kMacJitter)) {
-  if (positions_.empty()) {
+    : simulator_(simulator) {
+  reset(std::move(positions), config, std::move(channel), seeds);
+}
+
+void Network::reset(std::vector<geom::Vec2> positions, RadioConfig config,
+                    std::shared_ptr<Channel> channel,
+                    const sim::SeedSequence& seeds) {
+  if (positions.empty()) {
     throw std::invalid_argument("Network: need at least one node");
   }
-  if (config_.range_m <= 0.0 || config_.data_rate_bps <= 0.0) {
+  if (config.range_m <= 0.0 || config.data_rate_bps <= 0.0) {
     throw std::invalid_argument("Network: range and data rate must be > 0");
   }
-  if (!channel_) {
+  if (!channel) {
     throw std::invalid_argument("Network: channel must not be null");
   }
+  positions_ = std::move(positions);
+  config_ = config;
+  channel_ = std::move(channel);
+  jitter_rng_ = seeds.stream(sim::SeedSequence::kMacJitter);
+  stats_ = Stats{};
+  // Hooks capture the previous world's state; a fresh Network has none.
+  tx_hook_ = EnergyHook{};
+  rx_hook_ = EnergyHook{};
 
-  // Precompute the neighbor lists once; nodes are static.
+  // Precompute the neighbor lists once; nodes are static for a run. The
+  // per-node vectors keep their capacity across resets.
   geom::Aabb bounds{positions_.front(), positions_.front()};
   for (const auto& p : positions_) {
     bounds.lo.x = std::min(bounds.lo.x, p.x);
@@ -36,14 +47,17 @@ Network::Network(sim::Simulator& simulator, std::vector<geom::Vec2> positions,
   const geom::GridIndex index(positions_, bounds.inflated(1.0), config_.range_m);
   neighbors_.resize(positions_.size());
   for (std::uint32_t i = 0; i < positions_.size(); ++i) {
+    neighbors_[i].clear();
     for (const std::uint32_t j : index.query_radius(positions_[i], config_.range_m)) {
       if (j != i) neighbors_[i].push_back(j);
     }
   }
 
+  handlers_.clear();
   handlers_.resize(positions_.size());
   listening_.assign(positions_.size(), 1);
   failed_.assign(positions_.size(), 0);
+  link_rng_.clear();
   link_rng_.reserve(positions_.size());
   for (std::uint32_t i = 0; i < positions_.size(); ++i) {
     link_rng_.push_back(seeds.stream(sim::SeedSequence::kChannel, i));

@@ -42,6 +42,13 @@ class Network {
           RadioConfig config, std::shared_ptr<Channel> channel,
           const sim::SeedSequence& seeds);
 
+  /// Rebuilds the fabric for a new world (positions/config/channel/seeds)
+  /// while reusing neighbor-list, handler and RNG storage — the
+  /// world::Workspace path between replications. Equivalent to constructing
+  /// a fresh Network with the same arguments (the bound simulator stays).
+  void reset(std::vector<geom::Vec2> positions, RadioConfig config,
+             std::shared_ptr<Channel> channel, const sim::SeedSequence& seeds);
+
   [[nodiscard]] std::size_t size() const noexcept { return positions_.size(); }
   [[nodiscard]] geom::Vec2 position(std::uint32_t id) const {
     return positions_.at(id);

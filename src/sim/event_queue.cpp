@@ -1,68 +1,36 @@
 #include "sim/event_queue.hpp"
 
-#include <algorithm>
-#include <cassert>
-#include <stdexcept>
-#include <utility>
-
 namespace pas::sim {
 
-EventId EventQueue::push(Time t, Callback cb) {
-  if (!is_valid_time(t)) {
-    throw std::invalid_argument("EventQueue::push: invalid event time");
+std::uint32_t EventQueue::grow_slots() {
+  if (slot_count_ >= kNilSlot - kChunkSize) {
+    throw std::length_error("EventQueue: slot index space exhausted");
   }
-  if (!cb) {
-    throw std::invalid_argument("EventQueue::push: empty callback");
+  if (slot_count_ == chunks_.size() * kChunkSize) {
+    chunks_.push_back(std::make_unique<Slot[]>(kChunkSize));
   }
-  const std::uint64_t id = next_id_++;
-  heap_.push_back(Entry{t, next_seq_++, id});
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
-  callbacks_.emplace(id, std::move(cb));
-  ++live_;
-  return EventId(id);
-}
-
-bool EventQueue::cancel(EventId id) {
-  const auto it = callbacks_.find(id.value());
-  if (it == callbacks_.end()) return false;
-  callbacks_.erase(it);
-  --live_;
-  return true;
-}
-
-bool EventQueue::pending(EventId id) const {
-  return callbacks_.contains(id.value());
-}
-
-void EventQueue::drop_dead_top() const {
-  while (!heap_.empty() && !callbacks_.contains(heap_.front().id)) {
-    std::pop_heap(heap_.begin(), heap_.end(), Later{});
-    heap_.pop_back();
-  }
-}
-
-Time EventQueue::next_time() const {
-  drop_dead_top();
-  return heap_.empty() ? kNever : heap_.front().time;
-}
-
-EventQueue::Popped EventQueue::pop() {
-  drop_dead_top();
-  assert(!heap_.empty() && "pop() on empty EventQueue");
-  std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  const Entry top = heap_.back();
-  heap_.pop_back();
-  auto it = callbacks_.find(top.id);
-  assert(it != callbacks_.end());
-  Popped out{top.time, EventId(top.id), std::move(it->second)};
-  callbacks_.erase(it);
-  --live_;
-  return out;
+  return slot_count_++;
 }
 
 void EventQueue::clear() {
   heap_.clear();
-  callbacks_.clear();
+  free_head_ = kNilSlot;
+  // Rebuild the free list over every slot; occupied ones are invalidated
+  // exactly like a release so outstanding ids turn stale. Slots whose
+  // callbacks are executing right now — at any nesting depth, when clear()
+  // is reached from inside a callback (e.g. via Simulator::reset()) — are
+  // skipped entirely: their callbacks must not be destroyed mid-invocation,
+  // and each run_next() frame releases its own slot on return.
+  for (std::uint32_t s = slot_count_; s-- > 0;) {
+    if (is_executing(s)) continue;
+    Slot& slot = slot_at(s);
+    if (slot.fn) {
+      slot.fn.reset();
+      bump_generation(slot);
+    }
+    slot.next_free = free_head_;
+    free_head_ = s;
+  }
   live_ = 0;
 }
 

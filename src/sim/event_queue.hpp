@@ -4,18 +4,35 @@
 // cancelled events stay in the heap but are skipped on pop. Sequence numbers
 // give FIFO ordering among simultaneous events, which keeps protocol runs
 // deterministic regardless of heap internals.
+//
+// Callbacks live in a free-list slab of generation-tagged slots (a slot
+// map). An EventId is (slot index, generation): cancel() and pending() are
+// one array access plus a generation compare — no hashing, no node
+// allocations — and a reused slot invalidates stale ids by construction
+// because release bumps the generation. Callbacks are sim::SmallFn,
+// constructed directly in the slab (push never copies a capture), and the
+// slab grows in address-stable chunks so run_next() can invoke a callback
+// in place — the dispatch path of a simulation is one indirect call per
+// event, with no allocation and no capture relocation.
 #pragma once
 
+#include <algorithm>
+#include <cassert>
 #include <cstdint>
-#include <functional>
-#include <unordered_map>
+#include <memory>
+#include <stdexcept>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "sim/small_fn.hpp"
 #include "sim/time.hpp"
 
 namespace pas::sim {
 
-/// Opaque handle to a scheduled event. Value 0 is "invalid".
+/// Opaque handle to a scheduled event. Value 0 is "invalid". Internally
+/// packs (generation << 32) | slot; generations start at 1, so every live
+/// id is non-zero.
 class EventId {
  public:
   constexpr EventId() noexcept = default;
@@ -25,6 +42,19 @@ class EventId {
   [[nodiscard]] constexpr bool valid() const noexcept { return value_ != 0; }
   constexpr bool operator==(const EventId&) const noexcept = default;
 
+  /// Slot index / generation accessors (used by the queue; stable layout so
+  /// tests can assert on reuse behaviour).
+  [[nodiscard]] constexpr std::uint32_t slot() const noexcept {
+    return static_cast<std::uint32_t>(value_);
+  }
+  [[nodiscard]] constexpr std::uint32_t generation() const noexcept {
+    return static_cast<std::uint32_t>(value_ >> 32);
+  }
+  [[nodiscard]] static constexpr EventId pack(std::uint32_t slot,
+                                              std::uint32_t generation) noexcept {
+    return EventId{(static_cast<std::uint64_t>(generation) << 32) | slot};
+  }
+
  private:
   std::uint64_t value_ = 0;
 };
@@ -33,57 +63,256 @@ class EventId {
 /// one simulation owns one queue; parallelism happens across simulations.
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = SmallFn;
 
   EventQueue() = default;
 
-  /// Inserts an event; `t` must satisfy is_valid_time().
-  EventId push(Time t, Callback cb);
+  // The push/cancel/dispatch path is defined inline below: it is the
+  // innermost loop of every simulation and the library is built without
+  // LTO, so a .cpp definition would cost an opaque call per event.
+
+  /// Inserts an event; `t` must satisfy is_valid_time(). The callable is
+  /// constructed directly in the slab: a raw lambda/functor argument never
+  /// passes through a SmallFn temporary (zero moves), a SmallFn argument is
+  /// moved in (one relocation).
+  template <typename F>
+  EventId push(Time t, F&& f) {
+    if (!is_valid_time(t)) {
+      throw std::invalid_argument("EventQueue::push: invalid event time");
+    }
+    if constexpr (std::is_same_v<std::remove_cvref_t<F>, Callback>) {
+      if (!f) {
+        throw std::invalid_argument("EventQueue::push: empty callback");
+      }
+    } else if constexpr (requires { static_cast<bool>(f); }) {
+      // Null-testable callables (std::function, function pointers) must be
+      // rejected here, at the call site, not at dispatch time.
+      if (!static_cast<bool>(f)) {
+        throw std::invalid_argument("EventQueue::push: empty callback");
+      }
+    }
+    const std::uint32_t s = acquire_slot();
+    Slot& slot = slot_at(s);
+    if constexpr (std::is_same_v<std::remove_cvref_t<F>, Callback>) {
+      slot.fn = std::forward<F>(f);
+    } else {
+      slot.fn.emplace(std::forward<F>(f));
+    }
+    heap_.push_back(HeapEntry{t, next_seq_++, s, slot.generation});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+    ++live_;
+    return EventId::pack(s, slot.generation);
+  }
 
   /// Cancels a pending event. Returns false if unknown/already executed.
-  bool cancel(EventId id);
+  bool cancel(EventId id) {
+    if (!pending(id)) return false;
+    release_slot(id.slot());
+    --live_;
+    return true;
+  }
 
   /// True if a pushed event has neither executed nor been cancelled.
-  [[nodiscard]] bool pending(EventId id) const;
+  [[nodiscard]] bool pending(EventId id) const {
+    const std::uint32_t s = id.slot();
+    if (s >= slot_count_) return false;
+    const Slot& slot = slot_at(s);
+    // The generation compare alone rejects every id the queue ever issued
+    // and released; the occupancy check additionally rejects fabricated ids
+    // that happen to guess a free slot's current generation.
+    return slot.generation == id.generation() && static_cast<bool>(slot.fn);
+  }
 
   /// Number of live (non-cancelled) events.
   [[nodiscard]] std::size_t size() const noexcept { return live_; }
   [[nodiscard]] bool empty() const noexcept { return live_ == 0; }
 
   /// Timestamp of the earliest live event; kNever when empty.
-  [[nodiscard]] Time next_time() const;
+  [[nodiscard]] Time next_time() const {
+    drop_dead_top();
+    return heap_.empty() ? kNever : heap_.front().time;
+  }
 
-  /// Pops the earliest live event. Pre: !empty().
+  /// Executes the earliest live event's callback in place in the slab —
+  /// the kernel's dispatch path: no relocation, one indirect call. Pre:
+  /// !empty(). `clock_out` is set to the event's timestamp *before* the
+  /// callback runs (the simulator aliases its clock here so callbacks read
+  /// the right now()). The event is retired before the callback runs (its
+  /// id is no longer pending, exactly as with pop()), its slot becomes
+  /// reusable only after the callback returns, and the callback may freely
+  /// push or cancel.
+  void run_next(Time& clock_out) {
+    drop_dead_top();
+    assert(!heap_.empty() && "run_next() on empty EventQueue");
+    const HeapEntry top = heap_pop_top();
+    Slot& slot = slot_at(top.slot);
+    // Retire the id first: during its own execution the event is no longer
+    // pending and cannot be cancelled (so a self-cancel cannot free the
+    // slot under us). The slot joins the free list only after the call, so
+    // pushes from inside the callback cannot reuse this storage either —
+    // chunked slab growth keeps `slot` address-stable meanwhile, and
+    // clear() (e.g. a callback calling Simulator::reset()) skips the
+    // executing slot so it is released exactly once, here.
+    bump_generation(slot);
+    --live_;
+    // The release runs in a scope guard so a throwing callback still leaves
+    // the queue consistent (slot freed, executing frame unlinked) — the
+    // same guarantee the relocating pop() path gives for free. Frames form
+    // a stack (callbacks may legally pump the queue again), and clear()
+    // consults the whole chain so no executing slot is ever released twice.
+    struct Release {
+      EventQueue* queue;
+      Slot* slot;
+      ExecFrame frame;
+      ~Release() {
+        queue->executing_ = frame.prev;
+        slot->fn.reset();
+        slot->next_free = queue->free_head_;
+        queue->free_head_ = frame.slot;
+      }
+    };
+    Release release{this, &slot, ExecFrame{top.slot, executing_}};
+    executing_ = &release.frame;
+    clock_out = top.time;
+    slot.fn();
+  }
+
+  /// run_next() when the caller does not need the timestamp published.
+  Time run_next() {
+    Time t = 0.0;
+    run_next(t);
+    return t;
+  }
+
+  /// Pops the earliest live event, relocating the callback out of the slab
+  /// (never copying it). Pre: !empty(). The slot is released before return,
+  /// so the callback may freely push new events. run_next() is the cheaper
+  /// path when the callback can be invoked immediately.
   struct Popped {
     Time time;
     EventId id;
     Callback callback;
   };
-  Popped pop();
+  Popped pop() {
+    drop_dead_top();
+    assert(!heap_.empty() && "pop() on empty EventQueue");
+    const HeapEntry top = heap_pop_top();
+    Slot& slot = slot_at(top.slot);
+    Popped out{top.time, EventId::pack(top.slot, top.generation),
+               std::move(slot.fn)};
+    release_slot(top.slot);
+    --live_;
+    return out;
+  }
 
-  /// Drops everything (cancels all pending events).
+  /// Drops everything (cancels all pending events). Slab capacity is
+  /// retained so a reused queue (world::Workspace) schedules into warm
+  /// memory.
   void clear();
 
  private:
-  struct Entry {
+  static constexpr std::uint32_t kNilSlot = 0xffffffffU;
+  /// Slots per slab chunk. Chunked growth keeps every slot's address
+  /// stable, which run_next() relies on while a callback executes.
+  static constexpr std::uint32_t kChunkShift = 8;
+  static constexpr std::uint32_t kChunkSize = 1U << kChunkShift;
+
+  struct HeapEntry {
     Time time;
     std::uint64_t seq;
-    std::uint64_t id;
+    std::uint32_t slot;
+    std::uint32_t generation;
+  };
+  /// One stack frame of in-progress dispatch (lives on run_next's stack).
+  struct ExecFrame {
+    std::uint32_t slot;
+    ExecFrame* prev;
   };
   struct Later {
-    bool operator()(const Entry& a, const Entry& b) const noexcept {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const noexcept {
       if (a.time != b.time) return a.time > b.time;
       return a.seq > b.seq;
     }
   };
+  struct Slot {
+    SmallFn fn;
+    /// Bumped on every release; a generation mismatch is how stale heap
+    /// entries and cancelled/executed EventIds are recognised. 32 bits give
+    /// 4 billion reuses per slot before an ABA collision could matter.
+    std::uint32_t generation = 1;
+    std::uint32_t next_free = kNilSlot;
+  };
 
-  void drop_dead_top() const;
+  [[nodiscard]] Slot& slot_at(std::uint32_t s) noexcept {
+    return chunks_[s >> kChunkShift][s & (kChunkSize - 1)];
+  }
+  [[nodiscard]] const Slot& slot_at(std::uint32_t s) const noexcept {
+    return chunks_[s >> kChunkShift][s & (kChunkSize - 1)];
+  }
+
+  [[nodiscard]] bool entry_live(const HeapEntry& e) const noexcept {
+    return slot_at(e.slot).generation == e.generation;
+  }
+
+  /// Removes and returns the heap's top entry.
+  HeapEntry heap_pop_top() const noexcept {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    const HeapEntry top = heap_.back();
+    heap_.pop_back();
+    return top;
+  }
+
+  std::uint32_t acquire_slot() {
+    if (free_head_ != kNilSlot) {
+      const std::uint32_t s = free_head_;
+      free_head_ = slot_at(s).next_free;
+      return s;
+    }
+    return grow_slots();
+  }
+
+  /// Invalidates the released id and its heap entry. Generations skip 0 on
+  /// wrap-around: generation 0 is reserved so that the default EventId
+  /// (value 0) can never match a slot, even after 2^32 reuses.
+  static void bump_generation(Slot& slot) noexcept {
+    if (++slot.generation == 0) slot.generation = 1;
+  }
+
+  void release_slot(std::uint32_t s) noexcept {
+    Slot& slot = slot_at(s);
+    slot.fn.reset();
+    bump_generation(slot);
+    slot.next_free = free_head_;
+    free_head_ = s;
+  }
+
+  void drop_dead_top() const {
+    while (!heap_.empty() && !entry_live(heap_.front())) {
+      heap_pop_top();
+    }
+  }
+
+  /// Cold path of acquire_slot: appends a chunk when the slab is full.
+  std::uint32_t grow_slots();
+
+  /// True when slot `s` is currently dispatching at any nesting depth.
+  [[nodiscard]] bool is_executing(std::uint32_t s) const noexcept {
+    for (const ExecFrame* f = executing_; f != nullptr; f = f->prev) {
+      if (f->slot == s) return true;
+    }
+    return false;
+  }
 
   // Lazy deletion: cancelled entries linger in the heap until they reach the
   // top. Pruning them is logically const, hence the mutable heap.
-  mutable std::vector<Entry> heap_;
-  std::unordered_map<std::uint64_t, Callback> callbacks_;
-  std::uint64_t next_id_ = 1;
+  mutable std::vector<HeapEntry> heap_;
+  std::vector<std::unique_ptr<Slot[]>> chunks_;
+  std::uint32_t slot_count_ = 0;
+  std::uint32_t free_head_ = kNilSlot;
+  /// Innermost in-progress dispatch frame (null when none); clear() must
+  /// leave every frame's slot alone so each run_next() releases its own
+  /// slot exactly once on return.
+  ExecFrame* executing_ = nullptr;
   std::uint64_t next_seq_ = 0;
   std::size_t live_ = 0;
 };

@@ -1,30 +1,6 @@
 #include "sim/simulator.hpp"
 
-#include <stdexcept>
-#include <utility>
-
 namespace pas::sim {
-
-EventId Simulator::schedule_at(Time t, Callback cb) {
-  if (t < now_) {
-    throw std::invalid_argument("Simulator::schedule_at: time in the past");
-  }
-  return queue_.push(t, std::move(cb));
-}
-
-EventId Simulator::schedule_in(Duration dt, Callback cb) {
-  if (dt < 0.0) dt = 0.0;
-  return queue_.push(now_ + dt, std::move(cb));
-}
-
-bool Simulator::step() {
-  if (queue_.empty()) return false;
-  auto [time, id, callback] = queue_.pop();
-  now_ = time;
-  ++executed_;
-  callback();
-  return true;
-}
 
 std::size_t Simulator::run() {
   stopped_ = false;
@@ -45,6 +21,13 @@ std::size_t Simulator::run_until(Time deadline) {
   }
   if (!stopped_) now_ = deadline;
   return n;
+}
+
+void Simulator::reset() noexcept {
+  queue_.clear();
+  now_ = 0.0;
+  executed_ = 0;
+  stopped_ = false;
 }
 
 }  // namespace pas::sim

@@ -4,10 +4,15 @@
 // order. It is intentionally single-threaded (one Simulator per world);
 // throughput-level parallelism comes from running many simulations at once
 // via pas::runtime::Sweep.
+//
+// Callbacks are sim::SmallFn: the capture is stored inline in the event
+// slab and moved — never copied, never heap-allocated for hot-path capture
+// sizes — from schedule through dispatch.
 #pragma once
 
 #include <cstddef>
-#include <functional>
+#include <stdexcept>
+#include <utility>
 
 #include "sim/event_queue.hpp"
 #include "sim/time.hpp"
@@ -16,7 +21,7 @@ namespace pas::sim {
 
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  using Callback = EventQueue::Callback;
 
   Simulator() = default;
   Simulator(const Simulator&) = delete;
@@ -25,11 +30,25 @@ class Simulator {
   /// Current virtual time (seconds).
   [[nodiscard]] Time now() const noexcept { return now_; }
 
+  // Scheduling and dispatch are defined inline: they are the kernel's
+  // innermost loop and the library is built without LTO. Callables forward
+  // to the queue as-is and are constructed directly in the event slab.
+
   /// Schedules `cb` at absolute time `t` (must be >= now()).
-  EventId schedule_at(Time t, Callback cb);
+  template <typename F>
+  EventId schedule_at(Time t, F&& cb) {
+    if (t < now_) {
+      throw std::invalid_argument("Simulator::schedule_at: time in the past");
+    }
+    return queue_.push(t, std::forward<F>(cb));
+  }
 
   /// Schedules `cb` after a relative delay (clamped to >= 0).
-  EventId schedule_in(Duration dt, Callback cb);
+  template <typename F>
+  EventId schedule_in(Duration dt, F&& cb) {
+    if (dt < 0.0) dt = 0.0;
+    return queue_.push(now_ + dt, std::forward<F>(cb));
+  }
 
   /// Cancels a pending event; false if it already ran or was cancelled.
   bool cancel(EventId id) { return queue_.cancel(id); }
@@ -38,7 +57,14 @@ class Simulator {
   [[nodiscard]] bool pending(EventId id) const { return queue_.pending(id); }
 
   /// Executes the next event. Returns false when the queue is empty.
-  bool step();
+  bool step() {
+    if (queue_.empty()) return false;
+    ++executed_;
+    // run_next publishes the event's time into now_ before dispatching, so
+    // the callback reads the right clock.
+    queue_.run_next(now_);
+    return true;
+  }
 
   /// Runs until the queue drains or stop() is called. Returns #events run.
   std::size_t run();
@@ -50,6 +76,12 @@ class Simulator {
   /// Requests the current run()/run_until() loop to end after the current
   /// callback returns. Safe to call from inside a callback.
   void stop() noexcept { stopped_ = true; }
+
+  /// Returns the kernel to its just-constructed state — clock at 0, queue
+  /// empty, counters zeroed — while keeping the event slab's capacity, so a
+  /// reused simulator (world::Workspace) runs its next replication without
+  /// re-warming allocations. Results are identical to a fresh Simulator.
+  void reset() noexcept;
 
   [[nodiscard]] bool stopped() const noexcept { return stopped_; }
   [[nodiscard]] std::size_t pending_events() const noexcept { return queue_.size(); }

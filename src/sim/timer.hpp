@@ -1,0 +1,94 @@
+// Reusable self-rescheduling event handle.
+//
+// Protocol state machines re-arm the same handful of per-node timers (wake,
+// evaluation, alert recheck, ...) thousands of times per run. Scheduling a
+// fresh lambda each time re-captures and re-stores the same state on every
+// arm; a Timer captures the handler once at bind() and every subsequent arm
+// only schedules an 8-byte trampoline — the cheapest possible event, stored
+// inline in the kernel's slab.
+//
+// A Timer is a one-shot that can be re-armed, including from inside its own
+// body (the periodic pattern). Arming while already armed cancels the
+// previous occurrence first, so at most one firing is ever pending — which
+// is also why cancel()/pending() need no event-id bookkeeping at call sites.
+//
+// The Timer's address is captured by the pending trampoline: do not move or
+// destroy a Timer while it is armed (Protocol owns timers in a Runtime
+// vector sized once at construction, which satisfies this by layout).
+#pragma once
+
+#include <cassert>
+#include <utility>
+
+#include "sim/simulator.hpp"
+#include "sim/small_fn.hpp"
+
+namespace pas::sim {
+
+class Timer {
+ public:
+  Timer() noexcept = default;
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+  Timer& operator=(Timer&&) = delete;
+
+  /// Move-construction exists only so containers of timers can grow before
+  /// any timer is armed (vector::resize requires it); moving an armed timer
+  /// would strand the pending trampoline's pointer.
+  Timer(Timer&& other) noexcept
+      : simulator_(other.simulator_),
+        body_(std::move(other.body_)),
+        id_(other.id_) {
+    assert(!other.id_.valid() && "moving an armed Timer");
+    other.simulator_ = nullptr;
+    other.id_ = EventId{};
+  }
+
+  /// Sets the simulator and the handler this timer fires. Call once before
+  /// the first arm; re-binding while armed is a logic error.
+  void bind(Simulator& simulator, SmallFn body) noexcept {
+    simulator_ = &simulator;
+    body_ = std::move(body);
+  }
+
+  [[nodiscard]] bool bound() const noexcept { return simulator_ != nullptr; }
+
+  /// Schedules the next firing after `dt` (clamped to >= 0 by the kernel).
+  void arm_in(Duration dt) {
+    cancel();
+    id_ = simulator_->schedule_in(dt, Fire{this});
+  }
+
+  /// Schedules the next firing at absolute time `t`.
+  void arm_at(Time t) {
+    cancel();
+    id_ = simulator_->schedule_at(t, Fire{this});
+  }
+
+  /// Cancels the pending firing, if any. Returns true if one was pending.
+  bool cancel() noexcept {
+    if (simulator_ == nullptr || !id_.valid()) return false;
+    const bool was = simulator_->cancel(id_);
+    id_ = EventId{};
+    return was;
+  }
+
+  [[nodiscard]] bool pending() const noexcept {
+    return simulator_ != nullptr && simulator_->pending(id_);
+  }
+
+ private:
+  struct Fire {
+    Timer* timer;
+    void operator()() const {
+      timer->id_ = EventId{};  // consumed; body may re-arm
+      timer->body_();
+    }
+  };
+
+  Simulator* simulator_ = nullptr;
+  SmallFn body_;
+  EventId id_;
+};
+
+}  // namespace pas::sim

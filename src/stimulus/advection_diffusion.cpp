@@ -148,6 +148,43 @@ sim::Time AdvectionDiffusionModel::arrival_time(geom::Vec2 p,
   return t <= horizon ? t : sim::kNever;
 }
 
+void AdvectionDiffusionModel::arrival_many(std::span<const geom::Vec2> ps,
+                                           sim::Time horizon,
+                                           std::span<sim::Time> out) const {
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    const sim::Time t = cell_arrival(ps[i]);
+    out[i] = t <= horizon ? t : sim::kNever;
+  }
+}
+
+void AdvectionDiffusionModel::sample_many(std::span<const geom::Vec2> ps,
+                                          sim::Time t,
+                                          std::span<double> out) const {
+  if (snapshots_.empty()) {
+    for (std::size_t i = 0; i < ps.size(); ++i) out[i] = 0.0;
+    return;
+  }
+  // Resolve the snapshot frame once for the whole batch.
+  const double rel = (t - cfg_.start_time) / cfg_.snapshot_interval;
+  const auto frame = static_cast<std::size_t>(
+      std::clamp(rel, 0.0, static_cast<double>(snapshots_.size() - 1)));
+  const std::vector<float>& snap = snapshots_[frame];
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    out[i] = cfg_.region.contains(ps[i])
+                 ? static_cast<double>(
+                       snap[idx(cell_x(ps[i].x), cell_y(ps[i].y))])
+                 : 0.0;
+  }
+}
+
+void AdvectionDiffusionModel::covered_many(std::span<const geom::Vec2> ps,
+                                           sim::Time t,
+                                           std::span<std::uint8_t> out) const {
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    out[i] = cell_arrival(ps[i]) <= t ? 1 : 0;
+  }
+}
+
 std::optional<geom::Vec2> AdvectionDiffusionModel::front_velocity(
     geom::Vec2 p, sim::Time /*t*/) const {
   if (!cfg_.region.contains(p)) return std::nullopt;

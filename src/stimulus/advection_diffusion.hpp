@@ -39,6 +39,10 @@ struct AdvectionDiffusionConfig {
   sim::Time horizon = 300.0;
   /// Spacing of stored concentration snapshots for concentration() queries.
   sim::Duration snapshot_interval = 2.0;
+
+  // Equality keys world::Workspace's stimulus-model cache: two equal
+  // configs integrate to bit-identical fields, so the solve is shareable.
+  bool operator==(const AdvectionDiffusionConfig&) const noexcept = default;
 };
 
 class AdvectionDiffusionModel final : public StimulusModel {
@@ -52,6 +56,14 @@ class AdvectionDiffusionModel final : public StimulusModel {
   [[nodiscard]] geom::Vec2 source() const noexcept override { return cfg_.source; }
   [[nodiscard]] sim::Time arrival_time(geom::Vec2 p,
                                        sim::Time horizon) const override;
+  /// Batch lookups straight out of the integrated first-crossing / snapshot
+  /// grids: one virtual call, then pure array indexing per point.
+  void arrival_many(std::span<const geom::Vec2> ps, sim::Time horizon,
+                    std::span<sim::Time> out) const override;
+  void sample_many(std::span<const geom::Vec2> ps, sim::Time t,
+                   std::span<double> out) const override;
+  void covered_many(std::span<const geom::Vec2> ps, sim::Time t,
+                    std::span<std::uint8_t> out) const override;
   /// Estimated from the first-crossing time field T(x): the front normal is
   /// ∇T/|∇T| and the speed 1/|∇T| (eikonal relation).
   [[nodiscard]] std::optional<geom::Vec2> front_velocity(

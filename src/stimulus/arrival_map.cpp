@@ -7,10 +7,14 @@ namespace pas::stimulus {
 ArrivalMap::ArrivalMap(const StimulusModel& model,
                        std::span<const geom::Vec2> positions,
                        sim::Time horizon) {
-  times_.reserve(positions.size());
-  for (const geom::Vec2 p : positions) {
-    times_.push_back(model.arrival_time(p, horizon));
-  }
+  assign(model, positions, horizon);
+}
+
+void ArrivalMap::assign(const StimulusModel& model,
+                        std::span<const geom::Vec2> positions,
+                        sim::Time horizon) {
+  times_.resize(positions.size());
+  model.arrival_many(positions, horizon, times_);
 }
 
 std::size_t ArrivalMap::covered_count(sim::Time t) const noexcept {

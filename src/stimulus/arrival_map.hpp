@@ -20,6 +20,11 @@ class ArrivalMap {
   ArrivalMap(const StimulusModel& model, std::span<const geom::Vec2> positions,
              sim::Time horizon);
 
+  /// Recomputes the map in place (one batched arrival_many call, reusing
+  /// the times buffer) — the world::Workspace path between replications.
+  void assign(const StimulusModel& model, std::span<const geom::Vec2> positions,
+              sim::Time horizon);
+
   [[nodiscard]] std::size_t size() const noexcept { return times_.size(); }
 
   /// Arrival time of node `i`; sim::kNever if unreached by the horizon.

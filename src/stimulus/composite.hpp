@@ -29,6 +29,14 @@ class CompositeModel final : public StimulusModel {
   /// part ever reaches it or that part cannot provide one).
   [[nodiscard]] std::optional<geom::Vec2> front_velocity(
       geom::Vec2 p, sim::Time t) const override;
+  /// Batch forwards: each part evaluates the whole position set in its own
+  /// tight loop, then the union/sum folds across parts.
+  void sample_many(std::span<const geom::Vec2> ps, sim::Time t,
+                   std::span<double> out) const override;
+  void covered_many(std::span<const geom::Vec2> ps, sim::Time t,
+                    std::span<std::uint8_t> out) const override;
+  void arrival_many(std::span<const geom::Vec2> ps, sim::Time horizon,
+                    std::span<sim::Time> out) const override;
   [[nodiscard]] std::string_view name() const noexcept override {
     return "composite";
   }

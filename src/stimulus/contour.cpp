@@ -19,30 +19,32 @@ geom::Vec2 edge_point(geom::Vec2 pa, geom::Vec2 pb, double va, double vb,
   return geom::lerp(pa, pb, t);
 }
 
-}  // namespace
-
-std::vector<Segment> extract_iso_segments(
-    const std::function<double(geom::Vec2)>& f, geom::Aabb region, int nx,
-    int ny, double iso) {
-  if (nx < 1 || ny < 1) {
-    throw std::invalid_argument("extract_iso_segments: grid must be >= 1x1");
-  }
+// Positions of the (nx+1)x(ny+1) sampling lattice, row-major.
+std::vector<geom::Vec2> lattice_positions(geom::Aabb region, int nx, int ny) {
   const double dx = region.width() / nx;
   const double dy = region.height() / ny;
+  std::vector<geom::Vec2> ps;
+  ps.reserve(static_cast<std::size_t>(nx + 1) * static_cast<std::size_t>(ny + 1));
+  for (int iy = 0; iy <= ny; ++iy) {
+    for (int ix = 0; ix <= nx; ++ix) {
+      ps.push_back({region.lo.x + ix * dx, region.lo.y + iy * dy});
+    }
+  }
+  return ps;
+}
 
-  // Sample the lattice once; (nx+1)*(ny+1) values.
-  std::vector<double> samples(
-      static_cast<std::size_t>(nx + 1) * static_cast<std::size_t>(ny + 1));
+// Marching-squares core over a pre-sampled lattice; `center_sample` supplies
+// the cell-center value needed to disambiguate saddle cells.
+std::vector<Segment> march_squares(
+    const std::vector<double>& samples,
+    const std::function<double(geom::Vec2)>& center_sample, geom::Aabb region,
+    int nx, int ny, double iso) {
+  const double dx = region.width() / nx;
+  const double dy = region.height() / ny;
   const auto sample_idx = [nx](int ix, int iy) {
     return static_cast<std::size_t>(iy) * static_cast<std::size_t>(nx + 1) +
            static_cast<std::size_t>(ix);
   };
-  for (int iy = 0; iy <= ny; ++iy) {
-    for (int ix = 0; ix <= nx; ++ix) {
-      samples[sample_idx(ix, iy)] =
-          f({region.lo.x + ix * dx, region.lo.y + iy * dy});
-    }
-  }
 
   std::vector<Segment> out;
   for (int iy = 0; iy < ny; ++iy) {
@@ -80,7 +82,7 @@ std::vector<Segment> extract_iso_segments(
         case 5: case 10: {
           // Saddle: disambiguate with the center sample.
           const geom::Vec2 c = {corner[0].x + 0.5 * dx, corner[0].y + 0.5 * dy};
-          const bool center_in = f(c) >= iso;
+          const bool center_in = center_sample(c) >= iso;
           const bool connect_03 = (mask == 5) == center_in;
           if (connect_03) {
             out.emplace_back(ep(3), ep(0));
@@ -98,29 +100,67 @@ std::vector<Segment> extract_iso_segments(
   return out;
 }
 
+}  // namespace
+
+std::vector<Segment> extract_iso_segments(
+    const std::function<double(geom::Vec2)>& f, geom::Aabb region, int nx,
+    int ny, double iso) {
+  if (nx < 1 || ny < 1) {
+    throw std::invalid_argument("extract_iso_segments: grid must be >= 1x1");
+  }
+  const auto ps = lattice_positions(region, nx, ny);
+  std::vector<double> samples(ps.size());
+  for (std::size_t i = 0; i < ps.size(); ++i) samples[i] = f(ps[i]);
+  return march_squares(samples, f, region, nx, ny, iso);
+}
+
+std::vector<Segment> extract_iso_segments(const StimulusModel& model,
+                                          sim::Time t, geom::Aabb region,
+                                          int nx, int ny, double iso) {
+  if (nx < 1 || ny < 1) {
+    throw std::invalid_argument("extract_iso_segments: grid must be >= 1x1");
+  }
+  const auto ps = lattice_positions(region, nx, ny);
+  std::vector<double> samples(ps.size());
+  model.sample_many(ps, t, samples);
+  return march_squares(
+      samples, [&model, t](geom::Vec2 p) { return model.concentration(p, t); },
+      region, nx, ny, iso);
+}
+
 double total_length(const std::vector<Segment>& segments) {
   double sum = 0.0;
   for (const auto& [a, b] : segments) sum += geom::distance(a, b);
   return sum;
 }
 
-std::string render_ascii(const std::function<double(geom::Vec2)>& f,
-                         geom::Aabb region, int cols, int rows, double lo,
-                         double hi) {
-  static constexpr std::string_view ramp = " .:-=+*#%@";
-  if (cols < 1 || rows < 1 || hi <= lo) {
-    throw std::invalid_argument("render_ascii: bad grid or range");
+namespace {
+
+/// Cell-center positions in output order: row 0 is the top of the region
+/// (max y) so the picture is upright.
+std::vector<geom::Vec2> cell_centers(geom::Aabb region, int cols, int rows) {
+  std::vector<geom::Vec2> ps;
+  ps.reserve(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols));
+  for (int r = 0; r < rows; ++r) {
+    const double y = region.hi.y - (r + 0.5) * region.height() / rows;
+    for (int c = 0; c < cols; ++c) {
+      ps.push_back({region.lo.x + (c + 0.5) * region.width() / cols, y});
+    }
   }
+  return ps;
+}
+
+/// Maps row-major cell values onto the ASCII ramp.
+std::string shade(const std::vector<double>& values, int cols, int rows,
+                  double lo, double hi) {
+  static constexpr std::string_view ramp = " .:-=+*#%@";
   std::string out;
   out.reserve(static_cast<std::size_t>(rows) *
               (static_cast<std::size_t>(cols) + 1));
+  std::size_t i = 0;
   for (int r = 0; r < rows; ++r) {
-    // Row 0 is the top of the region (max y) so the picture is upright.
-    const double y = region.hi.y - (r + 0.5) * region.height() / rows;
     for (int c = 0; c < cols; ++c) {
-      const double x = region.lo.x + (c + 0.5) * region.width() / cols;
-      const double v = f({x, y});
-      double t = (v - lo) / (hi - lo);
+      double t = (values[i++] - lo) / (hi - lo);
       if (t < 0.0) t = 0.0;
       if (t > 1.0) t = 1.0;
       const auto k = static_cast<std::size_t>(
@@ -130,6 +170,33 @@ std::string render_ascii(const std::function<double(geom::Vec2)>& f,
     out.push_back('\n');
   }
   return out;
+}
+
+}  // namespace
+
+std::string render_ascii(const std::function<double(geom::Vec2)>& f,
+                         geom::Aabb region, int cols, int rows, double lo,
+                         double hi) {
+  if (cols < 1 || rows < 1 || hi <= lo) {
+    throw std::invalid_argument("render_ascii: bad grid or range");
+  }
+  const auto ps = cell_centers(region, cols, rows);
+  std::vector<double> values(ps.size());
+  for (std::size_t i = 0; i < ps.size(); ++i) values[i] = f(ps[i]);
+  return shade(values, cols, rows, lo, hi);
+}
+
+std::string render_ascii(const StimulusModel& model, sim::Time t,
+                         geom::Aabb region, int cols, int rows, double lo,
+                         double hi) {
+  if (cols < 1 || rows < 1 || hi <= lo) {
+    throw std::invalid_argument("render_ascii: bad grid or range");
+  }
+  // One batched sample_many call instead of a virtual call per cell.
+  const auto ps = cell_centers(region, cols, rows);
+  std::vector<double> values(ps.size());
+  model.sample_many(ps, t, values);
+  return shade(values, cols, rows, lo, hi);
 }
 
 }  // namespace pas::stimulus

@@ -11,6 +11,8 @@
 
 #include "geom/aabb.hpp"
 #include "geom/vec2.hpp"
+#include "sim/time.hpp"
+#include "stimulus/field.hpp"
 
 namespace pas::stimulus {
 
@@ -24,6 +26,14 @@ using Segment = std::pair<geom::Vec2, geom::Vec2>;
     const std::function<double(geom::Vec2)>& f, geom::Aabb region, int nx,
     int ny, double iso);
 
+/// Same, sampling `model.concentration(·, t)` — the lattice is evaluated
+/// with one batched StimulusModel::sample_many call, so grid-backed and
+/// closed-form models run a tight loop instead of a virtual call per cell.
+/// Results are identical to the callback overload.
+[[nodiscard]] std::vector<Segment> extract_iso_segments(
+    const StimulusModel& model, sim::Time t, geom::Aabb region, int nx,
+    int ny, double iso);
+
 /// Total length of a segment soup (cheap proxy for boundary perimeter).
 [[nodiscard]] double total_length(const std::vector<Segment>& segments);
 
@@ -33,5 +43,11 @@ using Segment = std::pair<geom::Vec2, geom::Vec2>;
 [[nodiscard]] std::string render_ascii(
     const std::function<double(geom::Vec2)>& f, geom::Aabb region, int cols,
     int rows, double lo, double hi);
+
+/// Same, sampling `model.concentration(·, t)` through one batched
+/// sample_many call over the whole grid.
+[[nodiscard]] std::string render_ascii(const StimulusModel& model, sim::Time t,
+                                       geom::Aabb region, int cols, int rows,
+                                       double lo, double hi);
 
 }  // namespace pas::stimulus

@@ -1,5 +1,8 @@
 #include "stimulus/field.hpp"
 
+#include <algorithm>
+#include <cassert>
+
 namespace pas::stimulus {
 
 double StimulusModel::concentration(geom::Vec2 p, sim::Time t) const {
@@ -14,6 +17,29 @@ std::optional<geom::Vec2> StimulusModel::front_velocity(geom::Vec2,
 sim::Time StimulusModel::arrival_time(geom::Vec2 p, sim::Time horizon) const {
   // Default: numeric first-crossing; models with closed forms override.
   return first_crossing(p, horizon, horizon / 512.0);
+}
+
+void StimulusModel::sample_many(std::span<const geom::Vec2> ps, sim::Time t,
+                                std::span<double> out) const {
+  assert(ps.size() == out.size());
+  for (std::size_t i = 0; i < ps.size(); ++i) out[i] = concentration(ps[i], t);
+}
+
+void StimulusModel::covered_many(std::span<const geom::Vec2> ps, sim::Time t,
+                                 std::span<std::uint8_t> out) const {
+  assert(ps.size() == out.size());
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    out[i] = covered(ps[i], t) ? 1 : 0;
+  }
+}
+
+void StimulusModel::arrival_many(std::span<const geom::Vec2> ps,
+                                 sim::Time horizon,
+                                 std::span<sim::Time> out) const {
+  assert(ps.size() == out.size());
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    out[i] = arrival_time(ps[i], horizon);
+  }
 }
 
 sim::Time StimulusModel::first_crossing(geom::Vec2 p, sim::Time horizon,

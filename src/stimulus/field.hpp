@@ -7,7 +7,9 @@
 // along the outward normal of its boundary — holds for every model here.
 #pragma once
 
+#include <cstdint>
 #include <optional>
+#include <span>
 #include <string_view>
 
 #include "geom/vec2.hpp"
@@ -38,6 +40,26 @@ class StimulusModel {
   /// validated against this in tests. std::nullopt when unavailable.
   [[nodiscard]] virtual std::optional<geom::Vec2> front_velocity(
       geom::Vec2 p, sim::Time t) const;
+
+  // Batch sampling ---------------------------------------------------------
+  //
+  // One virtual dispatch for a whole position set (every node of a world at
+  // one tick, or a render grid row). The defaults loop over the scalar
+  // calls; grid-backed and closed-form models override with tight loops the
+  // compiler can vectorize. `out.size()` must equal `ps.size()`; results
+  // are bit-identical to the scalar calls.
+
+  /// out[i] = concentration(ps[i], t).
+  virtual void sample_many(std::span<const geom::Vec2> ps, sim::Time t,
+                           std::span<double> out) const;
+
+  /// out[i] = covered(ps[i], t) as 0/1.
+  virtual void covered_many(std::span<const geom::Vec2> ps, sim::Time t,
+                            std::span<std::uint8_t> out) const;
+
+  /// out[i] = arrival_time(ps[i], horizon).
+  virtual void arrival_many(std::span<const geom::Vec2> ps, sim::Time horizon,
+                            std::span<sim::Time> out) const;
 
   /// Short identifier for reports ("radial", "pde", "plume").
   [[nodiscard]] virtual std::string_view name() const noexcept = 0;

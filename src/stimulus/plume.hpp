@@ -25,6 +25,9 @@ struct GaussianPlumeConfig {
   /// Coverage threshold on c.
   double threshold = 0.05;
   sim::Time start_time = 0.0;
+
+  // Equality keys world::Workspace's stimulus-model cache.
+  constexpr bool operator==(const GaussianPlumeConfig&) const noexcept = default;
 };
 
 class GaussianPlumeModel final : public StimulusModel {
@@ -36,6 +39,12 @@ class GaussianPlumeModel final : public StimulusModel {
   [[nodiscard]] geom::Vec2 source() const noexcept override { return cfg_.source; }
   [[nodiscard]] sim::Time arrival_time(geom::Vec2 p,
                                        sim::Time horizon) const override;
+  /// Closed-form Gaussian evaluated in one vectorizable loop: the advected
+  /// center and 1/(4Dτ) terms are hoisted out of the per-point work.
+  void sample_many(std::span<const geom::Vec2> ps, sim::Time t,
+                   std::span<double> out) const override;
+  void covered_many(std::span<const geom::Vec2> ps, sim::Time t,
+                    std::span<std::uint8_t> out) const override;
   [[nodiscard]] std::string_view name() const noexcept override { return "plume"; }
 
   /// Time at which the whole covered region has dissolved (c < threshold

@@ -83,6 +83,15 @@ sim::Time RadialFrontModel::arrival_time(geom::Vec2 p,
   return t <= horizon ? t : sim::kNever;
 }
 
+void RadialFrontModel::arrival_many(std::span<const geom::Vec2> ps,
+                                    sim::Time horizon,
+                                    std::span<sim::Time> out) const {
+  // Same closed form as arrival_time, devirtualized into one loop.
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    out[i] = arrival_time(ps[i], horizon);
+  }
+}
+
 std::optional<geom::Vec2> RadialFrontModel::front_velocity(geom::Vec2 p,
                                                            sim::Time t) const {
   const geom::Vec2 d = p - cfg_.source;

@@ -33,8 +33,13 @@ struct RadialFrontConfig {
     int k = 1;
     double amplitude = 0.0;
     double phase = 0.0;
+
+    constexpr bool operator==(const Harmonic&) const noexcept = default;
   };
   std::vector<Harmonic> harmonics;
+
+  // Equality keys world::Workspace's stimulus-model cache.
+  bool operator==(const RadialFrontConfig&) const noexcept = default;
 };
 
 class RadialFrontModel final : public StimulusModel {
@@ -47,6 +52,10 @@ class RadialFrontModel final : public StimulusModel {
   [[nodiscard]] geom::Vec2 source() const noexcept override { return cfg_.source; }
   [[nodiscard]] sim::Time arrival_time(geom::Vec2 p,
                                        sim::Time horizon) const override;
+  /// Closed-form arrival per point in one tight loop (no per-point virtual
+  /// dispatch; the world builder feeds every node position through here).
+  void arrival_many(std::span<const geom::Vec2> ps, sim::Time horizon,
+                    std::span<sim::Time> out) const override;
   [[nodiscard]] std::optional<geom::Vec2> front_velocity(
       geom::Vec2 p, sim::Time t) const override;
   [[nodiscard]] std::string_view name() const noexcept override { return "radial"; }

@@ -2,9 +2,7 @@
 
 #include <stdexcept>
 
-#include "core/protocol.hpp"
-#include "node/sensor_node.hpp"
-#include "sim/simulator.hpp"
+#include "world/workspace.hpp"
 
 namespace pas::world {
 
@@ -29,96 +27,12 @@ std::unique_ptr<stimulus::StimulusModel> make_stimulus(
   throw std::logic_error("make_stimulus: unknown stimulus kind");
 }
 
-namespace {
-
-std::shared_ptr<net::Channel> make_channel(const ScenarioConfig& config) {
-  switch (config.channel) {
-    case ChannelKind::kPerfect:
-      return std::make_shared<net::PerfectChannel>();
-    case ChannelKind::kBernoulli:
-      return std::make_shared<net::BernoulliLossChannel>(config.channel_loss);
-    case ChannelKind::kGilbertElliott:
-      return std::make_shared<net::GilbertElliottChannel>(config.gilbert);
-  }
-  throw std::logic_error("make_channel: unknown channel kind");
-}
-
-std::vector<geom::Vec2> draw_connected_deployment(const ScenarioConfig& config,
-                                                  const sim::SeedSequence& seeds,
-                                                  std::size_t& attempts_used) {
-  for (std::size_t attempt = 0; attempt < config.max_deployment_attempts;
-       ++attempt) {
-    sim::Pcg32 rng = seeds.stream(sim::SeedSequence::kDeployment, attempt);
-    auto positions = generate_deployment(config.deployment, rng);
-    if (is_connected(positions, config.radio.range_m)) {
-      attempts_used = attempt + 1;
-      return positions;
-    }
-  }
-  throw std::runtime_error(
-      "run_scenario: no connected deployment found; increase density, range, "
-      "or max_deployment_attempts");
-}
-
-}  // namespace
-
 RunResult run_scenario(const ScenarioConfig& config) {
-  config.protocol.validate();
-  if (config.duration_s <= 0.0) {
-    throw std::invalid_argument("run_scenario: duration must be > 0");
-  }
-
-  const sim::SeedSequence seeds(config.seed);
-  RunResult result;
-  result.trace.enable(config.enable_trace);
-
-  result.positions =
-      draw_connected_deployment(config, seeds, result.deployment_attempts);
-
-  const auto model = make_stimulus(config);
-  const stimulus::ArrivalMap arrivals(*model, result.positions,
-                                      config.duration_s);
-
-  sim::Simulator simulator;
-  net::Network network(simulator, result.positions, config.radio,
-                       make_channel(config), seeds);
-
-  std::vector<node::SensorNode> nodes(result.positions.size());
-  for (std::uint32_t i = 0; i < nodes.size(); ++i) {
-    nodes[i].id = i;
-    nodes[i].position = result.positions[i];
-    nodes[i].meter =
-        energy::EnergyMeter(config.power, 0.0, energy::PowerMode::kActive);
-    nodes[i].arrival = arrivals.at(i);
-  }
-
-  network.set_tx_hook([&nodes](std::uint32_t id, std::size_t bits) {
-    nodes[id].meter.add_tx(bits);
-  });
-  // Reception while active is already covered by the 41 mW idle-listen
-  // power (see EnergyMeter docs); no rx hook in the default accounting.
-
-  node::FailurePlan failures(nodes.size(), config.failures,
-                             seeds.stream(sim::SeedSequence::kFailure));
-
-  core::Protocol protocol(simulator, network, nodes, *model, arrivals,
-                          config.protocol, seeds, &failures, &result.trace);
-  protocol.start();
-  simulator.run_until(config.duration_s);
-
-  for (auto& n : nodes) n.meter.finalize(config.duration_s);
-
-  result.outcomes = metrics::collect_outcomes(nodes);
-  // A sleeping node reached within its last possible sleep interval may not
-  // have woken before the horizon; count those as censored, not missed.
-  const double censor_cutoff =
-      config.protocol.sleeps()
-          ? config.duration_s - config.protocol.sleep.max_s - 1.0
-          : config.duration_s;
-  result.metrics =
-      metrics::summarize(result.outcomes, config.duration_s, censor_cutoff,
-                         network.stats(), protocol.stats());
-  return result;
+  // One-shot convenience: build a world, run it, discard the scaffolding.
+  // Replicated execution goes through a long-lived Workspace instead, which
+  // runs the same code with its buffers and stimulus model kept warm.
+  Workspace workspace;
+  return workspace.run(config);
 }
 
 }  // namespace pas::world

@@ -4,12 +4,19 @@
 
 namespace pas::world {
 
-metrics::RunMetrics run_replication(const ScenarioConfig& base,
+metrics::RunMetrics run_replication(Workspace& workspace,
+                                    const ScenarioConfig& base,
                                     std::size_t r) {
   ScenarioConfig cfg = base;
   cfg.seed = base.seed + r;
   cfg.enable_trace = false;  // traces are per-run debugging, not sweeps
-  return run_scenario(cfg).metrics;
+  return workspace.run_metrics(cfg);
+}
+
+metrics::RunMetrics run_replication(const ScenarioConfig& base,
+                                    std::size_t r) {
+  Workspace workspace;
+  return run_replication(workspace, base, r);
 }
 
 ReplicatedMetrics reduce_runs(std::vector<metrics::RunMetrics> runs) {
@@ -46,14 +53,29 @@ ReplicatedMetrics run_replicated(const ScenarioConfig& base,
   }
 
   std::vector<metrics::RunMetrics> runs(replications);
-  const auto one = [&base, &runs](std::size_t r) {
-    runs[r] = run_replication(base, r);
-  };
-
   if (pool != nullptr) {
-    runtime::parallel_for(*pool, replications, one);
+    // One workspace per contiguous chunk: each worker re-seeds its own
+    // world instead of rebuilding one per replication. Chunk by worker
+    // count (replications are homogeneous, so balance is unaffected) so
+    // the workspace's cached stimulus model actually gets hits — the
+    // default ~4-chunks-per-worker split would rebuild it per chunk,
+    // which for the PDE model means re-running the whole solver.
+    const std::size_t chunk =
+        (replications + pool->thread_count() - 1) / pool->thread_count();
+    runtime::parallel_for_ranges(
+        *pool, replications,
+        [&base, &runs](std::size_t begin, std::size_t end) {
+          Workspace workspace;
+          for (std::size_t r = begin; r < end; ++r) {
+            runs[r] = run_replication(workspace, base, r);
+          }
+        },
+        chunk);
   } else {
-    for (std::size_t r = 0; r < replications; ++r) one(r);
+    Workspace workspace;
+    for (std::size_t r = 0; r < replications; ++r) {
+      runs[r] = run_replication(workspace, base, r);
+    }
   }
 
   return reduce_runs(std::move(runs));

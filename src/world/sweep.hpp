@@ -12,6 +12,7 @@
 #include "metrics/stats.hpp"
 #include "runtime/thread_pool.hpp"
 #include "world/scenario.hpp"
+#include "world/workspace.hpp"
 
 namespace pas::world {
 
@@ -27,7 +28,12 @@ struct ReplicatedMetrics {
 /// Runs replication `r` of `base` — seed base.seed + r, traces disabled —
 /// the unit of work the campaign runner schedules. Exposed so the engine's
 /// replication-split path and run_replicated share one definition of what
-/// "replication r" means.
+/// "replication r" means. The workspace overload reuses `workspace`'s
+/// buffers and cached stimulus model (identical results); the plain
+/// overload builds a throwaway workspace per call.
+[[nodiscard]] metrics::RunMetrics run_replication(Workspace& workspace,
+                                                  const ScenarioConfig& base,
+                                                  std::size_t r);
 [[nodiscard]] metrics::RunMetrics run_replication(const ScenarioConfig& base,
                                                   std::size_t r);
 

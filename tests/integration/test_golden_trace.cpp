@@ -1,0 +1,92 @@
+// Golden-seed trace pinning.
+//
+// The event-queue rewrite (slot-map ids, SmallFn callbacks, workspace reuse)
+// must not change *when* anything happens: the kernel's contract is strict
+// (time, seq) order, so at a fixed seed the full trace — every state change,
+// message and detection, in execution order — is a deterministic function of
+// the scenario. These tests pin an order-sensitive digest of that trace (and
+// the headline metrics) to values recorded before the rewrite; any reordering
+// of simultaneous events, renumbered sequence ids, or skew in scheduling
+// shows up as a digest mismatch.
+//
+// If a deliberate semantic change to the protocol or kernel ever invalidates
+// these values, re-record them (the failure message prints the new digest)
+// and say so in the commit message — silently updating them defeats the test.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+
+#include "world/paper_setup.hpp"
+#include "world/scenario.hpp"
+
+namespace pas {
+namespace {
+
+/// FNV-1a over the order-sensitive (time-bits, category, node) stream.
+/// Trace text is excluded: it embeds iostream float formatting, which is
+/// not something the kernel contract covers.
+std::uint64_t trace_digest(const sim::TraceLog& log) {
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto mix = [&h](std::uint64_t v, int bytes) {
+    for (int i = 0; i < bytes; ++i) {
+      h ^= (v >> (8 * i)) & 0xffULL;
+      h *= 1099511628211ULL;
+    }
+  };
+  for (const auto& e : log.events()) {
+    mix(std::bit_cast<std::uint64_t>(e.time), 8);
+    mix(static_cast<std::uint64_t>(e.category), 1);
+    mix(e.node, 4);
+  }
+  return h;
+}
+
+struct GoldenCase {
+  core::Policy policy;
+  world::StimulusKind stimulus;
+  std::uint64_t seed;
+};
+
+world::RunResult run_golden(const GoldenCase& c) {
+  world::PaperSetupOverrides o;
+  o.policy = c.policy;
+  o.stimulus = c.stimulus;
+  o.seed = c.seed;
+  auto cfg = world::paper_scenario(o);
+  cfg.enable_trace = true;
+  return world::run_scenario(cfg);
+}
+
+TEST(GoldenTrace, PasRadialSeed7) {
+  const auto result =
+      run_golden({core::Policy::kPas, world::StimulusKind::kRadial, 7});
+  EXPECT_EQ(result.trace.size(), 2506ULL);
+  EXPECT_EQ(trace_digest(result.trace), 17162469235034116036ULL);
+  EXPECT_DOUBLE_EQ(result.metrics.avg_delay_s, 1.9454927289532069);
+  EXPECT_DOUBLE_EQ(result.metrics.avg_energy_j, 2.4674608514520506);
+  EXPECT_EQ(result.metrics.network.broadcasts, 1061ULL);
+}
+
+TEST(GoldenTrace, SasRadialSeed5) {
+  const auto result =
+      run_golden({core::Policy::kSas, world::StimulusKind::kRadial, 5});
+  EXPECT_EQ(result.trace.size(), 1947ULL);
+  EXPECT_EQ(trace_digest(result.trace), 17488045833677978407ULL);
+  EXPECT_DOUBLE_EQ(result.metrics.avg_delay_s, 2.9190164395424607);
+  EXPECT_EQ(result.metrics.network.broadcasts, 718ULL);
+}
+
+TEST(GoldenTrace, PasPlumeSeed11) {
+  const auto result =
+      run_golden({core::Policy::kPas, world::StimulusKind::kPlume, 11});
+  EXPECT_EQ(result.trace.size(), 1444ULL);
+  EXPECT_EQ(trace_digest(result.trace), 12986474686639448774ULL);
+  EXPECT_DOUBLE_EQ(result.metrics.avg_delay_s, 1.2586999345172689);
+  // The plume at paper settings dissolves only after the 150 s horizon, so
+  // no covered→safe timeout fires; the zero is still pinned deliberately.
+  EXPECT_EQ(result.metrics.protocol.covered_timeouts, 0ULL);
+}
+
+}  // namespace
+}  // namespace pas

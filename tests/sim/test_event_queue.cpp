@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstddef>
+#include <functional>
 #include <vector>
+
+#include "sim/rng.hpp"
 
 namespace pas::sim {
 namespace {
@@ -103,6 +108,205 @@ TEST(EventQueue, SizeCountsOnlyLiveEvents) {
   EXPECT_EQ(q.size(), 2U);
   q.cancel(a);
   EXPECT_EQ(q.size(), 1U);
+}
+
+// --- Slot-map specifics: generation tagging and id reuse (ABA) ------------
+
+TEST(EventQueue, CancelledSlotIsReusedWithFreshGeneration) {
+  EventQueue q;
+  const EventId a = q.push(1.0, [] {});
+  ASSERT_TRUE(q.cancel(a));
+  const EventId b = q.push(2.0, [] {});
+  // The free list hands the same slot back, but under a new generation, so
+  // the two handles never alias.
+  EXPECT_EQ(b.slot(), a.slot());
+  EXPECT_NE(b.generation(), a.generation());
+  EXPECT_NE(a.value(), b.value());
+  EXPECT_FALSE(q.pending(a));
+  EXPECT_TRUE(q.pending(b));
+}
+
+TEST(EventQueue, StaleIdCannotCancelTheSlotsNewOccupant) {
+  // The ABA scenario: cancel a, slot reused by b, then someone replays a.
+  EventQueue q;
+  const EventId a = q.push(1.0, [] {});
+  ASSERT_TRUE(q.cancel(a));
+  const EventId b = q.push(2.0, [] {});
+  ASSERT_EQ(b.slot(), a.slot());
+  EXPECT_FALSE(q.cancel(a));
+  EXPECT_TRUE(q.pending(b));
+  EXPECT_EQ(q.size(), 1U);
+  EXPECT_DOUBLE_EQ(q.pop().time, 2.0);  // b survives and still fires
+}
+
+TEST(EventQueue, StaleIdAfterExecutionCannotTouchReusedSlot) {
+  EventQueue q;
+  const EventId a = q.push(1.0, [] {});
+  q.pop();  // executes a, releasing its slot
+  const EventId b = q.push(3.0, [] {});
+  ASSERT_EQ(b.slot(), a.slot());
+  EXPECT_FALSE(q.pending(a));
+  EXPECT_FALSE(q.cancel(a));
+  EXPECT_TRUE(q.pending(b));
+}
+
+TEST(EventQueue, ClearInvalidatesOutstandingIds) {
+  EventQueue q;
+  const EventId a = q.push(1.0, [] {});
+  const EventId b = q.push(2.0, [] {});
+  q.clear();
+  EXPECT_FALSE(q.pending(a));
+  EXPECT_FALSE(q.cancel(b));
+  const EventId c = q.push(1.5, [] {});
+  EXPECT_TRUE(q.pending(c));
+  EXPECT_FALSE(q.pending(a));
+  EXPECT_FALSE(q.pending(b));
+  EXPECT_EQ(q.size(), 1U);
+}
+
+TEST(EventQueue, LongChurnNeverResurrectsAnId) {
+  // Thousands of reuses of a tiny slot population: every retired id must
+  // stay dead even while its slot cycles through new occupants.
+  EventQueue q;
+  std::vector<EventId> retired;
+  EventId live = q.push(1.0, [] {});
+  for (int i = 0; i < 3000; ++i) {
+    ASSERT_TRUE(q.cancel(live));
+    retired.push_back(live);
+    live = q.push(1.0 + i, [] {});
+  }
+  for (const EventId id : retired) {
+    EXPECT_FALSE(q.pending(id));
+    EXPECT_FALSE(q.cancel(id));
+  }
+  EXPECT_TRUE(q.pending(live));
+  EXPECT_EQ(q.size(), 1U);
+}
+
+TEST(EventQueue, ClearDuringNestedDispatchReleasesEverySlotOnce) {
+  // Callback A pumps the queue again (nested run_next); the inner callback
+  // B clears it. Neither A's nor B's slot may reach the free list twice.
+  EventQueue q;
+  q.push(1.0, [&q] {           // A
+    q.push(2.0, [&q] {         // B
+      q.push(3.0, [] {});
+      q.clear();
+    });
+    q.run_next();              // nested dispatch of B
+  });
+  q.run_next();                // dispatch of A
+  EXPECT_TRUE(q.empty());
+  const EventId a = q.push(1.0, [] {});
+  const EventId b = q.push(2.0, [] {});
+  const EventId c = q.push(3.0, [] {});
+  EXPECT_NE(a.slot(), b.slot());
+  EXPECT_NE(a.slot(), c.slot());
+  EXPECT_NE(b.slot(), c.slot());
+  EXPECT_DOUBLE_EQ(q.pop().time, 1.0);
+  EXPECT_DOUBLE_EQ(q.pop().time, 2.0);
+  EXPECT_DOUBLE_EQ(q.pop().time, 3.0);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, RejectsEmptyStdFunctionAtPushTime) {
+  EventQueue q;
+  std::function<void()> empty;
+  EXPECT_THROW(q.push(1.0, empty), std::invalid_argument);
+  EXPECT_THROW(q.push(1.0, std::function<void()>{}), std::invalid_argument);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, ClearFromExecutingCallbackReleasesSlotOnce) {
+  // A callback may clear the queue (Simulator::reset() does this). The
+  // executing event's slot must not end up on the free list twice, or two
+  // later pushes would share storage.
+  EventQueue q;
+  q.push(1.0, [&q] {
+    q.push(2.0, [] {});
+    q.clear();
+  });
+  q.run_next();
+  EXPECT_TRUE(q.empty());
+  const EventId a = q.push(1.0, [] {});
+  const EventId b = q.push(2.0, [] {});
+  EXPECT_NE(a.slot(), b.slot());
+  EXPECT_TRUE(q.pending(a));
+  EXPECT_TRUE(q.pending(b));
+  EXPECT_DOUBLE_EQ(q.pop().time, 1.0);
+  EXPECT_DOUBLE_EQ(q.pop().time, 2.0);
+  EXPECT_TRUE(q.empty());
+}
+
+// --- Cancellation stress against a reference model ------------------------
+
+TEST(EventQueue, CancellationStressMatchesReferenceModel) {
+  // Random pushes, cancels (live, repeated, and stale ids) and mid-stream
+  // pops; the queue must agree with a brute-force reference on every
+  // accept/reject decision and on the final execution order.
+  struct Ref {
+    double time;
+    std::size_t order;  // insertion order = expected FIFO tiebreak
+    int token;
+    bool live;
+    EventId id;
+  };
+  EventQueue q;
+  std::vector<Ref> ref;
+  std::vector<int> executed;
+  std::vector<int> expected;
+  sim::Pcg32 rng(2024, 11);
+  int next_token = 0;
+  std::size_t live_count = 0;
+
+  const auto pop_expected = [&]() -> int {
+    auto best = ref.end();
+    for (auto it = ref.begin(); it != ref.end(); ++it) {
+      if (!it->live) continue;
+      if (best == ref.end() || it->time < best->time ||
+          (it->time == best->time && it->order < best->order)) {
+        best = it;
+      }
+    }
+    best->live = false;
+    --live_count;
+    return best->token;
+  };
+
+  for (int op = 0; op < 4000; ++op) {
+    const double u = rng.uniform01();
+    if (u < 0.45 || live_count == 0) {
+      const double t = rng.uniform(0.0, 50.0);
+      const int token = next_token++;
+      const EventId id =
+          q.push(t, [token, &executed] { executed.push_back(token); });
+      ref.push_back(Ref{t, ref.size(), token, true, id});
+      ++live_count;
+    } else if (u < 0.80) {
+      // Cancel a uniformly chosen historical id — sometimes live, sometimes
+      // already cancelled/executed (the queue must reject those).
+      auto& e = ref[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(ref.size()) - 1))];
+      const bool accepted = q.cancel(e.id);
+      EXPECT_EQ(accepted, e.live);
+      if (e.live) {
+        e.live = false;
+        --live_count;
+      }
+    } else {
+      auto popped = q.pop();
+      popped.callback();
+      ASSERT_FALSE(executed.empty());
+      expected.push_back(pop_expected());
+      EXPECT_EQ(executed.back(), expected.back());
+    }
+    ASSERT_EQ(q.size(), live_count);
+  }
+  while (!q.empty()) {
+    q.pop().callback();
+    expected.push_back(pop_expected());
+  }
+  EXPECT_EQ(executed, expected);
+  EXPECT_EQ(live_count, 0U);
 }
 
 TEST(EventQueue, ManyInterleavedCancelsKeepOrder) {

@@ -119,6 +119,40 @@ TEST(Simulator, RunUntilPastDeadlineThrows) {
   EXPECT_THROW(s.run_until(1.0), std::invalid_argument);
 }
 
+TEST(Simulator, ResetReturnsToFreshState) {
+  Simulator s;
+  s.schedule_at(1.0, [] {});
+  s.schedule_at(2.0, [] {});
+  s.run_until(1.5);
+  s.reset();
+  EXPECT_DOUBLE_EQ(s.now(), 0.0);
+  EXPECT_EQ(s.pending_events(), 0U);
+  EXPECT_EQ(s.executed_events(), 0U);
+  std::vector<double> fired;
+  s.schedule_at(0.5, [&] { fired.push_back(s.now()); });
+  s.schedule_at(1.0, [&] { fired.push_back(s.now()); });
+  s.run();
+  EXPECT_EQ(fired, (std::vector<double>{0.5, 1.0}));
+}
+
+TEST(Simulator, ResetFromInsideCallbackIsSafe) {
+  Simulator s;
+  int later = 0;
+  s.schedule_at(1.0, [&] {
+    s.schedule_at(2.0, [&later] { ++later; });
+    s.reset();
+  });
+  s.run();
+  EXPECT_EQ(later, 0);
+  EXPECT_EQ(s.pending_events(), 0U);
+  // The kernel must be fully reusable afterwards.
+  std::vector<double> fired;
+  s.schedule_at(1.0, [&] { fired.push_back(s.now()); });
+  s.schedule_at(2.0, [&] { fired.push_back(s.now()); });
+  s.run();
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0}));
+}
+
 TEST(Simulator, NextEventTime) {
   Simulator s;
   EXPECT_EQ(s.next_event_time(), kNever);

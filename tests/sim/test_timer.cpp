@@ -1,0 +1,102 @@
+#include "sim/timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pas::sim {
+namespace {
+
+TEST(Timer, FiresBoundBodyAtArmedTime) {
+  Simulator s;
+  std::vector<double> fired;
+  Timer t;
+  t.bind(s, [&] { fired.push_back(s.now()); });
+  t.arm_in(2.5);
+  s.run();
+  EXPECT_EQ(fired, (std::vector<double>{2.5}));
+}
+
+TEST(Timer, RearmFromOwnBodyMakesAPeriodicTimer) {
+  Simulator s;
+  std::vector<double> fired;
+  Timer t;
+  t.bind(s, [&] {
+    fired.push_back(s.now());
+    if (fired.size() < 4) t.arm_in(1.0);
+  });
+  t.arm_in(1.0);
+  s.run();
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0, 3.0, 4.0}));
+}
+
+TEST(Timer, CancelPreventsFiring) {
+  Simulator s;
+  int hits = 0;
+  Timer t;
+  t.bind(s, [&] { ++hits; });
+  t.arm_in(1.0);
+  EXPECT_TRUE(t.pending());
+  EXPECT_TRUE(t.cancel());
+  EXPECT_FALSE(t.pending());
+  s.run();
+  EXPECT_EQ(hits, 0);
+}
+
+TEST(Timer, CancelWithoutArmReturnsFalse) {
+  Simulator s;
+  Timer t;
+  t.bind(s, [] {});
+  EXPECT_FALSE(t.cancel());
+  EXPECT_FALSE(t.pending());
+}
+
+TEST(Timer, RearmWhileArmedReplacesThePendingFiring) {
+  Simulator s;
+  std::vector<double> fired;
+  Timer t;
+  t.bind(s, [&] { fired.push_back(s.now()); });
+  t.arm_in(1.0);
+  t.arm_in(5.0);  // supersedes the 1.0 occurrence
+  s.run();
+  EXPECT_EQ(fired, (std::vector<double>{5.0}));
+  EXPECT_EQ(s.executed_events(), 1U);
+}
+
+TEST(Timer, ArmAtSchedulesAbsoluteTime) {
+  Simulator s;
+  double fired_at = -1.0;
+  Timer t;
+  t.bind(s, [&] { fired_at = s.now(); });
+  s.schedule_at(2.0, [&t] { t.arm_at(7.0); });
+  s.run();
+  EXPECT_DOUBLE_EQ(fired_at, 7.0);
+}
+
+TEST(Timer, ReusableAcrossManyArms) {
+  // The whole point: one bind, many cheap arms.
+  Simulator s;
+  int hits = 0;
+  Timer t;
+  t.bind(s, [&] { ++hits; });
+  for (int i = 1; i <= 100; ++i) {
+    t.arm_in(static_cast<double>(i));
+    if (i % 3 == 0) t.cancel();  // 100 % 3 != 0, so the last arm survives
+  }
+  // Only the last arm survives the churn (every arm cancels its predecessor).
+  s.run();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(Timer, CancelAfterFiringReturnsFalse) {
+  Simulator s;
+  Timer t;
+  t.bind(s, [] {});
+  t.arm_in(1.0);
+  s.run();
+  EXPECT_FALSE(t.pending());
+  EXPECT_FALSE(t.cancel());
+}
+
+}  // namespace
+}  // namespace pas::sim

@@ -1,0 +1,129 @@
+// Batch sampling (sample_many / covered_many / arrival_many) must be
+// bit-identical to the scalar calls for every model — the batch paths feed
+// ArrivalMap (hence detection scheduling and scoring) and the contour
+// renderers, so any drift would silently change results.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "stimulus/advection_diffusion.hpp"
+#include "stimulus/composite.hpp"
+#include "stimulus/contour.hpp"
+#include "stimulus/plume.hpp"
+#include "stimulus/radial_front.hpp"
+
+namespace pas::stimulus {
+namespace {
+
+std::vector<geom::Vec2> probe_positions(std::size_t n, double extent) {
+  sim::Pcg32 rng(99, 5);
+  std::vector<geom::Vec2> ps;
+  ps.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Include points outside the field too (negative coordinates).
+    ps.push_back({rng.uniform(-0.2 * extent, extent),
+                  rng.uniform(-0.2 * extent, extent)});
+  }
+  return ps;
+}
+
+void expect_batches_match_scalar(const StimulusModel& model,
+                                 const std::vector<geom::Vec2>& ps,
+                                 sim::Time t, sim::Time horizon) {
+  std::vector<double> conc(ps.size());
+  model.sample_many(ps, t, conc);
+  std::vector<std::uint8_t> cov(ps.size());
+  model.covered_many(ps, t, cov);
+  std::vector<sim::Time> arr(ps.size());
+  model.arrival_many(ps, horizon, arr);
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    EXPECT_EQ(conc[i], model.concentration(ps[i], t)) << "point " << i;
+    EXPECT_EQ(cov[i] != 0, model.covered(ps[i], t)) << "point " << i;
+    EXPECT_EQ(arr[i], model.arrival_time(ps[i], horizon)) << "point " << i;
+  }
+}
+
+TEST(BatchSampling, RadialMatchesScalar) {
+  RadialFrontConfig cfg;
+  cfg.source = {5.0, 5.0};
+  cfg.base_speed = 0.5;
+  cfg.start_time = 2.0;
+  cfg.harmonics = {{.k = 2, .amplitude = 0.2, .phase = 0.4}};
+  const RadialFrontModel model(cfg);
+  const auto ps = probe_positions(64, 40.0);
+  expect_batches_match_scalar(model, ps, 30.0, 150.0);
+}
+
+TEST(BatchSampling, PlumeMatchesScalar) {
+  GaussianPlumeConfig cfg;
+  cfg.source = {10.0, 10.0};
+  cfg.mass = 500.0;
+  cfg.diffusivity = 1.2;
+  cfg.wind = {0.05, -0.02};
+  cfg.threshold = 0.2;
+  cfg.start_time = 1.0;
+  const GaussianPlumeModel model(cfg);
+  const auto ps = probe_positions(64, 40.0);
+  expect_batches_match_scalar(model, ps, 25.0, 150.0);
+  // Pre-release time exercises the tau <= 0 early-out.
+  expect_batches_match_scalar(model, ps, 0.5, 150.0);
+}
+
+TEST(BatchSampling, AdvectionDiffusionMatchesScalar) {
+  AdvectionDiffusionConfig cfg;
+  cfg.nx = 32;
+  cfg.ny = 32;
+  cfg.horizon = 60.0;
+  cfg.region = geom::Aabb::square(40.0);
+  cfg.source = {4.0, 4.0};
+  const AdvectionDiffusionModel model(cfg);
+  const auto ps = probe_positions(64, 40.0);
+  expect_batches_match_scalar(model, ps, 30.0, 60.0);
+}
+
+TEST(BatchSampling, CompositeMatchesScalar) {
+  RadialFrontConfig a;
+  a.source = {2.0, 2.0};
+  a.base_speed = 0.5;
+  RadialFrontConfig b;
+  b.source = {35.0, 35.0};
+  b.base_speed = 0.3;
+  b.start_time = 10.0;
+  std::vector<std::unique_ptr<StimulusModel>> parts;
+  parts.push_back(std::make_unique<RadialFrontModel>(a));
+  parts.push_back(std::make_unique<RadialFrontModel>(b));
+  const CompositeModel model(std::move(parts));
+  const auto ps = probe_positions(64, 40.0);
+  expect_batches_match_scalar(model, ps, 40.0, 150.0);
+}
+
+TEST(BatchSampling, ContourModelOverloadsMatchCallbackOverloads) {
+  GaussianPlumeConfig cfg;
+  cfg.source = {20.0, 20.0};
+  cfg.mass = 800.0;
+  cfg.diffusivity = 1.0;
+  cfg.threshold = 0.3;
+  const GaussianPlumeModel model(cfg);
+  const auto region = geom::Aabb::square(40.0);
+  const sim::Time t = 20.0;
+  const auto f = [&](geom::Vec2 p) { return model.concentration(p, t); };
+
+  const auto segs_fn = extract_iso_segments(f, region, 48, 48, cfg.threshold);
+  const auto segs_model =
+      extract_iso_segments(model, t, region, 48, 48, cfg.threshold);
+  ASSERT_EQ(segs_fn.size(), segs_model.size());
+  ASSERT_FALSE(segs_model.empty());
+  for (std::size_t i = 0; i < segs_fn.size(); ++i) {
+    EXPECT_EQ(segs_fn[i].first, segs_model[i].first);
+    EXPECT_EQ(segs_fn[i].second, segs_model[i].second);
+  }
+
+  EXPECT_EQ(render_ascii(f, region, 40, 20, 0.0, 1.0),
+            render_ascii(model, t, region, 40, 20, 0.0, 1.0));
+}
+
+}  // namespace
+}  // namespace pas::stimulus

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Gate google-benchmark results against a committed baseline.
+
+Usage:
+  check_bench_regression.py --current BENCH_kernel.json \
+      --baseline bench/BENCH_kernel_baseline.json \
+      --max-regress 0.15 [--calibrate BM_Pcg32_Uniform] \
+      BM_Simulator_EventStorm BM_Scenario_SingleRun
+
+Each watched name matches every benchmark whose full name equals it or
+starts with it plus "/" (so BM_Simulator_EventStorm covers /10000 and
+/100000). For every matched name present in both files the per-iteration
+real_time ratio current/baseline must stay below 1 + max-regress.
+
+--calibrate divides every ratio by the ratio of the named benchmark (a
+pure-CPU microbenchmark like BM_Pcg32_Uniform), which cancels most of the
+machine-speed difference between the box that recorded the baseline and the
+CI runner. The gate then measures relative kernel cost, not absolute
+nanoseconds.
+
+When a benchmark appears several times (repetitions), the minimum time is
+used — the standard noise-robust statistic for "how fast can this go".
+Exit status: 0 = within budget, non-zero on regression or bad input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_times(path):
+    """name -> min per-iteration real_time (ns) over non-aggregate entries."""
+    with open(path) as f:
+        data = json.load(f)
+    times = {}
+    for bench in data.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench["name"]
+        t = float(bench["real_time"])
+        # Normalise everything to nanoseconds.
+        unit = bench.get("time_unit", "ns")
+        t *= {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
+        times[name] = min(times.get(name, t), t)
+    if not times:
+        sys.exit(f"error: no benchmark entries in {path}")
+    return times
+
+
+def matches(name, watched):
+    return name == watched or name.startswith(watched + "/")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--current", required=True, help="fresh benchmark JSON")
+    parser.add_argument("--baseline", required=True, help="committed baseline JSON")
+    parser.add_argument("--max-regress", type=float, default=0.15,
+                        help="allowed fractional slowdown (default 0.15)")
+    parser.add_argument("--calibrate", default=None,
+                        help="benchmark name used to cancel machine-speed skew")
+    parser.add_argument("watched", nargs="+",
+                        help="benchmark names (prefixes before '/') to gate on")
+    args = parser.parse_args()
+
+    current = load_times(args.current)
+    baseline = load_times(args.baseline)
+
+    scale = 1.0
+    if args.calibrate:
+        if args.calibrate not in current or args.calibrate not in baseline:
+            sys.exit(f"error: calibration benchmark {args.calibrate} missing "
+                     "from current or baseline")
+        scale = current[args.calibrate] / baseline[args.calibrate]
+        print(f"calibration ({args.calibrate}): this machine runs at "
+              f"{scale:.3f}x the baseline machine's time")
+
+    failures = []
+    checked = 0
+    for watched in args.watched:
+        names = sorted(n for n in baseline if matches(n, watched))
+        if not names:
+            sys.exit(f"error: {watched} not found in baseline")
+        for name in names:
+            if name not in current:
+                sys.exit(f"error: {name} present in baseline but not in "
+                         "current results")
+            ratio = (current[name] / baseline[name]) / scale
+            verdict = "OK" if ratio <= 1.0 + args.max_regress else "REGRESSED"
+            print(f"{name}: baseline {baseline[name]:.0f} ns, "
+                  f"current {current[name]:.0f} ns, "
+                  f"calibrated ratio {ratio:.3f} [{verdict}]")
+            checked += 1
+            if verdict != "OK":
+                failures.append(name)
+
+    if failures:
+        print(f"\nFAIL: {len(failures)}/{checked} gated benchmarks regressed "
+              f"more than {args.max_regress:.0%}: {', '.join(failures)}")
+        return 1
+    print(f"\nPASS: {checked} gated benchmarks within "
+          f"{args.max_regress:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
