@@ -1,11 +1,12 @@
 // Quickstart: run the paper's 30-node scenario under PAS and print what
 // happened. Mirrors README.md's five-minute tour of the public API.
 //
-//   $ ./quickstart [--seed N] [--policy PAS|SAS|NS] [--max-sleep S]
-//                  [--alert S] [--trace]
+//   $ ./quickstart [--seed N] [--policy PAS|SAS|NS|DutyCycle|ThresholdHold]
+//                  [--max-sleep S] [--alert S] [--trace]
 #include <cstdio>
 #include <iostream>
 
+#include "core/policy.hpp"
 #include "io/cli.hpp"
 #include "io/table.hpp"
 #include "world/config_json.hpp"
@@ -20,9 +21,11 @@ int main(int argc, char** argv) {
   bool trace = false;
   bool json = false;
 
-  pas::io::Cli cli("quickstart", "run one PAS/SAS/NS simulation and report");
+  pas::io::Cli cli("quickstart",
+                   "run one simulation under any registered sleeping policy "
+                   "and report");
   cli.add_uint("seed", &seed, "random seed (drives deployment & timing)");
-  cli.add_string("policy", &policy, "sleeping policy: PAS, SAS or NS");
+  cli.add_string("policy", &policy, "sleeping policy: PAS, SAS, NS, DutyCycle or ThresholdHold");
   cli.add_double("max-sleep", &max_sleep, "maximum sleeping interval (s)");
   cli.add_double("alert", &alert, "alert-time threshold T_alert (s)");
   cli.add_flag("trace", &trace, "print the protocol event trace");
@@ -35,14 +38,12 @@ int main(int argc, char** argv) {
   o.seed = seed;
   o.max_sleep_s = max_sleep;
   o.alert_threshold_s = alert;
-  if (policy == "PAS") {
-    o.policy = pas::core::Policy::kPas;
-  } else if (policy == "SAS") {
-    o.policy = pas::core::Policy::kSas;
-  } else if (policy == "NS") {
-    o.policy = pas::core::Policy::kNeverSleep;
+  if (const pas::core::PolicyInfo* info = pas::core::find_policy(policy)) {
+    o.policy = info->kind;
   } else {
-    std::fprintf(stderr, "unknown policy '%s'\n", policy.c_str());
+    std::fprintf(stderr, "unknown policy '%s'; registered policies:\n",
+                 policy.c_str());
+    pas::core::print_policy_registry(stderr);
     return 2;
   }
   pas::world::ScenarioConfig cfg = pas::world::paper_scenario(o);

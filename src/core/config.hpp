@@ -1,7 +1,8 @@
-// Protocol configuration and the three evaluated policies.
+// Protocol configuration and the evaluated sleeping-policy family.
 //
-// PAS, SAS and NS (never-sleep) share one engine; a Policy selects the
-// paper-described behavioural differences:
+// One engine (core::Protocol) runs every policy; a Policy value selects the
+// SleepingPolicy implementation (core/policy.hpp) via the name-keyed
+// registry. The evaluated family:
 //   * NS  — nodes never sleep; no messaging needed (zero delay baseline).
 //   * SAS — adaptive sleeping where stimulus information propagates only
 //           from covered nodes (one hop) and prediction is the scalar
@@ -9,8 +10,20 @@
 //   * PAS — adaptive sleeping with vector velocity estimation, cosine
 //           projection, alert-node participation, and re-broadcast of
 //           significantly changed predictions.
+//   * DutyCycle — fixed wake/sleep period, no radio traffic (the classic
+//           LPL-style baseline).
+//   * ThresholdHold — No-Sense-style dormant sensing: sleep while the
+//           local model predicts no arrival within a hold window; no peer
+//           queries (arXiv:1312.3295).
+//
+// ProtocolConfig carries the shared engine knobs plus one parameter block
+// per policy that needs its own (duty_cycle, threshold_hold). All blocks
+// are validated unconditionally: a campaign may sweep the policy axis
+// across one base config, so every block must be sound regardless of which
+// policy a given grid point selects.
 #pragma once
 
+#include <cassert>
 #include <stdexcept>
 #include <string_view>
 
@@ -24,6 +37,8 @@ enum class Policy : std::uint8_t {
   kNeverSleep,
   kSas,
   kPas,
+  kDutyCycle,
+  kThresholdHold,
 };
 
 [[nodiscard]] constexpr std::string_view to_string(Policy p) noexcept {
@@ -31,9 +46,42 @@ enum class Policy : std::uint8_t {
     case Policy::kNeverSleep: return "NS";
     case Policy::kSas: return "SAS";
     case Policy::kPas: return "PAS";
+    case Policy::kDutyCycle: return "DutyCycle";
+    case Policy::kThresholdHold: return "ThresholdHold";
   }
+  // A value outside the enum here means corrupted config or a policy added
+  // without a name; serializing "?" into campaign CSVs would silently
+  // poison resume keys, so fail loudly in debug builds.
+  assert(!"to_string(Policy): value outside the enum");
   return "?";
 }
+
+/// DutyCycle parameters: the fixed wake period.
+struct DutyCycleConfig {
+  /// Sleep interval between sensing wake-ups (s). Delay for a front that
+  /// arrives mid-sleep is uniform in [0, period_s].
+  sim::Duration period_s = 5.0;
+
+  void validate() const {
+    if (period_s <= 0.0) {
+      throw std::invalid_argument("DutyCycleConfig: period_s must be > 0");
+    }
+  }
+};
+
+/// ThresholdHold parameters: the model-based hold window.
+struct ThresholdHoldConfig {
+  /// A node whose local model predicts arrival within this window stays
+  /// awake; one predicting beyond it sleeps until the window opens.
+  sim::Duration hold_window_s = 20.0;
+
+  void validate() const {
+    if (hold_window_s < 0.0) {
+      throw std::invalid_argument(
+          "ThresholdHoldConfig: hold_window_s must be >= 0");
+    }
+  }
+};
 
 struct ProtocolConfig {
   Policy policy = Policy::kPas;
@@ -86,35 +134,19 @@ struct ProtocolConfig {
   /// eliminate.
   sim::Duration alert_overdue_hold_s = 20.0;
 
-  /// First wake-ups are drawn uniformly in [0, sleep.initial_s] to
-  /// desynchronise the duty cycles (deterministic per seed).
+  /// First wake-ups are drawn uniformly in [0, the policy's initial
+  /// interval] to desynchronise the duty cycles (deterministic per seed).
   bool jitter_initial_wake = true;
 
-  // Derived behaviour switches -------------------------------------------
+  // Per-policy parameter blocks ------------------------------------------
 
-  [[nodiscard]] bool sleeps() const noexcept {
-    return policy != Policy::kNeverSleep;
-  }
-  /// PAS: alert nodes answer REQUESTs and push updates; their knowledge
-  /// spreads beyond the covered region's one-hop ring.
-  [[nodiscard]] bool alert_nodes_participate() const noexcept {
-    return policy == Policy::kPas;
-  }
-  /// Prediction policy for a node currently in `state`: alert nodes use the
-  /// longer overdue hold (see alert_overdue_hold_s).
-  [[nodiscard]] PredictionPolicy prediction(
-      NodeState state = NodeState::kSafe) const noexcept {
-    return PredictionPolicy{
-        .use_alert_peers = policy == Policy::kPas,
-        .cosine_projection = policy == Policy::kPas,
-        .overdue_tolerance_s = state == NodeState::kAlert
-                                   ? alert_overdue_hold_s
-                                   : prediction_overdue_tolerance_s,
-    };
-  }
+  DutyCycleConfig duty_cycle{};
+  ThresholdHoldConfig threshold_hold{};
 
   void validate() const {
     sleep.validate();
+    duty_cycle.validate();
+    threshold_hold.validate();
     if (alert_threshold_s < 0.0) {
       throw std::invalid_argument("ProtocolConfig: alert_threshold_s < 0");
     }
@@ -152,6 +184,18 @@ struct ProtocolConfig {
   [[nodiscard]] static ProtocolConfig never_sleep() {
     ProtocolConfig c;
     c.policy = Policy::kNeverSleep;
+    return c;
+  }
+
+  [[nodiscard]] static ProtocolConfig duty_cycling() {
+    ProtocolConfig c;
+    c.policy = Policy::kDutyCycle;
+    return c;
+  }
+
+  [[nodiscard]] static ProtocolConfig threshold_holding() {
+    ProtocolConfig c;
+    c.policy = Policy::kThresholdHold;
     return c;
   }
 };

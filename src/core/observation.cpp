@@ -6,13 +6,18 @@ namespace pas::core {
 
 std::vector<PeerObservation> PeerTable::snapshot() const {
   std::vector<PeerObservation> out;
+  snapshot_into(out);
+  return out;
+}
+
+void PeerTable::snapshot_into(std::vector<PeerObservation>& out) const {
+  out.clear();
   out.reserve(entries_.size());
   for (const auto& [id, obs] : entries_) out.push_back(obs);
   std::sort(out.begin(), out.end(),
             [](const PeerObservation& a, const PeerObservation& b) {
               return a.id < b.id;
             });
-  return out;
 }
 
 void PeerTable::expire_older_than(sim::Time cutoff) {

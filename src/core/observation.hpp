@@ -51,6 +51,12 @@ class PeerTable {
   /// reproducible estimation regardless of hash order).
   [[nodiscard]] std::vector<PeerObservation> snapshot() const;
 
+  /// snapshot() into a caller-owned buffer (cleared first). The protocol
+  /// engine keeps one scratch vector per node in its Runtime slab, so the
+  /// per-evaluation allocation of the returning overload disappears once
+  /// the buffer has grown to the neighborhood size.
+  void snapshot_into(std::vector<PeerObservation>& out) const;
+
   /// Drops observations received before `cutoff`.
   void expire_older_than(sim::Time cutoff);
 

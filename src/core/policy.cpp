@@ -1,0 +1,152 @@
+#include "core/policy.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace pas::core {
+
+// --- Shared (SAS-shaped) defaults ------------------------------------------
+
+PredictionPolicy SleepingPolicy::prediction_policy(
+    NodeState state) const noexcept {
+  return PredictionPolicy{
+      .use_alert_peers = false,
+      .cosine_projection = false,
+      .overdue_tolerance_s = state == NodeState::kAlert
+                                 ? config_.alert_overdue_hold_s
+                                 : config_.prediction_overdue_tolerance_s,
+  };
+}
+
+bool SleepingPolicy::on_evaluate(const PolicyNodeState& /*ps*/, sim::Time now,
+                                 sim::Time predicted_arrival) const {
+  return predicted_arrival != sim::kNever &&
+         predicted_arrival - now <= config_.alert_threshold_s;
+}
+
+sim::Duration SleepingPolicy::next_sleep_interval(
+    const PolicyNodeState& ps, sim::Time /*now*/,
+    sim::Time /*predicted_arrival*/) const {
+  // §3.4: lengthen the sleeping interval after every uneventful wake.
+  return config_.sleep.next(ps.sleep_interval);
+}
+
+// --- PAS -------------------------------------------------------------------
+
+PredictionPolicy PasPolicy::prediction_policy(NodeState state) const noexcept {
+  return PredictionPolicy{
+      .use_alert_peers = true,
+      .cosine_projection = true,
+      .overdue_tolerance_s = state == NodeState::kAlert
+                                 ? config_.alert_overdue_hold_s
+                                 : config_.prediction_overdue_tolerance_s,
+  };
+}
+
+// --- ThresholdHold ---------------------------------------------------------
+
+PredictionPolicy ThresholdHoldPolicy::prediction_policy(
+    NodeState state) const noexcept {
+  // The local model feeds on covered peers only (there are no cooperating
+  // alert nodes to listen to), but uses the full vector projection — this is
+  // a model-quality policy, not a protocol-simplicity one.
+  return PredictionPolicy{
+      .use_alert_peers = false,
+      .cosine_projection = true,
+      .overdue_tolerance_s = state == NodeState::kAlert
+                                 ? config_.alert_overdue_hold_s
+                                 : config_.prediction_overdue_tolerance_s,
+  };
+}
+
+bool ThresholdHoldPolicy::on_evaluate(const PolicyNodeState& /*ps*/,
+                                      sim::Time now,
+                                      sim::Time predicted_arrival) const {
+  return predicted_arrival != sim::kNever &&
+         predicted_arrival - now <= config_.threshold_hold.hold_window_s;
+}
+
+sim::Duration ThresholdHoldPolicy::next_sleep_interval(
+    const PolicyNodeState& ps, sim::Time now,
+    sim::Time predicted_arrival) const {
+  if (predicted_arrival == sim::kNever) {
+    // No model yet: ramp like the schedule so an uninformed node is no
+    // worse than SAS's sleeper.
+    return config_.sleep.next(ps.sleep_interval);
+  }
+  // Dormant sensing: sleep until the hold window opens. on_evaluate() just
+  // declined to alert, so the gap is positive; the schedule bounds keep a
+  // wild prediction from parking the node forever.
+  const sim::Duration until_window =
+      predicted_arrival - now - config_.threshold_hold.hold_window_s;
+  return std::clamp(until_window, config_.sleep.initial_s,
+                    config_.sleep.max_s);
+}
+
+// --- Registry --------------------------------------------------------------
+
+namespace {
+
+template <typename P>
+std::unique_ptr<SleepingPolicy> make_impl(const ProtocolConfig& config) {
+  return std::make_unique<P>(config);
+}
+
+constexpr PolicyInfo kRegistry[] = {
+    {Policy::kNeverSleep, "NS",
+     "never sleep: zero-delay, maximum-energy baseline",
+     &make_impl<NeverSleepPolicy>},
+    {Policy::kSas, "SAS",
+     "adaptive sleeping, one-hop scalar prediction (paper baseline)",
+     &make_impl<SasPolicy>},
+    {Policy::kPas, "PAS",
+     "prediction-based adaptive sleeping with alert participation (paper)",
+     &make_impl<PasPolicy>},
+    {Policy::kDutyCycle, "DutyCycle",
+     "fixed wake/sleep period, no radio traffic (LPL-style baseline)",
+     &make_impl<DutyCyclePolicy>},
+    {Policy::kThresholdHold, "ThresholdHold",
+     "No-Sense-style: sleep while the local model predicts no arrival "
+     "within the hold window; no peer queries",
+     &make_impl<ThresholdHoldPolicy>},
+};
+
+}  // namespace
+
+std::span<const PolicyInfo> policy_registry() noexcept { return kRegistry; }
+
+void print_policy_registry(std::FILE* out) {
+  for (const auto& info : kRegistry) {
+    std::fprintf(out, "%-14.*s %.*s\n", static_cast<int>(info.name.size()),
+                 info.name.data(), static_cast<int>(info.summary.size()),
+                 info.summary.data());
+  }
+}
+
+const PolicyInfo* find_policy(std::string_view name) noexcept {
+  for (const auto& info : kRegistry) {
+    if (info.name == name) return &info;
+  }
+  return nullptr;
+}
+
+Policy policy_from_name(std::string_view name) {
+  if (const PolicyInfo* info = find_policy(name)) return info->kind;
+  std::string known;
+  for (const auto& info : kRegistry) {
+    if (!known.empty()) known += ", ";
+    known += info.name;
+  }
+  throw std::runtime_error("unknown policy \"" + std::string(name) +
+                           "\" (registered: " + known + ")");
+}
+
+std::unique_ptr<SleepingPolicy> make_policy(const ProtocolConfig& config) {
+  for (const auto& info : kRegistry) {
+    if (info.kind == config.policy) return info.make(config);
+  }
+  throw std::logic_error("make_policy: unregistered Policy enum value");
+}
+
+}  // namespace pas::core

@@ -24,6 +24,7 @@ Protocol::Protocol(sim::Simulator& simulator, net::Network& network,
       trace_(trace),
       wake_rng_(seeds.stream(sim::SeedSequence::kProtocol)) {
   config_.validate();
+  policy_ = make_policy(config_);
   if (nodes_.size() != network_.size() || nodes_.size() != arrivals_.size()) {
     throw std::invalid_argument(
         "Protocol: nodes, network and arrival map sizes must agree");
@@ -44,7 +45,7 @@ void Protocol::start() {
 
   for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
     Runtime& rt = runtime_[i];
-    rt.sleep_interval = config_.sleep.initial_s;
+    rt.policy.sleep_interval = policy_->initial_interval();
 
     // Bind each per-node handler exactly once; every later (re-)arm only
     // schedules a trampoline instead of re-capturing a fresh closure.
@@ -57,13 +58,13 @@ void Protocol::start() {
     network_.set_rx_handler(
         i, [this, i](const net::Message& msg) { on_message(i, msg); });
 
-    if (config_.sleeps()) {
+    if (policy_->sleeps()) {
       // Enter the duty cycle immediately; first wake is jittered so the
       // network does not sample in lock-step.
       const sim::Duration first =
           config_.jitter_initial_wake
-              ? wake_rng_.uniform(0.0, config_.sleep.initial_s)
-              : config_.sleep.initial_s;
+              ? wake_rng_.uniform(0.0, policy_->initial_interval())
+              : policy_->initial_interval();
       nodes_[i].asleep = true;
       nodes_[i].meter.set_mode(energy::PowerMode::kSleep, simulator_.now());
       network_.set_listening(i, false);
@@ -104,7 +105,7 @@ void Protocol::detect(std::uint32_t i) {
   ++stats_.covered_entries;
   trace(sim::TraceCategory::kDetection, i, "detected stimulus");
 
-  if (config_.sleeps()) {
+  if (policy_->covered_nodes_estimate()) {
     // Gather covered neighbors' detection times to compute the actual
     // velocity (formula 1), then advertise the new state.
     send_request(i);
@@ -120,9 +121,9 @@ void Protocol::on_covered_estimate(std::uint32_t i) {
   if (config_.observation_ttl_s > 0.0) {
     rt.table.expire_older_than(simulator_.now() - config_.observation_ttl_s);
   }
-  const auto peers = rt.table.snapshot();
-  if (const auto actual =
-          actual_velocity(nodes_[i].position, nodes_[i].detected, peers)) {
+  rt.table.snapshot_into(rt.peers);
+  if (const auto actual = actual_velocity(nodes_[i].position,
+                                          nodes_[i].detected, rt.peers)) {
     rt.velocity = *actual;
     rt.velocity_valid = true;
     if (trace_ != nullptr && trace_->enabled()) {
@@ -169,9 +170,21 @@ void Protocol::on_wake(std::uint32_t i) {
     return;
   }
 
-  send_request(i);
-  rt.awaiting_eval = true;
-  rt.eval_timer.arm_in(config_.response_wait_s);
+  switch (policy_->on_wake(rt.policy)) {
+    case WakeAction::kQueryPeers:
+      send_request(i);
+      [[fallthrough]];
+    case WakeAction::kListenOnly:
+      rt.awaiting_eval = true;
+      rt.eval_timer.arm_in(config_.response_wait_s);
+      break;
+    case WakeAction::kSleepAgain:
+      // Uneventful by construction: no sensing hit, no evaluation wanted.
+      rt.policy.sleep_interval = policy_->next_sleep_interval(
+          rt.policy, simulator_.now(), rt.predicted_arrival);
+      go_to_sleep(i);
+      break;
+  }
 }
 
 void Protocol::on_safe_evaluate(std::uint32_t i) {
@@ -187,21 +200,22 @@ void Protocol::on_safe_evaluate(std::uint32_t i) {
     std::ostringstream os;
     os << "eval: pred=" << rt.predicted_arrival << " now=" << now
        << " peers=" << rt.table.size();
-    for (const auto& p : rt.table.snapshot()) {
+    // rt.peers still holds refresh_estimates' snapshot of the same table.
+    for (const auto& p : rt.peers) {
       os << " [" << p.id << ":" << to_string(p.state)
          << " v=" << p.velocity << (p.velocity_valid ? "" : "(inv)")
          << " det=" << p.detected_at << "]";
     }
     trace(sim::TraceCategory::kMisc, i, os.str());
   }
-  if (rt.predicted_arrival != sim::kNever &&
-      rt.predicted_arrival - now <= config_.alert_threshold_s) {
+  if (policy_->on_evaluate(rt.policy, now, rt.predicted_arrival)) {
     enter_alert(i);
     return;
   }
 
-  // Uneventful wake-up: lengthen the sleeping interval (§3.4) and sleep.
-  rt.sleep_interval = config_.sleep.next(rt.sleep_interval);
+  // Uneventful wake-up: let the policy lengthen the interval and sleep.
+  rt.policy.sleep_interval =
+      policy_->next_sleep_interval(rt.policy, now, rt.predicted_arrival);
   go_to_sleep(i);
 }
 
@@ -209,9 +223,9 @@ void Protocol::enter_alert(std::uint32_t i) {
   Runtime& rt = runtime_[i];
   set_state(i, NodeState::kAlert);
   ++stats_.alert_entries;
-  rt.sleep_interval = config_.sleep.initial_s;  // restart schedule on return
+  rt.policy.sleep_interval = policy_->initial_interval();  // restart on return
   rt.recheck_timer.arm_in(config_.alert_recheck_s);
-  if (config_.alert_nodes_participate()) maybe_push_response(i);
+  if (policy_->wants_alert_participation()) maybe_push_response(i);
 }
 
 void Protocol::on_alert_recheck(std::uint32_t i) {
@@ -222,14 +236,13 @@ void Protocol::on_alert_recheck(std::uint32_t i) {
   refresh_estimates(i);
 
   const sim::Time now = simulator_.now();
-  if (rt.predicted_arrival == sim::kNever ||
-      rt.predicted_arrival - now > config_.alert_threshold_s) {
+  if (!policy_->on_evaluate(rt.policy, now, rt.predicted_arrival)) {
     ++stats_.alert_exits;
     trace(sim::TraceCategory::kState, i, "arrival receded -> safe");
     demote_to_safe(i);
     return;
   }
-  if (config_.alert_nodes_participate()) maybe_push_response(i);
+  if (policy_->wants_alert_participation()) maybe_push_response(i);
   rt.recheck_timer.arm_in(config_.alert_recheck_s);
 }
 
@@ -238,8 +251,8 @@ void Protocol::demote_to_safe(std::uint32_t i) {
   cancel_pending(i);
   set_state(i, NodeState::kSafe);
   rt.predicted_arrival = sim::kNever;
-  rt.sleep_interval = config_.sleep.initial_s;
-  if (config_.sleeps()) {
+  rt.policy.sleep_interval = policy_->initial_interval();
+  if (policy_->sleeps()) {
     go_to_sleep(i);
   }
 }
@@ -252,10 +265,10 @@ void Protocol::go_to_sleep(std::uint32_t i) {
   network_.set_listening(i, false);
   if (trace_ != nullptr && trace_->enabled()) {
     std::ostringstream os;
-    os << "sleeping for " << rt.sleep_interval << "s";
+    os << "sleeping for " << rt.policy.sleep_interval << "s";
     trace(sim::TraceCategory::kSleep, i, os.str());
   }
-  rt.wake_timer.arm_in(rt.sleep_interval);
+  rt.wake_timer.arm_in(rt.policy.sleep_interval);
 }
 
 void Protocol::send_request(std::uint32_t i) {
@@ -303,15 +316,16 @@ void Protocol::refresh_estimates(std::uint32_t i) {
   if (config_.observation_ttl_s > 0.0) {
     rt.table.expire_older_than(simulator_.now() - config_.observation_ttl_s);
   }
-  const auto peers = rt.table.snapshot();
+  rt.table.snapshot_into(rt.peers);
   if (rt.state != NodeState::kCovered) {
-    if (const auto expected = expected_velocity(peers)) {
+    if (const auto expected = expected_velocity(rt.peers)) {
       rt.velocity = *expected;
       rt.velocity_valid = true;
     }
   }
-  rt.predicted_arrival = predict_arrival(nodes_[i].position, simulator_.now(),
-                                         peers, config_.prediction(rt.state));
+  rt.predicted_arrival =
+      predict_arrival(nodes_[i].position, simulator_.now(), rt.peers,
+                      policy_->prediction_policy(rt.state));
 }
 
 void Protocol::on_message(std::uint32_t i, const net::Message& msg) {
@@ -324,7 +338,8 @@ void Protocol::on_message(std::uint32_t i, const net::Message& msg) {
     // §3.2: covered and alert sensors answer REQUESTs. Under SAS only
     // covered sensors carry stimulus information, so alert nodes stay quiet.
     if (rt.state == NodeState::kCovered ||
-        (rt.state == NodeState::kAlert && config_.alert_nodes_participate())) {
+        (rt.state == NodeState::kAlert &&
+         policy_->wants_alert_participation())) {
       send_response(i);
     }
     return;
@@ -347,16 +362,18 @@ void Protocol::on_message(std::uint32_t i, const net::Message& msg) {
     // near-simultaneous detections): keep trying as information arrives —
     // first the paper's formula 1, else adopt the neighborhood's expected
     // velocity so downstream predictions are not starved.
-    const auto peers = rt.table.snapshot();
-    if (const auto actual =
-            actual_velocity(nodes_[i].position, nodes_[i].detected, peers)) {
+    rt.table.snapshot_into(rt.peers);
+    if (const auto actual = actual_velocity(nodes_[i].position,
+                                            nodes_[i].detected, rt.peers)) {
       rt.velocity = *actual;
       rt.velocity_valid = true;
-    } else if (const auto expected = expected_velocity(peers)) {
+    } else if (const auto expected = expected_velocity(rt.peers)) {
       rt.velocity = *expected;
       rt.velocity_valid = true;
     }
-    if (rt.velocity_valid && config_.sleeps()) send_response(i);
+    if (rt.velocity_valid && policy_->covered_nodes_estimate()) {
+      send_response(i);
+    }
     return;
   }
 
@@ -366,14 +383,13 @@ void Protocol::on_message(std::uint32_t i, const net::Message& msg) {
     // the arrival receded beyond the threshold.
     refresh_estimates(i);
     const sim::Time now = simulator_.now();
-    if (rt.predicted_arrival == sim::kNever ||
-        rt.predicted_arrival - now > config_.alert_threshold_s) {
+    if (!policy_->on_evaluate(rt.policy, now, rt.predicted_arrival)) {
       ++stats_.alert_exits;
       trace(sim::TraceCategory::kState, i, "arrival receded -> safe");
       demote_to_safe(i);
       return;
     }
-    if (config_.alert_nodes_participate()) maybe_push_response(i);
+    if (policy_->wants_alert_participation()) maybe_push_response(i);
   }
   // Safe nodes awaiting evaluation act at their eval event; covered nodes
   // only use RESPONSEs via the estimate event.

@@ -1,14 +1,17 @@
-// The PAS protocol engine (paper §3), also running SAS and NS as policy
-// degenerations (§3.4: "By greatly reducing the threshold value of alert
-// time, PAS can degenerate into SAS"; we additionally disable alert-node
-// participation and the cosine projection for a faithful SAS).
+// The protocol engine (paper §3): one state machine, pluggable sleeping
+// policies. The engine owns states, timers, messaging, and detection; every
+// strategy decision — whether to sleep at all, what to do on waking, when
+// to alert, how long to sleep, how to predict — is delegated to the
+// core::SleepingPolicy selected by config.policy (see core/policy.hpp for
+// the hook contract and the registry of NS, SAS, PAS, DutyCycle, and
+// ThresholdHold).
 //
 // One Protocol instance drives every node of one simulated network:
-//   * safe nodes duty-cycle: wake → sense → REQUEST → evaluate → alert or
-//     sleep longer (linearly increasing interval);
-//   * alert nodes stay awake, answer REQUESTs, re-evaluate predictions on
-//     new RESPONSEs and periodically, and push significantly changed
-//     predictions (PAS only);
+//   * safe nodes duty-cycle: wake → sense → (per policy: REQUEST / listen /
+//     back to sleep) → evaluate → alert or sleep longer;
+//   * alert nodes stay awake, re-evaluate predictions on new RESPONSEs and
+//     periodically, and — when the policy participates — answer REQUESTs
+//     and push significantly changed predictions;
 //   * covered nodes stay awake, estimate the actual front velocity from
 //     earlier-covered neighbors (formula 1), advertise it, and fall back to
 //     safe after a detection timeout when the stimulus recedes.
@@ -20,10 +23,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/config.hpp"
 #include "core/observation.hpp"
+#include "core/policy.hpp"
 #include "core/state.hpp"
 #include "net/network.hpp"
 #include "node/failure_model.hpp"
@@ -85,12 +90,22 @@ class Protocol {
 
   [[nodiscard]] const ProtocolStats& stats() const noexcept { return stats_; }
   [[nodiscard]] const ProtocolConfig& config() const noexcept { return config_; }
+  /// The policy object driving this run (owned; resolved from
+  /// config.policy via the registry at construction).
+  [[nodiscard]] const SleepingPolicy& sleeping_policy() const noexcept {
+    return *policy_;
+  }
 
  private:
   struct Runtime {
     NodeState state = NodeState::kSafe;
-    sim::Duration sleep_interval = 0.0;
+    /// Per-node policy state (current sleeping interval, …) — the slab the
+    /// SleepingPolicy hooks operate on; no policy-side allocation.
+    PolicyNodeState policy;
     PeerTable table;
+    /// Scratch for PeerTable::snapshot_into — reused across evaluations so
+    /// the estimation path allocates only while a table is still growing.
+    std::vector<PeerObservation> peers;
     geom::Vec2 velocity{};
     bool velocity_valid = false;
     sim::Time predicted_arrival = sim::kNever;
@@ -125,7 +140,8 @@ class Protocol {
   void send_request(std::uint32_t i);
   void send_response(std::uint32_t i);
   void maybe_push_response(std::uint32_t i);
-  /// Recomputes expected velocity + predicted arrival from the peer table.
+  /// Recomputes expected velocity + predicted arrival from the peer table
+  /// (snapshots into rt.peers; valid until the table next changes).
   void refresh_estimates(std::uint32_t i);
   void cancel_pending(std::uint32_t i);
   void set_state(std::uint32_t i, NodeState next);
@@ -138,6 +154,7 @@ class Protocol {
   const stimulus::StimulusModel& model_;
   const stimulus::ArrivalMap& arrivals_;
   ProtocolConfig config_;
+  std::unique_ptr<const SleepingPolicy> policy_;  // references config_
   const node::FailurePlan* failures_;
   sim::TraceLog* trace_;
   sim::Pcg32 wake_rng_;

@@ -20,6 +20,8 @@ AxisKind axis_kind_from_string(std::string_view s) {
   if (s == "radio_range_m") return AxisKind::kRadioRange;
   if (s == "sleep_ramp") return AxisKind::kSleepRamp;
   if (s == "ge_p_good_to_bad") return AxisKind::kGilbertPGoodToBad;
+  if (s == "duty_cycle_period_s") return AxisKind::kDutyCyclePeriod;
+  if (s == "hold_window_s") return AxisKind::kHoldWindow;
   throw std::runtime_error("Axis: unknown axis \"" + std::string(s) + "\"");
 }
 
@@ -89,6 +91,19 @@ void Axis::apply(world::ScenarioConfig& config, std::size_t i) const {
       // Sweeping a Gilbert–Elliott parameter implies the bursty channel;
       // the other GE parameters come from the manifest base (or defaults).
       config.channel = world::ChannelKind::kGilbertElliott;
+      break;
+    case AxisKind::kDutyCyclePeriod:
+      if (numbers.at(i) <= 0.0) {
+        throw std::invalid_argument(
+            "Axis duty_cycle_period_s: value must be > 0");
+      }
+      config.protocol.duty_cycle.period_s = numbers.at(i);
+      break;
+    case AxisKind::kHoldWindow:
+      if (numbers.at(i) < 0.0) {
+        throw std::invalid_argument("Axis hold_window_s: value must be >= 0");
+      }
+      config.protocol.threshold_hold.hold_window_s = numbers.at(i);
       break;
   }
 }

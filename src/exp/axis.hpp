@@ -9,6 +9,7 @@
 // keys.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -20,7 +21,7 @@
 namespace pas::exp {
 
 enum class AxisKind : std::uint8_t {
-  kPolicy,           // protocol.policy — "NS" / "SAS" / "PAS"
+  kPolicy,           // protocol.policy — any name in core::policy_registry()
   kMaxSleep,         // protocol.sleep.max_s (Figs 4/6 x-axis)
   kAlertThreshold,   // protocol.alert_threshold_s (Figs 5/7 x-axis)
   kNodeCount,        // deployment.count
@@ -32,6 +33,8 @@ enum class AxisKind : std::uint8_t {
   kRadioRange,       // radio.range_m (connectivity/density sweeps)
   kSleepRamp,        // protocol.sleep.kind — "linear" / "exponential" / "fixed"
   kGilbertPGoodToBad,  // gilbert.p_good_to_bad (switches the channel to GE)
+  kDutyCyclePeriod,  // protocol.duty_cycle.period_s (DutyCycle points)
+  kHoldWindow,       // protocol.threshold_hold.hold_window_s (ThresholdHold)
 };
 
 [[nodiscard]] constexpr const char* to_string(AxisKind k) noexcept {
@@ -48,7 +51,12 @@ enum class AxisKind : std::uint8_t {
     case AxisKind::kRadioRange: return "radio_range_m";
     case AxisKind::kSleepRamp: return "sleep_ramp";
     case AxisKind::kGilbertPGoodToBad: return "ge_p_good_to_bad";
+    case AxisKind::kDutyCyclePeriod: return "duty_cycle_period_s";
+    case AxisKind::kHoldWindow: return "hold_window_s";
   }
+  // Axis names become CSV column headers (resume identity); a silent "?"
+  // would poison them, so fail loudly in debug builds.
+  assert(!"to_string(AxisKind): value outside the enum");
   return "?";
 }
 

@@ -8,6 +8,7 @@
 // and fixed intervals (no ramp). bench_ablation_ramp compares them.
 #pragma once
 
+#include <cassert>
 #include <stdexcept>
 
 #include "sim/time.hpp"
@@ -26,6 +27,9 @@ enum class RampKind : unsigned char {
     case RampKind::kExponential: return "exponential";
     case RampKind::kFixed: return "fixed";
   }
+  // Serializing "?" into campaign CSVs would silently poison resume keys;
+  // fail loudly in debug builds instead.
+  assert(!"to_string(RampKind): value outside the enum");
   return "?";
 }
 

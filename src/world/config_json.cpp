@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "core/policy.hpp"
+
 namespace pas::world {
 
 namespace {
@@ -74,6 +76,12 @@ io::Json to_json(const ScenarioConfig& config) {
   proto["sleep_max_s"] = config.protocol.sleep.max_s;
   proto["response_wait_s"] = config.protocol.response_wait_s;
   proto["covered_timeout_s"] = config.protocol.covered_timeout_s;
+  io::Json duty;
+  duty["period_s"] = config.protocol.duty_cycle.period_s;
+  proto["duty_cycle"] = std::move(duty);
+  io::Json hold;
+  hold["hold_window_s"] = config.protocol.threshold_hold.hold_window_s;
+  proto["threshold_hold"] = std::move(hold);
   j["protocol"] = std::move(proto);
 
   io::Json stim;
@@ -264,10 +272,9 @@ DeploymentKind deployment_kind_from_string(std::string_view s) {
 }
 
 core::Policy policy_from_string(std::string_view s) {
-  if (s == "NS") return core::Policy::kNeverSleep;
-  if (s == "SAS") return core::Policy::kSas;
-  if (s == "PAS") return core::Policy::kPas;
-  unknown_value("policy", s);
+  // The registry is the single source of policy names; its error message
+  // already lists the registered ones.
+  return core::policy_from_name(s);
 }
 
 node::RampKind ramp_kind_from_string(std::string_view s) {
@@ -349,7 +356,7 @@ ScenarioConfig scenario_from_json(const io::Json& j, ScenarioConfig base) {
         p, "protocol",
         {"policy", "alert_threshold_s", "sleep_ramp", "sleep_initial_s",
          "sleep_increment_s", "sleep_factor", "sleep_max_s", "response_wait_s",
-         "covered_timeout_s"});
+         "covered_timeout_s", "duty_cycle", "threshold_hold"});
     if (p.contains("policy")) {
       base.protocol.policy = policy_from_string(p.at("policy").as_string());
     }
@@ -371,6 +378,20 @@ ScenarioConfig scenario_from_json(const io::Json& j, ScenarioConfig base) {
         p.number_or("response_wait_s", base.protocol.response_wait_s);
     base.protocol.covered_timeout_s =
         p.number_or("covered_timeout_s", base.protocol.covered_timeout_s);
+    // Per-policy parameter blocks; present or not independently of which
+    // policy is selected (a campaign may sweep the policy axis).
+    if (p.contains("duty_cycle")) {
+      const auto& d = p.at("duty_cycle");
+      read_known_keys(d, "duty_cycle", {"period_s"});
+      base.protocol.duty_cycle.period_s =
+          d.number_or("period_s", base.protocol.duty_cycle.period_s);
+    }
+    if (p.contains("threshold_hold")) {
+      const auto& t = p.at("threshold_hold");
+      read_known_keys(t, "threshold_hold", {"hold_window_s"});
+      base.protocol.threshold_hold.hold_window_s = t.number_or(
+          "hold_window_s", base.protocol.threshold_hold.hold_window_s);
+    }
   }
 
   if (j.contains("stimulus")) {

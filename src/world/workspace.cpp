@@ -120,11 +120,13 @@ void Workspace::execute(const ScenarioConfig& config,
 
   metrics::collect_outcomes(nodes_, outcomes_);
   // A sleeping node reached within its last possible sleep interval may not
-  // have woken before the horizon; count those as censored, not missed.
+  // have woken before the horizon; count those as censored, not missed. The
+  // policy knows its own worst-case interval (sleep.max_s for the ramping
+  // policies, period_s for DutyCycle, nothing for NS).
+  const core::SleepingPolicy& policy = protocol.sleeping_policy();
   const double censor_cutoff =
-      config.protocol.sleeps()
-          ? config.duration_s - config.protocol.sleep.max_s - 1.0
-          : config.duration_s;
+      policy.sleeps() ? config.duration_s - policy.max_sleep_s() - 1.0
+                      : config.duration_s;
   metrics_ = metrics::summarize(outcomes_, config.duration_s, censor_cutoff,
                                 network_->stats(), protocol.stats());
 }

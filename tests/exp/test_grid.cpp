@@ -160,10 +160,66 @@ TEST(Grid, NewAxesRoundTripThroughJson) {
   }
 }
 
+TEST(Grid, PolicyAxisCoversTheWholeRegistry) {
+  Manifest m;
+  m.axes = {Axis{.kind = AxisKind::kPolicy,
+                 .labels = {"NS", "SAS", "PAS", "DutyCycle", "ThresholdHold"}}};
+  const auto points = expand_grid(m);
+  ASSERT_EQ(points.size(), 5U);
+  EXPECT_EQ(points[3].config.protocol.policy, core::Policy::kDutyCycle);
+  EXPECT_EQ(points[4].config.protocol.policy, core::Policy::kThresholdHold);
+  EXPECT_EQ(points[4].values, (std::vector<std::string>{"ThresholdHold"}));
+
+  Axis bogus{.kind = AxisKind::kPolicy, .labels = {"PAS", "LPL"}};
+  EXPECT_THROW(bogus.validate(), std::runtime_error);
+}
+
+TEST(Grid, AppliesPerPolicyParameterAxes) {
+  Manifest m;
+  m.axes = {
+      Axis{.kind = AxisKind::kDutyCyclePeriod, .numbers = {2.5}},
+      Axis{.kind = AxisKind::kHoldWindow, .numbers = {30.0}},
+  };
+  const auto points = expand_grid(m);
+  ASSERT_EQ(points.size(), 1U);
+  EXPECT_DOUBLE_EQ(points[0].config.protocol.duty_cycle.period_s, 2.5);
+  EXPECT_DOUBLE_EQ(points[0].config.protocol.threshold_hold.hold_window_s,
+                   30.0);
+  EXPECT_EQ(points[0].label(m), "duty_cycle_period_s=2.5 hold_window_s=30");
+  EXPECT_EQ(axis_columns(m), (std::vector<std::string>{"duty_cycle_period_s",
+                                                       "hold_window_s"}));
+
+  Axis period{.kind = AxisKind::kDutyCyclePeriod, .numbers = {0.0}};
+  EXPECT_THROW(period.validate(), std::invalid_argument);
+  Axis window{.kind = AxisKind::kHoldWindow, .numbers = {-1.0}};
+  EXPECT_THROW(window.validate(), std::invalid_argument);
+
+  for (const char* spec :
+       {R"({"axis": "duty_cycle_period_s", "values": [2, 5, 10]})",
+        R"({"axis": "hold_window_s", "values": [10, 20]})"}) {
+    const auto axis = Axis::from_json(io::Json::parse(spec));
+    const auto back = Axis::from_json(axis.to_json());
+    EXPECT_EQ(back.kind, axis.kind) << spec;
+    EXPECT_EQ(back.numbers, axis.numbers) << spec;
+  }
+}
+
 TEST(Grid, AxisColumnsMatchDeclaredOrder) {
   const auto columns = axis_columns(two_axis_manifest());
   EXPECT_EQ(columns, (std::vector<std::string>{"policy", "max_sleep_s"}));
 }
+
+#ifndef NDEBUG
+TEST(AxisKindNamesDeathTest, ValueOutsideTheEnumAssertsInDebug) {
+  // Axis names are CSV column headers; "?" would poison resume identity.
+  EXPECT_DEATH((void)to_string(static_cast<AxisKind>(250)),
+               "value outside the enum");
+}
+#else
+TEST(AxisKindNames, ValueOutsideTheEnumFallsBackInRelease) {
+  EXPECT_STREQ(to_string(static_cast<AxisKind>(250)), "?");
+}
+#endif
 
 }  // namespace
 }  // namespace pas::exp

@@ -125,6 +125,20 @@ TEST(Manifest, BadAxisValueFailsAtLoadTime) {
                std::runtime_error);
 }
 
+TEST(Manifest, UnknownPolicyNameRejectedAtLoadTime) {
+  // The registry error must reach the manifest author with the valid
+  // spellings, not surface mid-campaign.
+  try {
+    (void)Manifest::from_json(io::Json::parse(
+        R"({"axes": [{"axis": "policy", "values": ["PAS", "BMAC"]}]})"));
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("BMAC"), std::string::npos);
+    EXPECT_NE(what.find("DutyCycle"), std::string::npos);
+  }
+}
+
 TEST(Manifest, LoadParsesExampleCampaign) {
   // The shipped example must stay loadable; it is the CLI's documented entry
   // point. Locate it relative to the source tree via __FILE__.
@@ -133,6 +147,20 @@ TEST(Manifest, LoadParsesExampleCampaign) {
   const Manifest m = Manifest::load(root + "examples/campaign.json");
   EXPECT_EQ(m.name, "paper-grid");
   EXPECT_GE(m.point_count(), 100U);
+}
+
+TEST(Manifest, LoadParsesPolicyComparisonExample) {
+  const std::string here = __FILE__;
+  const std::string root = here.substr(0, here.find("tests/exp/"));
+  const Manifest m = Manifest::load(root + "examples/policy_comparison.json");
+  EXPECT_EQ(m.name, "policy-comparison");
+  ASSERT_FALSE(m.axes.empty());
+  EXPECT_EQ(m.axes[0].kind, AxisKind::kPolicy);
+  EXPECT_EQ(m.axes[0].labels,
+            (std::vector<std::string>{"NS", "SAS", "PAS", "DutyCycle",
+                                      "ThresholdHold"}));
+  EXPECT_DOUBLE_EQ(m.base.protocol.duty_cycle.period_s, 5.0);
+  EXPECT_DOUBLE_EQ(m.base.protocol.threshold_hold.hold_window_s, 20.0);
 }
 
 }  // namespace

@@ -77,6 +77,33 @@ TEST(GoldenTrace, SasRadialSeed5) {
   EXPECT_EQ(result.metrics.network.broadcasts, 718ULL);
 }
 
+// The NS and SAS-plume pins below were recorded on the pre-policy-layer
+// engine (the monolithic Policy::k* branches) immediately before the
+// SleepingPolicy extraction; together with the three cases above they pin
+// all three paper policies byte-identical across that refactor.
+TEST(GoldenTrace, NsRadialSeed3) {
+  const auto result =
+      run_golden({core::Policy::kNeverSleep, world::StimulusKind::kRadial, 3});
+  EXPECT_EQ(result.trace.size(), 26ULL);
+  EXPECT_EQ(trace_digest(result.trace), 15838959098395050619ULL);
+  // NS detects instantly and never transmits.
+  EXPECT_DOUBLE_EQ(result.metrics.avg_delay_s, 0.0);
+  EXPECT_DOUBLE_EQ(result.metrics.avg_energy_j, 6.1500000000000004);
+  EXPECT_EQ(result.metrics.network.broadcasts, 0ULL);
+  EXPECT_EQ(result.metrics.protocol.wakeups, 0ULL);
+}
+
+TEST(GoldenTrace, SasPlumeSeed13) {
+  const auto result =
+      run_golden({core::Policy::kSas, world::StimulusKind::kPlume, 13});
+  EXPECT_EQ(result.trace.size(), 1339ULL);
+  EXPECT_EQ(trace_digest(result.trace), 13304074358141853687ULL);
+  EXPECT_DOUBLE_EQ(result.metrics.avg_delay_s, 1.3592797699138859);
+  EXPECT_DOUBLE_EQ(result.metrics.avg_energy_j, 4.1165600663669917);
+  EXPECT_EQ(result.metrics.network.broadcasts, 463ULL);
+  EXPECT_EQ(result.metrics.protocol.wakeups, 270ULL);
+}
+
 TEST(GoldenTrace, PasPlumeSeed11) {
   const auto result =
       run_golden({core::Policy::kPas, world::StimulusKind::kPlume, 11});

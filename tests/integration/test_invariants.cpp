@@ -11,6 +11,7 @@
 
 #include <tuple>
 
+#include "core/policy.hpp"
 #include "world/paper_setup.hpp"
 #include "world/scenario.hpp"
 
@@ -36,6 +37,9 @@ TEST_P(InvariantSweep, HoldsEndToEnd) {
   const auto model = make_stimulus(cfg);
   const RunResult r = run_scenario(cfg);
 
+  // The policy's own worst-case interval is the delay bound (sleep.max_s
+  // for ramping policies, period_s for DutyCycle).
+  const auto policy_obj = core::make_policy(cfg.protocol);
   const bool monotone = stimulus != StimulusKind::kPlume;
   for (const auto& oc : r.outcomes) {
     if (oc.was_detected) {
@@ -46,7 +50,7 @@ TEST_P(InvariantSweep, HoldsEndToEnd) {
       EXPECT_TRUE(model->covered(oc.position, oc.detected + 1e-6))
           << "node " << oc.id << " detected at " << oc.detected;
       if (monotone) {
-        EXPECT_LE(oc.delay_s, cfg.protocol.sleep.max_s + 1e-6)
+        EXPECT_LE(oc.delay_s, policy_obj->max_sleep_s() + 1e-6)
             << "node " << oc.id;
       }
     }
@@ -84,7 +88,8 @@ INSTANTIATE_TEST_SUITE_P(
     PolicyByStimulus, InvariantSweep,
     ::testing::Combine(
         ::testing::Values(core::Policy::kNeverSleep, core::Policy::kSas,
-                          core::Policy::kPas),
+                          core::Policy::kPas, core::Policy::kDutyCycle,
+                          core::Policy::kThresholdHold),
         ::testing::Values(StimulusKind::kRadial, StimulusKind::kPde,
                           StimulusKind::kPlume, StimulusKind::kTwoSources),
         ::testing::Values(1ULL, 17ULL)),

@@ -120,5 +120,17 @@ TEST(RampKindNames, Stable) {
   EXPECT_STREQ(to_string(RampKind::kFixed), "fixed");
 }
 
+#ifndef NDEBUG
+TEST(RampKindNamesDeathTest, ValueOutsideTheEnumAssertsInDebug) {
+  // Silently serializing "?" would poison campaign CSV resume keys.
+  EXPECT_DEATH((void)to_string(static_cast<RampKind>(250)),
+               "value outside the enum");
+}
+#else
+TEST(RampKindNames, ValueOutsideTheEnumFallsBackInRelease) {
+  EXPECT_STREQ(to_string(static_cast<RampKind>(250)), "?");
+}
+#endif
+
 }  // namespace
 }  // namespace pas::node

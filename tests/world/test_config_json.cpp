@@ -121,6 +121,55 @@ TEST(ScenarioFromJson, RoundTripsSerialisedConfig) {
   EXPECT_EQ(to_json(parsed).dump(), to_json(cfg).dump());
 }
 
+TEST(ScenarioFromJson, PerPolicyBlocksRoundTrip) {
+  ScenarioConfig cfg = paper_scenario();
+  cfg.protocol.policy = core::Policy::kDutyCycle;
+  cfg.protocol.duty_cycle.period_s = 2.5;
+  cfg.protocol.threshold_hold.hold_window_s = 35.0;
+
+  const ScenarioConfig parsed =
+      scenario_from_json(io::Json::parse(to_json(cfg).dump()));
+  EXPECT_EQ(parsed.protocol.policy, core::Policy::kDutyCycle);
+  EXPECT_DOUBLE_EQ(parsed.protocol.duty_cycle.period_s, 2.5);
+  EXPECT_DOUBLE_EQ(parsed.protocol.threshold_hold.hold_window_s, 35.0);
+  EXPECT_EQ(to_json(parsed).dump(), to_json(cfg).dump());
+}
+
+TEST(ScenarioFromJson, NewPolicyNamesParse) {
+  const ScenarioConfig duty = scenario_from_json(io::Json::parse(
+      R"({"protocol": {"policy": "DutyCycle", "duty_cycle": {"period_s": 4}}})"));
+  EXPECT_EQ(duty.protocol.policy, core::Policy::kDutyCycle);
+  EXPECT_DOUBLE_EQ(duty.protocol.duty_cycle.period_s, 4.0);
+
+  const ScenarioConfig hold = scenario_from_json(io::Json::parse(
+      R"({"protocol": {"policy": "ThresholdHold",
+                       "threshold_hold": {"hold_window_s": 12}}})"));
+  EXPECT_EQ(hold.protocol.policy, core::Policy::kThresholdHold);
+  EXPECT_DOUBLE_EQ(hold.protocol.threshold_hold.hold_window_s, 12.0);
+}
+
+TEST(ScenarioFromJson, UnknownPolicyNameThrowsListingRegisteredOnes) {
+  try {
+    (void)scenario_from_json(
+        io::Json::parse(R"({"protocol": {"policy": "BMAC"}})"));
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("BMAC"), std::string::npos);
+    EXPECT_NE(what.find("DutyCycle"), std::string::npos);
+    EXPECT_NE(what.find("ThresholdHold"), std::string::npos);
+  }
+}
+
+TEST(ScenarioFromJson, UnknownKeysInPolicyBlocksThrow) {
+  EXPECT_THROW(scenario_from_json(io::Json::parse(
+                   R"({"protocol": {"duty_cycle": {"period": 4}}})")),
+               std::runtime_error);
+  EXPECT_THROW(scenario_from_json(io::Json::parse(
+                   R"({"protocol": {"threshold_hold": {"window_s": 4}}})")),
+               std::runtime_error);
+}
+
 TEST(ScenarioFromJson, PartialOverridesKeepBase) {
   const ScenarioConfig base = paper_scenario();
   const ScenarioConfig parsed = scenario_from_json(

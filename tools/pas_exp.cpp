@@ -26,6 +26,7 @@
 #include <exception>
 #include <string>
 
+#include "core/policy.hpp"
 #include "exp/aggregate.hpp"
 #include "exp/grid.hpp"
 #include "exp/manifest.hpp"
@@ -113,6 +114,7 @@ int main(int argc, char** argv) {
   bool dry_run = false;
   bool merge = false;
   bool worker = false;
+  bool list_policies = false;
 
   pas::io::Cli cli("pas-exp",
                    "Run a scenario-grid experiment campaign from a JSON "
@@ -150,6 +152,9 @@ int main(int argc, char** argv) {
   cli.add_flag("quiet", &quiet, "Suppress per-point progress lines");
   cli.add_flag("dry-run", &dry_run,
                "Print the expanded grid and exit without simulating");
+  cli.add_flag("list-policies", &list_policies,
+               "Print the registered sleeping policies (valid \"policy\" "
+               "axis values) and exit");
   cli.add_string("bench-json", &bench_json,
                  "Append a {wall_s, reps_per_s, ...} sample to this file "
                  "after a completed run");
@@ -163,6 +168,11 @@ int main(int argc, char** argv) {
   if (!cli.parse(argc, argv)) return cli.status();
 
   try {
+    if (list_policies) {
+      pas::core::print_policy_registry(stdout);
+      return 0;
+    }
+
     if (merge) {
       const auto& inputs = cli.positional();
       if (inputs.empty()) {
