@@ -98,7 +98,7 @@ int main(int argc, char** argv) {
       if (++shown > 60) break;
       std::cout << "  t=" << pas::io::fixed(e.time, 3) << "s ["
                 << pas::sim::to_string(e.category) << "] node " << e.node
-                << ": " << e.text << '\n';
+                << ": " << pas::sim::format_event(e) << '\n';
     }
   }
   return 0;

@@ -1,12 +1,28 @@
 #include "core/protocol.hpp"
 
 #include <algorithm>
-#include <sstream>
 #include <stdexcept>
 
 #include "core/estimation.hpp"
 
 namespace pas::core {
+
+void ProtocolStats::add(const ProtocolStats& other) {
+  wakeups += other.wakeups;
+  requests_sent += other.requests_sent;
+  responses_sent += other.responses_sent;
+  responses_pushed += other.responses_pushed;
+  pushes_suppressed += other.pushes_suppressed;
+  messages_received += other.messages_received;
+  alert_entries += other.alert_entries;
+  alert_exits += other.alert_exits;
+  covered_entries += other.covered_entries;
+  covered_timeouts += other.covered_timeouts;
+  failures += other.failures;
+  prediction_hits += other.prediction_hits;
+  prediction_misses += other.prediction_misses;
+  sleep_s.merge(other.sleep_s);
+}
 
 Protocol::Protocol(sim::Simulator& simulator, net::Network& network,
                    std::vector<node::SensorNode>& nodes,
@@ -33,9 +49,9 @@ Protocol::Protocol(sim::Simulator& simulator, net::Network& network,
 }
 
 void Protocol::trace(sim::TraceCategory cat, std::uint32_t i,
-                     std::string text) {
+                     sim::TraceKind kind) {
   if (trace_ != nullptr) {
-    trace_->record(simulator_.now(), cat, i, std::move(text));
+    trace_->record(simulator_.now(), cat, i, kind);
   }
 }
 
@@ -99,11 +115,18 @@ void Protocol::detect(std::uint32_t i) {
   if (rt.state == NodeState::kCovered) return;
 
   if (!n.has_detected()) n.detected = simulator_.now();
+  // A finite predicted arrival at detection time means the prediction
+  // machinery saw this coming; kNever means the front surprised the node.
+  if (rt.predicted_arrival < sim::kNever) {
+    ++stats_.prediction_hits;
+  } else {
+    ++stats_.prediction_misses;
+  }
   rt.last_seen_covered = simulator_.now();
   cancel_pending(i);
   set_state(i, NodeState::kCovered);
   ++stats_.covered_entries;
-  trace(sim::TraceCategory::kDetection, i, "detected stimulus");
+  trace(sim::TraceCategory::kDetection, i, sim::TraceKind::kDetected);
 
   if (policy_->covered_nodes_estimate()) {
     // Gather covered neighbors' detection times to compute the actual
@@ -127,9 +150,14 @@ void Protocol::on_covered_estimate(std::uint32_t i) {
     rt.velocity = *actual;
     rt.velocity_valid = true;
     if (trace_ != nullptr && trace_->enabled()) {
-      std::ostringstream os;
-      os << "actual velocity " << rt.velocity;
-      trace(sim::TraceCategory::kMisc, i, os.str());
+      sim::TraceEvent e;
+      e.time = simulator_.now();
+      e.category = sim::TraceCategory::kMisc;
+      e.kind = sim::TraceKind::kActualVelocity;
+      e.node = i;
+      e.x = rt.velocity.x;
+      e.y = rt.velocity.y;
+      trace_->record(e);
     }
   }
   // else: keep any expected-velocity estimate from the alert phase; the
@@ -147,7 +175,7 @@ void Protocol::on_covered_check(std::uint32_t i) {
              config_.covered_timeout_s) {
     // Stimulus receded: detection timeout elapsed, back to safe (Fig 3).
     ++stats_.covered_timeouts;
-    trace(sim::TraceCategory::kState, i, "covered timeout -> safe");
+    trace(sim::TraceCategory::kState, i, sim::TraceKind::kCoveredTimeout);
     demote_to_safe(i);
     return;
   }
@@ -163,7 +191,7 @@ void Protocol::on_wake(std::uint32_t i) {
   n.asleep = false;
   n.meter.set_mode(energy::PowerMode::kActive, simulator_.now());
   network_.set_listening(i, true);
-  trace(sim::TraceCategory::kSleep, i, "woke up");
+  trace(sim::TraceCategory::kSleep, i, sim::TraceKind::kWoke);
 
   if (model_.covered(n.position, simulator_.now())) {
     detect(i);
@@ -197,16 +225,14 @@ void Protocol::on_safe_evaluate(std::uint32_t i) {
 
   const sim::Time now = simulator_.now();
   if (trace_ != nullptr && trace_->enabled()) {
-    std::ostringstream os;
-    os << "eval: pred=" << rt.predicted_arrival << " now=" << now
-       << " peers=" << rt.table.size();
-    // rt.peers still holds refresh_estimates' snapshot of the same table.
-    for (const auto& p : rt.peers) {
-      os << " [" << p.id << ":" << to_string(p.state)
-         << " v=" << p.velocity << (p.velocity_valid ? "" : "(inv)")
-         << " det=" << p.detected_at << "]";
-    }
-    trace(sim::TraceCategory::kMisc, i, os.str());
+    sim::TraceEvent e;
+    e.time = now;
+    e.category = sim::TraceCategory::kMisc;
+    e.kind = sim::TraceKind::kEval;
+    e.node = i;
+    e.x = rt.predicted_arrival;
+    e.a = static_cast<std::uint32_t>(rt.table.size());
+    trace_->record(e);
   }
   if (policy_->on_evaluate(rt.policy, now, rt.predicted_arrival)) {
     enter_alert(i);
@@ -238,7 +264,7 @@ void Protocol::on_alert_recheck(std::uint32_t i) {
   const sim::Time now = simulator_.now();
   if (!policy_->on_evaluate(rt.policy, now, rt.predicted_arrival)) {
     ++stats_.alert_exits;
-    trace(sim::TraceCategory::kState, i, "arrival receded -> safe");
+    trace(sim::TraceCategory::kState, i, sim::TraceKind::kArrivalReceded);
     demote_to_safe(i);
     return;
   }
@@ -263,10 +289,15 @@ void Protocol::go_to_sleep(std::uint32_t i) {
   n.asleep = true;
   n.meter.set_mode(energy::PowerMode::kSleep, simulator_.now());
   network_.set_listening(i, false);
+  stats_.sleep_s.record(rt.policy.sleep_interval);
   if (trace_ != nullptr && trace_->enabled()) {
-    std::ostringstream os;
-    os << "sleeping for " << rt.policy.sleep_interval << "s";
-    trace(sim::TraceCategory::kSleep, i, os.str());
+    sim::TraceEvent e;
+    e.time = simulator_.now();
+    e.category = sim::TraceCategory::kSleep;
+    e.kind = sim::TraceKind::kSleepFor;
+    e.node = i;
+    e.x = rt.policy.sleep_interval;
+    trace_->record(e);
   }
   rt.wake_timer.arm_in(rt.policy.sleep_interval);
 }
@@ -276,7 +307,7 @@ void Protocol::send_request(std::uint32_t i) {
   msg.type = net::MessageType::kRequest;
   network_.broadcast(i, msg);
   ++stats_.requests_sent;
-  trace(sim::TraceCategory::kMessage, i, "REQUEST");
+  trace(sim::TraceCategory::kMessage, i, sim::TraceKind::kRequest);
 }
 
 void Protocol::send_response(std::uint32_t i) {
@@ -293,16 +324,20 @@ void Protocol::send_response(std::uint32_t i) {
   msg.payload.detected_at = nodes_[i].detected;
   network_.broadcast(i, msg);
   ++stats_.responses_sent;
-  trace(sim::TraceCategory::kMessage, i, "RESPONSE");
+  trace(sim::TraceCategory::kMessage, i, sim::TraceKind::kResponse);
 }
 
 void Protocol::maybe_push_response(std::uint32_t i) {
   Runtime& rt = runtime_[i];
   const sim::Time now = simulator_.now();
-  if (now - rt.last_push_time < config_.min_push_gap_s) return;
+  if (now - rt.last_push_time < config_.min_push_gap_s) {
+    ++stats_.pushes_suppressed;
+    return;
+  }
   if (!significant_change(rt.last_pushed_prediction, rt.predicted_arrival, now,
                           config_.rebroadcast_rel_change,
                           config_.rebroadcast_abs_floor_s)) {
+    ++stats_.pushes_suppressed;
     return;
   }
   rt.last_push_time = now;
@@ -385,7 +420,7 @@ void Protocol::on_message(std::uint32_t i, const net::Message& msg) {
     const sim::Time now = simulator_.now();
     if (!policy_->on_evaluate(rt.policy, now, rt.predicted_arrival)) {
       ++stats_.alert_exits;
-      trace(sim::TraceCategory::kState, i, "arrival receded -> safe");
+      trace(sim::TraceCategory::kState, i, sim::TraceKind::kArrivalReceded);
       demote_to_safe(i);
       return;
     }
@@ -406,7 +441,7 @@ void Protocol::on_failure(std::uint32_t i) {
   // at 15 µW is negligible over any run we evaluate.
   n.meter.set_mode(energy::PowerMode::kSleep, simulator_.now());
   n.asleep = true;
-  trace(sim::TraceCategory::kFailure, i, "node failed");
+  trace(sim::TraceCategory::kFailure, i, sim::TraceKind::kNodeFailed);
 }
 
 void Protocol::cancel_pending(std::uint32_t i) {
@@ -423,11 +458,28 @@ void Protocol::set_state(std::uint32_t i, NodeState next) {
   Runtime& rt = runtime_[i];
   if (rt.state == next) return;
   if (trace_ != nullptr && trace_->enabled()) {
-    std::ostringstream os;
-    os << to_string(rt.state) << " -> " << to_string(next);
-    trace(sim::TraceCategory::kState, i, os.str());
+    sim::TraceEvent e;
+    e.time = simulator_.now();
+    e.category = sim::TraceCategory::kState;
+    e.kind = sim::TraceKind::kStateChange;
+    e.node = i;
+    e.s1 = to_string(rt.state);
+    e.s2 = to_string(next);
+    trace_->record(e);
   }
   rt.state = next;
+}
+
+std::uint64_t Protocol::timer_reschedules() const noexcept {
+  std::uint64_t total = 0;
+  for (const Runtime& rt : runtime_) {
+    total += rt.wake_timer.reschedules();
+    total += rt.eval_timer.reschedules();
+    total += rt.recheck_timer.reschedules();
+    total += rt.estimate_timer.reschedules();
+    total += rt.covered_check_timer.reschedules();
+  }
+  return total;
 }
 
 std::size_t Protocol::count_in_state(NodeState s) const {

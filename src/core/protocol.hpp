@@ -33,6 +33,7 @@
 #include "net/network.hpp"
 #include "node/failure_model.hpp"
 #include "node/sensor_node.hpp"
+#include "obs/histogram.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
 #include "sim/timer.hpp"
@@ -42,17 +43,35 @@
 
 namespace pas::core {
 
+/// Fixed log-bucket layout for the per-run sleep-interval histogram: first
+/// edge 0.25 s, 12 doubling buckets (reaches 512 s, beyond any max_sleep we
+/// sweep), plus under/overflow bins.
+inline constexpr obs::LogBuckets kSleepHistSpec{0.25, 12};
+
 struct ProtocolStats {
   std::uint64_t wakeups = 0;
   std::uint64_t requests_sent = 0;
   std::uint64_t responses_sent = 0;
   std::uint64_t responses_pushed = 0;
+  /// Alert-phase pushes skipped by the rate limiter / significance filter —
+  /// transmissions the protocol decided not to spend energy on.
+  std::uint64_t pushes_suppressed = 0;
   std::uint64_t messages_received = 0;
   std::uint64_t alert_entries = 0;
   std::uint64_t alert_exits = 0;
   std::uint64_t covered_entries = 0;
   std::uint64_t covered_timeouts = 0;
   std::uint64_t failures = 0;
+  /// Split of detections by whether the node held a finite predicted
+  /// arrival when the stimulus reached it (its prediction machinery was
+  /// "on the ball") vs. being surprised.
+  std::uint64_t prediction_hits = 0;
+  std::uint64_t prediction_misses = 0;
+  /// Distribution of chosen sleep intervals (seconds, kSleepHistSpec).
+  obs::HistogramData sleep_s{kSleepHistSpec, {}, 0};
+
+  /// Accumulates `other` into this (campaign/replication roll-ups).
+  void add(const ProtocolStats& other);
 };
 
 class Protocol {
@@ -89,6 +108,11 @@ class Protocol {
   [[nodiscard]] std::size_t count_in_state(NodeState s) const;
 
   [[nodiscard]] const ProtocolStats& stats() const noexcept { return stats_; }
+
+  /// Total timer re-arms that displaced a still-pending firing, summed over
+  /// every per-node timer — the kernel-facing cost of schedule revisions.
+  [[nodiscard]] std::uint64_t timer_reschedules() const noexcept;
+
   [[nodiscard]] const ProtocolConfig& config() const noexcept { return config_; }
   /// The policy object driving this run (owned; resolved from
   /// config.policy via the registry at construction).
@@ -146,7 +170,7 @@ class Protocol {
   void cancel_pending(std::uint32_t i);
   void set_state(std::uint32_t i, NodeState next);
 
-  void trace(sim::TraceCategory cat, std::uint32_t i, std::string text);
+  void trace(sim::TraceCategory cat, std::uint32_t i, sim::TraceKind kind);
 
   sim::Simulator& simulator_;
   net::Network& network_;

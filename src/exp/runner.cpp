@@ -5,11 +5,16 @@
 #include <chrono>
 #include <filesystem>
 #include <future>
+#include <map>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
+#include "exp/telemetry.hpp"
+#include "obs/export.hpp"
+#include "obs/registry.hpp"
 #include "world/sweep.hpp"
 
 namespace pas::exp {
@@ -45,6 +50,36 @@ struct PointTask {
   std::atomic<std::size_t> remaining{0};
 };
 
+/// Registry handles for one policy's campaign-level instruments, resolved
+/// once before the first point completes (registration freezes on first
+/// write; completion callbacks run on pool threads).
+struct PolicyInstruments {
+  obs::Counter wakeups;
+  obs::Counter requests_sent;
+  obs::Counter responses_sent;
+  obs::Counter responses_pushed;
+  obs::Counter pushes_suppressed;
+  obs::Counter prediction_hits;
+  obs::Counter prediction_misses;
+  obs::Histogram sleep_s;
+};
+
+PolicyInstruments make_policy_instruments(obs::Registry& registry,
+                                          core::Policy policy) {
+  const std::string prefix = "policy." + std::string(core::to_string(policy));
+  PolicyInstruments out;
+  out.wakeups = registry.counter(prefix + ".wakeups");
+  out.requests_sent = registry.counter(prefix + ".requests_sent");
+  out.responses_sent = registry.counter(prefix + ".responses_sent");
+  out.responses_pushed = registry.counter(prefix + ".responses_pushed");
+  out.pushes_suppressed = registry.counter(prefix + ".pushes_suppressed");
+  out.prediction_hits = registry.counter(prefix + ".prediction_hits");
+  out.prediction_misses = registry.counter(prefix + ".prediction_misses");
+  out.sleep_s =
+      registry.histogram(prefix + ".sleep_s", core::kSleepHistSpec);
+  return out;
+}
+
 }  // namespace
 
 world::ReplicatedMetrics run_point(const GridPoint& point,
@@ -67,8 +102,8 @@ CampaignReport run_campaign(const Manifest& manifest,
   const auto points = expand_grid(manifest);
 
   if (!options.resume) {
-    for (const auto& path :
-         {options.out_csv, options.out_json, options.per_run_csv}) {
+    for (const auto& path : {options.out_csv, options.out_json,
+                             options.per_run_csv, options.metrics_path}) {
       if (!path.empty() && std::filesystem::exists(path)) {
         throw std::runtime_error("run_campaign: " + path +
                                  " exists; pass resume to continue it or "
@@ -105,6 +140,41 @@ CampaignReport run_campaign(const Manifest& manifest,
   const std::size_t recovered = aggregator.load_existing();
   const auto pending = aggregator.pending();
 
+  // Telemetry: a JSONL sink for per-point rows plus a campaign-scoped
+  // registry for the cross-point roll-up. Both exist only when --metrics
+  // was given; a disabled registry hands out inert handles, and nothing in
+  // the simulation path ever sees either (run_replication is telemetry-
+  // blind), so metrics on/off cannot change a single output byte.
+  std::optional<TelemetrySink> sink;
+  if (!options.metrics_path.empty()) {
+    TelemetryOptions telemetry_options;
+    telemetry_options.path = options.metrics_path;
+    telemetry_options.axis_names = axis_columns(manifest);
+    telemetry_options.total_points = points.size();
+    sink.emplace(std::move(telemetry_options));
+    sink->load_existing();
+  }
+  obs::Registry registry(sink.has_value());
+  std::map<core::Policy, PolicyInstruments> policy_instruments;
+  if (registry.enabled()) {
+    for (const auto& point : points) {
+      const core::Policy policy = point.config.protocol.policy;
+      if (!policy_instruments.contains(policy)) {
+        policy_instruments.emplace(policy,
+                                   make_policy_instruments(registry, policy));
+      }
+    }
+  }
+  const obs::Counter k_scheduled = registry.counter("kernel.events_scheduled");
+  const obs::Counter k_dispatched =
+      registry.counter("kernel.events_dispatched");
+  const obs::Counter k_cancelled = registry.counter("kernel.events_cancelled");
+  const obs::Gauge k_max_pending = registry.gauge("kernel.max_pending");
+  const obs::Counter k_reschedules =
+      registry.counter("kernel.timer_reschedules");
+  const obs::Counter points_completed =
+      registry.counter("campaign.points_completed");
+
   const std::size_t reps = manifest.replications;
   const std::size_t jobs =
       options.jobs != 0
@@ -127,6 +197,30 @@ CampaignReport run_campaign(const Manifest& manifest,
     const GridPoint& point = *task.point;
     const auto metrics = world::reduce_runs(std::move(task.runs));
     aggregator.record(point.index, point.seed, point.values, metrics);
+    if (sink.has_value()) {
+      sink->record(point, metrics);
+      // Roll the point's run telemetry into the campaign registry. This
+      // runs on whichever pool thread finished the point's last chunk, so
+      // the thread-shard merge is exercised by every parallel campaign.
+      world::RunTelemetry telemetry;
+      for (const auto& run : metrics.runs) telemetry.add(run);
+      k_scheduled.add(telemetry.kernel.events_scheduled);
+      k_dispatched.add(telemetry.kernel.events_dispatched);
+      k_cancelled.add(telemetry.kernel.events_cancelled);
+      k_max_pending.record_max(telemetry.kernel.max_pending);
+      k_reschedules.add(telemetry.kernel.timer_reschedules);
+      const PolicyInstruments& pi =
+          policy_instruments.at(point.config.protocol.policy);
+      pi.wakeups.add(telemetry.protocol.wakeups);
+      pi.requests_sent.add(telemetry.protocol.requests_sent);
+      pi.responses_sent.add(telemetry.protocol.responses_sent);
+      pi.responses_pushed.add(telemetry.protocol.responses_pushed);
+      pi.pushes_suppressed.add(telemetry.protocol.pushes_suppressed);
+      pi.prediction_hits.add(telemetry.protocol.prediction_hits);
+      pi.prediction_misses.add(telemetry.protocol.prediction_misses);
+      pi.sleep_s.merge(telemetry.protocol.sleep_s);
+      points_completed.add();
+    }
     if (options.progress) {
       const std::lock_guard lock(progress_mutex);
       options.progress(PointSummary::of(point.index, point.seed, metrics),
@@ -182,6 +276,16 @@ CampaignReport run_campaign(const Manifest& manifest,
   }
 
   aggregator.finalize();
+  if (sink.has_value()) {
+    // The registry snapshot covers the points computed *this invocation*
+    // (resumed rows were recovered, not re-simulated); points_completed
+    // records exactly that.
+    io::JsonObject trailer;
+    trailer["kind"] = "registry";
+    trailer["scope"] = "campaign";
+    trailer["instruments"] = obs::snapshot_json(registry.snapshot());
+    sink->finalize({io::Json(std::move(trailer))});
+  }
 
   CampaignReport report;
   report.total_points = points.size();

@@ -41,6 +41,10 @@ struct CampaignOptions {
   std::string out_json;
   /// Optional per-replication CSV (one row per run) for p95/p99 reporting.
   std::string per_run_csv;
+  /// Optional telemetry JSONL (one row per point: kernel + protocol
+  /// counters, sleep histogram; see exp/telemetry.hpp). Also enables the
+  /// campaign-wide obs::Registry whose snapshot trails the file.
+  std::string metrics_path;
   /// This process executes points with index ≡ shard_index (mod
   /// shard_count). The default 0/1 runs the whole grid.
   std::size_t shard_index = 0;

@@ -1,0 +1,172 @@
+#include "exp/telemetry.hpp"
+
+#include <filesystem>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/export.hpp"
+
+namespace pas::exp {
+
+namespace {
+
+io::Json kernel_json(const metrics::KernelStats& k) {
+  io::JsonObject out;
+  out["events_scheduled"] = k.events_scheduled;
+  out["events_dispatched"] = k.events_dispatched;
+  out["events_cancelled"] = k.events_cancelled;
+  out["max_pending"] = k.max_pending;
+  out["timer_reschedules"] = k.timer_reschedules;
+  return io::Json(std::move(out));
+}
+
+io::Json protocol_json(const core::ProtocolStats& p) {
+  io::JsonObject out;
+  out["wakeups"] = p.wakeups;
+  out["requests_sent"] = p.requests_sent;
+  out["responses_sent"] = p.responses_sent;
+  out["responses_pushed"] = p.responses_pushed;
+  out["pushes_suppressed"] = p.pushes_suppressed;
+  out["messages_received"] = p.messages_received;
+  out["alert_entries"] = p.alert_entries;
+  out["alert_exits"] = p.alert_exits;
+  out["covered_entries"] = p.covered_entries;
+  out["covered_timeouts"] = p.covered_timeouts;
+  out["failures"] = p.failures;
+  out["prediction_hits"] = p.prediction_hits;
+  out["prediction_misses"] = p.prediction_misses;
+  out["sleep_s"] = obs::histogram_json(p.sleep_s);
+  return io::Json(std::move(out));
+}
+
+/// Parses one JSONL line into a point row; returns the point index or
+/// SIZE_MAX when the line is not a (valid) point row.
+std::size_t parse_point_row(const std::string& line, std::size_t total_points,
+                            io::Json* out) {
+  if (line.empty()) return SIZE_MAX;
+  try {
+    io::Json row = io::Json::parse(line);
+    if (!row.is_object()) return SIZE_MAX;
+    if (row.string_or("kind", "") != "point") return SIZE_MAX;
+    if (!row.contains("point") || !row.at("point").is_number()) {
+      return SIZE_MAX;
+    }
+    const double idx = row.at("point").as_double();
+    if (idx < 0.0 || (total_points > 0 &&
+                      idx >= static_cast<double>(total_points))) {
+      return SIZE_MAX;
+    }
+    if (out != nullptr) *out = std::move(row);
+    return static_cast<std::size_t>(idx);
+  } catch (const std::runtime_error&) {
+    return SIZE_MAX;
+  }
+}
+
+void write_sorted(const std::string& path,
+                  const std::map<std::size_t, std::string>& rows,
+                  const std::vector<io::Json>& trailers) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("telemetry: cannot write " + tmp);
+    }
+    for (const auto& entry : rows) out << entry.second << '\n';
+    for (const auto& trailer : trailers) out << trailer.dump() << '\n';
+  }
+  std::filesystem::rename(tmp, path);
+}
+
+}  // namespace
+
+io::Json telemetry_point_row(const GridPoint& point,
+                             const std::vector<std::string>& axis_names,
+                             const world::ReplicatedMetrics& m) {
+  world::RunTelemetry telemetry;
+  for (const auto& run : m.runs) telemetry.add(run);
+
+  io::JsonObject row;
+  row["kind"] = "point";
+  row["point"] = point.index;
+  // Seeds use all 64 bits; io::Json numbers are doubles, so emit a string.
+  row["seed"] = std::to_string(point.seed);
+  row["replications"] = telemetry.runs;
+  row["policy"] = std::string(core::to_string(point.config.protocol.policy));
+  io::JsonObject axes;
+  for (std::size_t a = 0;
+       a < axis_names.size() && a < point.values.size(); ++a) {
+    axes[axis_names[a]] = point.values[a];
+  }
+  row["axes"] = std::move(axes);
+  row["kernel"] = kernel_json(telemetry.kernel);
+  row["protocol"] = protocol_json(telemetry.protocol);
+  return io::Json(std::move(row));
+}
+
+TelemetrySink::TelemetrySink(TelemetryOptions options)
+    : options_(std::move(options)) {
+  if (options_.path.empty()) {
+    throw std::invalid_argument("TelemetrySink: path must be set");
+  }
+}
+
+std::size_t TelemetrySink::load_existing() {
+  std::ifstream in(options_.path);
+  if (!in) return 0;
+  std::size_t recovered = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t point =
+        parse_point_row(line, options_.total_points, nullptr);
+    if (point == SIZE_MAX) continue;
+    if (rows_.emplace(point, line).second) ++recovered;
+  }
+  return recovered;
+}
+
+void TelemetrySink::record(const GridPoint& point,
+                           const world::ReplicatedMetrics& m) {
+  std::string line =
+      telemetry_point_row(point, options_.axis_names, m).dump();
+  const std::lock_guard lock(mutex_);
+  if (!rows_.emplace(point.index, std::move(line)).second) return;
+  if (!out_.is_open()) {
+    out_.open(options_.path, std::ios::app);
+    if (!out_) {
+      throw std::runtime_error("telemetry: cannot open " + options_.path);
+    }
+  }
+  out_ << rows_.at(point.index) << '\n' << std::flush;
+}
+
+void TelemetrySink::finalize(const std::vector<io::Json>& trailers) {
+  const std::lock_guard lock(mutex_);
+  if (out_.is_open()) out_.close();
+  write_sorted(options_.path, rows_, trailers);
+}
+
+std::size_t TelemetrySink::recorded_count() const {
+  const std::lock_guard lock(mutex_);
+  return rows_.size();
+}
+
+std::size_t merge_telemetry(const std::vector<std::string>& inputs,
+                            const std::string& out_path,
+                            const std::vector<io::Json>& trailers) {
+  std::map<std::size_t, std::string> rows;
+  for (const auto& input : inputs) {
+    std::ifstream in(input);
+    if (!in) continue;  // worker that never completed a point
+    std::string line;
+    while (std::getline(in, line)) {
+      const std::size_t point = parse_point_row(line, 0, nullptr);
+      if (point == SIZE_MAX) continue;
+      rows.emplace(point, line);  // first input wins, like the CSV merge
+    }
+  }
+  write_sorted(out_path, rows, trailers);
+  return rows.size();
+}
+
+}  // namespace pas::exp

@@ -9,6 +9,7 @@
 // explain *why* a policy behaves as it does.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -40,6 +41,26 @@ struct NodeOutcome {
   std::uint64_t tx_count = 0;
 };
 
+/// Kernel-level counters for one run, lifted off the simulator after the
+/// run drains. Everything here is a pure function of the schedule (and so
+/// byte-deterministic across thread pools / sharding); the schedule-
+/// dependent event-slab watermark is deliberately excluded.
+struct KernelStats {
+  std::uint64_t events_scheduled = 0;
+  std::uint64_t events_dispatched = 0;
+  std::uint64_t events_cancelled = 0;
+  std::uint64_t max_pending = 0;
+  std::uint64_t timer_reschedules = 0;
+
+  void add(const KernelStats& other) {
+    events_scheduled += other.events_scheduled;
+    events_dispatched += other.events_dispatched;
+    events_cancelled += other.events_cancelled;
+    max_pending = std::max(max_pending, other.max_pending);
+    timer_reschedules += other.timer_reschedules;
+  }
+};
+
 struct RunMetrics {
   std::size_t node_count = 0;
   double duration_s = 0.0;
@@ -66,6 +87,9 @@ struct RunMetrics {
 
   net::Network::Stats network{};
   core::ProtocolStats protocol{};
+  /// Filled by world::Workspace after the run (summarize() leaves it
+  /// zeroed — the summarizer never sees the simulator).
+  KernelStats kernel{};
 };
 
 /// Builds outcome rows from finalized nodes. Call node.meter.finalize(end)

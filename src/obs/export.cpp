@@ -1,0 +1,62 @@
+#include "obs/export.hpp"
+
+namespace pas::obs {
+
+io::Json histogram_json(const HistogramData& data) {
+  io::JsonObject hist;
+  hist["lo"] = data.spec.lo;
+  hist["count"] = data.spec.count;
+  io::JsonArray bins;
+  bins.reserve(data.bin_counts.size());
+  for (const auto n : data.bin_counts) bins.push_back(io::Json(n));
+  hist["bins"] = std::move(bins);
+  hist["total"] = data.count;
+  return io::Json(std::move(hist));
+}
+
+io::Json snapshot_json(const Snapshot& snapshot) {
+  io::JsonObject out;
+  for (const auto& scalar : snapshot.scalars) {
+    out[scalar.name] = scalar.value;
+  }
+  for (const auto& hist : snapshot.hists) {
+    out[hist.name] = histogram_json(hist.data);
+  }
+  return io::Json(std::move(out));
+}
+
+std::size_t write_trace_jsonl(const sim::TraceLog& trace, std::ostream& out) {
+  std::size_t lines = 0;
+  for (const auto& e : trace.events()) {
+    io::JsonObject row;
+    row["t"] = e.time;
+    row["cat"] = sim::to_string(e.category);
+    row["kind"] = sim::to_string(e.kind);
+    row["node"] = static_cast<std::size_t>(e.node);
+    switch (e.kind) {
+      case sim::TraceKind::kSleepFor:
+        row["x"] = e.x;
+        break;
+      case sim::TraceKind::kActualVelocity:
+        row["x"] = e.x;
+        row["y"] = e.y;
+        break;
+      case sim::TraceKind::kEval:
+        row["x"] = e.x;
+        row["a"] = static_cast<std::size_t>(e.a);
+        break;
+      case sim::TraceKind::kStateChange:
+        if (e.s1 != nullptr) row["from"] = e.s1;
+        if (e.s2 != nullptr) row["to"] = e.s2;
+        break;
+      default:
+        break;
+    }
+    row["text"] = sim::format_event(e);
+    out << io::Json(std::move(row)).dump() << '\n';
+    ++lines;
+  }
+  return lines;
+}
+
+}  // namespace pas::obs

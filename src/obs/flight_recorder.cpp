@@ -1,0 +1,52 @@
+#include "obs/flight_recorder.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace pas::obs {
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : t0_(std::chrono::steady_clock::now()),
+      capacity_(std::max<std::size_t>(1, capacity)) {
+  ring_.reserve(capacity_);
+}
+
+void FlightRecorder::note(char direction, int worker, std::string line) {
+  Entry entry;
+  entry.t_s = std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - t0_)
+                  .count();
+  entry.direction = direction;
+  entry.worker = worker;
+  entry.line = std::move(line);
+  ++noted_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(entry));
+    return;
+  }
+  ring_[next_] = std::move(entry);
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::vector<FlightRecorder::Entry> FlightRecorder::entries() const {
+  std::vector<Entry> out;
+  out.reserve(ring_.size());
+  // Before wrapping, `next_` stays 0 and the ring is already in order;
+  // after wrapping, `next_` points at the oldest entry.
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void FlightRecorder::dump(std::FILE* out) const {
+  std::fprintf(out,
+               "flight recorder: last %zu of %llu protocol lines\n",
+               ring_.size(), static_cast<unsigned long long>(noted_));
+  for (const auto& entry : entries()) {
+    std::fprintf(out, "  +%.3fs %c w%d | %s\n", entry.t_s, entry.direction,
+                 entry.worker, entry.line.c_str());
+  }
+}
+
+}  // namespace pas::obs

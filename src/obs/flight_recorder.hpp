@@ -1,0 +1,56 @@
+// Post-mortem ring buffer for the orchestrator's protocol traffic.
+//
+// The driver notes every line it sends to or receives from a worker; the
+// recorder keeps only the most recent `capacity` entries. When a worker
+// crashes, hangs, or the drive aborts, dump() writes the window — exactly
+// the context a post-mortem needs ("what was in flight when worker 3 went
+// silent?") without paying for a full protocol log on healthy runs.
+//
+// Timestamps are seconds since construction (wall clock): the recorder
+// lives outside the simulation and never touches simulated time or RNG.
+// Not thread-safe; the driver's poll loop is single-threaded.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace pas::obs {
+
+class FlightRecorder {
+ public:
+  struct Entry {
+    double t_s = 0.0;  // seconds since recorder construction
+    char direction = '?';  // '>' driver→worker, '<' worker→driver
+    int worker = -1;
+    std::string line;
+  };
+
+  explicit FlightRecorder(std::size_t capacity = 256);
+
+  /// Records one protocol line (overwrites the oldest entry when full).
+  void note(char direction, int worker, std::string line);
+
+  /// Entries in arrival order, oldest first.
+  [[nodiscard]] std::vector<Entry> entries() const;
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return ring_.size();
+  }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  /// Total lines ever noted (>= size() once the ring has wrapped).
+  [[nodiscard]] std::uint64_t noted() const noexcept { return noted_; }
+
+  /// Writes the window as "  +12.345s > w3 | lease 7 0 1 2" lines.
+  void dump(std::FILE* out) const;
+
+ private:
+  std::chrono::steady_clock::time_point t0_;
+  std::size_t capacity_;
+  std::size_t next_ = 0;  // ring write position once full
+  std::uint64_t noted_ = 0;
+  std::vector<Entry> ring_;
+};
+
+}  // namespace pas::obs

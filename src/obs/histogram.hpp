@@ -1,0 +1,85 @@
+// Fixed log-bucket histogram data.
+//
+// Telemetry histograms (sleep intervals, lease latencies) span several
+// orders of magnitude, so buckets double: bin 0 collects everything at or
+// below `lo` (and non-finite garbage), bin i (1..count) covers
+// (lo*2^(i-1), lo*2^i], and bin count+1 is the overflow. The bucket layout
+// is a pure function of the spec — two histograms with the same spec merge
+// bin-by-bin, which is what lets per-run records sum into per-point rows
+// and thread shards sum into one snapshot without losing anything but
+// intra-bucket resolution.
+//
+// HistogramData is the plain (non-atomic) value type; the concurrent
+// registry (obs/registry.hpp) keeps per-thread atomic bins and merges them
+// into this shape on snapshot.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace pas::obs {
+
+struct LogBuckets {
+  /// Upper edge of the underflow bucket (> 0).
+  double lo = 0.001;
+  /// Number of doubling buckets between underflow and overflow.
+  std::size_t count = 24;
+
+  [[nodiscard]] constexpr bool operator==(const LogBuckets&) const noexcept =
+      default;
+
+  /// Total bins including underflow (0) and overflow (count + 1).
+  [[nodiscard]] constexpr std::size_t bins() const noexcept {
+    return count + 2;
+  }
+
+  /// Bin index of `v`. NaN and anything <= lo land in the underflow bin;
+  /// values beyond lo*2^count in the overflow bin. Upper edges are
+  /// inclusive: lo*2^i belongs to bin i.
+  [[nodiscard]] std::size_t index(double v) const noexcept {
+    if (!(v > lo)) return 0;  // also catches NaN
+    const int k = std::ilogb(v / lo);  // floor(log2(v / lo)), >= 0 here
+    const std::size_t bin = std::ldexp(lo, k) >= v
+                                ? static_cast<std::size_t>(k)
+                                : static_cast<std::size_t>(k) + 1;
+    return bin > count ? count + 1 : bin;
+  }
+
+  /// Upper edge of bin i (inclusive); bin 0's edge is lo, the overflow
+  /// bin's edge is +infinity.
+  [[nodiscard]] double upper_edge(std::size_t i) const noexcept {
+    if (i > count) return std::numeric_limits<double>::infinity();
+    return std::ldexp(lo, static_cast<int>(i));
+  }
+};
+
+struct HistogramData {
+  LogBuckets spec{};
+  /// Bin counts; empty until the first record()/merge() (a run that never
+  /// sleeps pays no allocation). When non-empty, size() == spec.bins().
+  std::vector<std::uint64_t> bin_counts;
+  /// Total recorded values (== sum of bin_counts; kept explicit so empty
+  /// histograms stay allocation-free and summaries need no re-scan).
+  std::uint64_t count = 0;
+
+  void record(double v) {
+    if (bin_counts.empty()) bin_counts.assign(spec.bins(), 0);
+    ++bin_counts[spec.index(v)];
+    ++count;
+  }
+
+  /// Adds `other`'s counts into this histogram; the specs must match (the
+  /// caller controls both sides — mismatch is a programming error).
+  void merge(const HistogramData& other) {
+    if (other.count == 0) return;
+    if (bin_counts.empty()) bin_counts.assign(spec.bins(), 0);
+    for (std::size_t i = 0; i < bin_counts.size(); ++i) {
+      bin_counts[i] += other.bin_counts[i];
+    }
+    count += other.count;
+  }
+};
+
+}  // namespace pas::obs

@@ -1,0 +1,154 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pas::obs {
+
+namespace {
+std::atomic<std::uint64_t> g_next_registry_id{1};
+}  // namespace
+
+Registry::Registry(bool enabled)
+    : enabled_(enabled),
+      id_(g_next_registry_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+Registry::~Registry() = default;
+
+const Registry::Instrument& Registry::register_instrument(
+    std::string_view name, InstrumentKind kind, LogBuckets spec) {
+  const std::lock_guard lock(mutex_);
+  for (const auto& instrument : instruments_) {
+    if (instrument.name != name) continue;
+    if (instrument.kind != kind) {
+      throw std::logic_error("obs::Registry: \"" + std::string(name) +
+                             "\" already registered as a " +
+                             to_string(instrument.kind));
+    }
+    if (kind == InstrumentKind::kHistogram &&
+        !(instrument.spec == spec)) {
+      throw std::logic_error("obs::Registry: histogram \"" +
+                             std::string(name) +
+                             "\" re-registered with a different bucket spec");
+    }
+    return instrument;
+  }
+  if (frozen_) {
+    throw std::logic_error(
+        "obs::Registry: cannot register \"" + std::string(name) +
+        "\" after the first recorded value froze the instrument table");
+  }
+  Instrument instrument;
+  instrument.name = std::string(name);
+  instrument.kind = kind;
+  instrument.spec = spec;
+  if (kind == InstrumentKind::kHistogram) {
+    instrument.cell = hist_count_++;
+    hist_specs_.push_back(spec);
+  } else {
+    instrument.cell = scalar_cells_++;
+  }
+  instruments_.push_back(std::move(instrument));
+  return instruments_.back();
+}
+
+Counter Registry::counter(std::string_view name) {
+  if (!enabled_) return Counter{};
+  const auto& instrument =
+      register_instrument(name, InstrumentKind::kCounter, {});
+  return Counter{this, instrument.cell};
+}
+
+Gauge Registry::gauge(std::string_view name) {
+  if (!enabled_) return Gauge{};
+  const auto& instrument =
+      register_instrument(name, InstrumentKind::kGauge, {});
+  return Gauge{this, instrument.cell};
+}
+
+Histogram Registry::histogram(std::string_view name, LogBuckets spec) {
+  if (!enabled_) return Histogram{};
+  const auto& instrument =
+      register_instrument(name, InstrumentKind::kHistogram, spec);
+  return Histogram{this, instrument.cell, spec};
+}
+
+Registry::Shard& Registry::shard() {
+  // The cache keys on the process-unique registry id, not the pointer:
+  // after this registry dies, a successor allocated at the same address
+  // draws a fresh id and misses, instead of scribbling into a stale shard.
+  thread_local std::uint64_t cached_id = 0;
+  thread_local Shard* cached = nullptr;
+  if (cached_id != id_) {
+    cached = &acquire_shard();
+    cached_id = id_;
+  }
+  return *cached;
+}
+
+Registry::Shard& Registry::acquire_shard() {
+  const std::lock_guard lock(mutex_);
+  // Sizing the cell arrays pins the instrument table: registration after
+  // this point would hand out cells no shard has.
+  frozen_ = true;
+  const auto me = std::this_thread::get_id();
+  for (auto& [tid, shard] : shards_) {
+    if (tid == me) return *shard;
+  }
+  auto shard = std::make_unique<Shard>();
+  shard->scalars =
+      std::make_unique<std::atomic<std::uint64_t>[]>(scalar_cells_);
+  for (std::uint32_t c = 0; c < scalar_cells_; ++c) {
+    shard->scalars[c].store(0, std::memory_order_relaxed);
+  }
+  shard->hist_bins.reserve(hist_specs_.size());
+  for (const auto& spec : hist_specs_) {
+    auto bins = std::make_unique<std::atomic<std::uint64_t>[]>(spec.bins());
+    for (std::size_t b = 0; b < spec.bins(); ++b) {
+      bins[b].store(0, std::memory_order_relaxed);
+    }
+    shard->hist_bins.push_back(std::move(bins));
+  }
+  shards_.emplace_back(me, std::move(shard));
+  return *shards_.back().second;
+}
+
+Snapshot Registry::snapshot() const {
+  Snapshot out;
+  const std::lock_guard lock(mutex_);
+  for (const auto& instrument : instruments_) {
+    if (instrument.kind == InstrumentKind::kHistogram) {
+      Snapshot::Hist hist;
+      hist.name = instrument.name;
+      hist.data.spec = instrument.spec;
+      for (const auto& [tid, shard] : shards_) {
+        const auto& bins = shard->hist_bins[instrument.cell];
+        for (std::size_t b = 0; b < instrument.spec.bins(); ++b) {
+          const std::uint64_t n = bins[b].load(std::memory_order_relaxed);
+          if (n == 0) continue;
+          if (hist.data.bin_counts.empty()) {
+            hist.data.bin_counts.assign(instrument.spec.bins(), 0);
+          }
+          hist.data.bin_counts[b] += n;
+          hist.data.count += n;
+        }
+      }
+      out.hists.push_back(std::move(hist));
+    } else {
+      Snapshot::Scalar scalar;
+      scalar.name = instrument.name;
+      scalar.kind = instrument.kind;
+      for (const auto& [tid, shard] : shards_) {
+        const std::uint64_t v =
+            shard->scalars[instrument.cell].load(std::memory_order_relaxed);
+        scalar.value = instrument.kind == InstrumentKind::kGauge
+                           ? std::max(scalar.value, v)
+                           : scalar.value + v;
+      }
+      out.scalars.push_back(std::move(scalar));
+    }
+  }
+  return out;
+}
+
+}  // namespace pas::obs

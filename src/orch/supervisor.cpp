@@ -24,6 +24,11 @@
 
 #include "exp/aggregate.hpp"
 #include "exp/grid.hpp"
+#include "exp/telemetry.hpp"
+#include "io/json.hpp"
+#include "obs/export.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/registry.hpp"
 #include "orch/lease.hpp"
 #include "orch/queue.hpp"
 #include "orch/worker_link.hpp"
@@ -61,6 +66,23 @@ std::string progress_line(std::size_t done, std::size_t total,
                 100.0 * static_cast<double>(done) /
                     static_cast<double>(std::max<std::size_t>(1, total)),
                 rate, eta);
+  return buf;
+}
+
+std::string worker_status_line(int id, bool has_lease,
+                               std::size_t lease_points_left,
+                               std::size_t points_done, double hb_age_s) {
+  char buf[160];
+  if (has_lease) {
+    std::snprintf(buf, sizeof(buf),
+                  "  worker %d: %zu pts leased | %zu done | last line %.1fs "
+                  "ago",
+                  id, lease_points_left, points_done, hb_age_s);
+  } else {
+    std::snprintf(buf, sizeof(buf),
+                  "  worker %d: idle | %zu done | last line %.1fs ago", id,
+                  points_done, hb_age_s);
+  }
   return buf;
 }
 
@@ -147,7 +169,19 @@ std::vector<int> discover_part_ids(const std::string& out_csv) {
 class Driver {
  public:
   Driver(const exp::Manifest& manifest, const DriveOptions& options)
-      : manifest_(manifest), options_(options) {}
+      : manifest_(manifest),
+        options_(options),
+        registry_(!options.metrics_path.empty()) {
+    // Resolve the orchestrator instruments once, before any worker can
+    // make the registry freeze itself. All of these measure wall-clock
+    // behaviour of this drive, so they live in the trailer row only —
+    // never in the deterministic per-point telemetry.
+    lease_latency_s_ = registry_.histogram("orch.lease_latency_s");
+    hb_gap_s_ = registry_.histogram("orch.heartbeat_gap_s");
+    crashes_ = registry_.counter("orch.worker_crashes");
+    respawns_ = registry_.counter("orch.respawns");
+    recovered_rows_ = registry_.counter("orch.recovered_rows");
+  }
 
   DriveReport run();
 
@@ -166,8 +200,10 @@ class Driver {
     bool doomed = false;  // queued for kill + crash recovery
     std::string doom_reason;
     Clock::time_point last_line{};
+    std::size_t points_done = 0;  // completed this spawn (progress display)
     std::string part_csv;
     std::string part_runs;
+    std::string part_metrics;
   };
 
   void prescan();
@@ -188,6 +224,9 @@ class Driver {
   void merge_and_clean();
   void print_point(const Worker& w, std::size_t point);
   void print_progress(bool force);
+  /// Appends the ring buffer of recent protocol exchanges to
+  /// `<out_csv>.flightrec` (crash/abort forensics) and notes it on stderr.
+  void dump_flight_recorder(const std::string& why);
   [[nodiscard]] std::size_t eligible_workers() const;
 
   const exp::Manifest& manifest_;
@@ -211,6 +250,18 @@ class Driver {
   std::string last_worker_error_;
   Clock::time_point t0_{};
   Clock::time_point last_progress_{};
+
+  // Observability: inert (and the registry snapshot empty) unless --metrics
+  // was given; the flight recorder always runs — noting a protocol line is
+  // one small string copy, and its dump is the only record of what the
+  // driver and a dead worker last said to each other.
+  obs::Registry registry_;
+  obs::Histogram lease_latency_s_;
+  obs::Histogram hb_gap_s_;
+  obs::Counter crashes_;
+  obs::Counter respawns_;
+  obs::Counter recovered_rows_;
+  obs::FlightRecorder flightrec_{256};
 };
 
 std::size_t Driver::eligible_workers() const {
@@ -290,6 +341,9 @@ void Driver::spawn(int id) {
   w.part_runs = options_.per_run_csv.empty()
                     ? std::string()
                     : part_path(options_.per_run_csv, id);
+  w.part_metrics = options_.metrics_path.empty()
+                       ? std::string()
+                       : part_path(options_.metrics_path, id);
 
   // argv is built *before* fork: between fork and exec only
   // async-signal-safe calls are legal (a host with threads — the tests —
@@ -303,6 +357,10 @@ void Driver::spawn(int id) {
   if (!w.part_runs.empty()) {
     args.push_back("--per-run");
     args.push_back(w.part_runs);
+  }
+  if (!w.part_metrics.empty()) {
+    args.push_back("--metrics");
+    args.push_back(w.part_metrics);
   }
   std::vector<char*> argv;
   argv.reserve(args.size() + 1);
@@ -347,6 +405,7 @@ void Driver::spawn(int id) {
 }
 
 bool Driver::send(Worker& w, const std::string& line) {
+  flightrec_.note('>', w.id, line);
   // False = EPIPE: worker already gone — reap() will recover it.
   return write_line(w.in_fd, line);
 }
@@ -384,12 +443,20 @@ void Driver::close_fds(Worker& w) {
 }
 
 void Driver::handle_line(Worker& w, const std::string& line) {
+  flightrec_.note('<', w.id, line);
   const auto msg = parse_worker_line(line);
   if (!msg) {
     doom(w, "malformed protocol line: " + line);
     return;
   }
-  w.last_line = Clock::now();
+  const auto now = Clock::now();
+  if (w.hello) {
+    // Gap between successive protocol lines from a live worker — the
+    // distribution the hang timeout should sit far outside of. Measured
+    // before last_line moves (spawn→hello is startup, not a gap).
+    hb_gap_s_.record(std::chrono::duration<double>(now - w.last_line).count());
+  }
+  w.last_line = now;
   switch (msg->kind) {
     case WorkerMsg::Kind::kHello:
       if (w.hello) {
@@ -420,6 +487,7 @@ void Driver::handle_line(Worker& w, const std::string& line) {
         return;
       }
       ++report_.computed;
+      ++w.points_done;
       print_point(w, msg->point);
       break;
     }
@@ -427,6 +495,11 @@ void Driver::handle_line(Worker& w, const std::string& line) {
       if (!w.has_lease || msg->lease != w.lease) {
         doom(w, "lease_done for a lease the worker does not hold");
         return;
+      }
+      if (const Lease* lease = leases_.find(w.lease); lease != nullptr) {
+        lease_latency_s_.record(
+            std::chrono::duration<double>(w.last_line - lease->issued)
+                .count());
       }
       try {
         leases_.complete(w.lease);
@@ -474,6 +547,10 @@ void Driver::read_worker(Worker& w) {
 
 void Driver::crash_recover(Worker& w) {
   ++report_.crashes;
+  crashes_.add();
+  dump_flight_recorder("worker " + std::to_string(w.id) + " crashed: " +
+                       (w.doom_reason.empty() ? "exited unclean"
+                                              : w.doom_reason));
   std::vector<std::size_t> unfinished;
   if (w.has_lease) unfinished = leases_.revoke(w.lease);
   // The part file is ground truth: rows are flushed before point_done is
@@ -483,12 +560,14 @@ void Driver::crash_recover(Worker& w) {
   const std::size_t recovered_from_disk =
       sanitize_and_claim(w.part_csv, w.part_runs, w.id);
   report_.computed += recovered_from_disk;
+  recovered_rows_.add(recovered_from_disk);
   std::erase_if(unfinished,
                 [this](std::size_t p) { return claimed_.count(p) > 0; });
   queue_->put_back(unfinished);
   if (queue_->empty()) return;
   if (report_.respawns < options_.max_respawns) {
     ++report_.respawns;
+    respawns_.add();
     spawn(next_worker_id_++);
     return;
   }
@@ -596,6 +675,46 @@ void Driver::merge_and_clean() {
     exp::merge_outputs(run_inputs, options_.per_run_csv, &manifest_);
   }
   for (const auto& path : part_files) fs::remove(path);
+
+  if (!options_.metrics_path.empty()) {
+    // Telemetry parts merge in the same priority order the CSV claims used
+    // (resumed --metrics file first, then parts by id); the point rows are
+    // identical whichever source wins, so the merged file's point section
+    // is byte-identical to a single-process run's. The trailer is this
+    // drive's wall-clock story and is the one part that legitimately
+    // differs between schedules.
+    std::vector<std::string> metric_inputs;
+    std::vector<std::string> metric_parts;
+    if (out_is_merge_seed_ && fs::exists(options_.metrics_path)) {
+      metric_inputs.push_back(options_.metrics_path);
+    }
+    for (const int id : all_part_ids_) {
+      const auto part = part_path(options_.metrics_path, id);
+      if (fs::exists(part)) {
+        metric_inputs.push_back(part);
+        metric_parts.push_back(part);
+      }
+    }
+    io::JsonObject trailer;
+    trailer["kind"] = "registry";
+    trailer["scope"] = "orchestrator";
+    trailer["instruments"] = obs::snapshot_json(registry_.snapshot());
+    exp::merge_telemetry(metric_inputs, options_.metrics_path,
+                         {io::Json(std::move(trailer))});
+    for (const auto& path : metric_parts) fs::remove(path);
+  }
+}
+
+void Driver::dump_flight_recorder(const std::string& why) {
+  if (flightrec_.noted() == 0) return;
+  const std::string path = options_.out_csv + ".flightrec";
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr) return;
+  std::fprintf(f, "=== %s ===\n", why.c_str());
+  flightrec_.dump(f);
+  std::fclose(f);
+  std::fprintf(stderr, "pas-exp: flight recorder appended to %s (%s)\n",
+               path.c_str(), why.c_str());
 }
 
 void Driver::print_point(const Worker& w, std::size_t point) {
@@ -618,6 +737,19 @@ void Driver::print_progress(bool force) {
                             manifest_.replications, elapsed)
                   .c_str(),
               workers_.size());
+  for (const auto& w : workers_) {
+    std::size_t left = 0;
+    if (w->has_lease) {
+      if (const Lease* lease = leases_.find(w->lease); lease != nullptr) {
+        left = lease->pending.size();
+      }
+    }
+    const double age =
+        std::chrono::duration<double>(now - w->last_line).count();
+    std::printf("%s\n", worker_status_line(w->id, w->has_lease, left,
+                                           w->points_done, age)
+                            .c_str());
+  }
   std::fflush(stdout);
 }
 
@@ -690,6 +822,7 @@ DriveReport Driver::run() {
       if (g_signal_flag != 0) {
         interrupt_children();
         report_.interrupted = true;
+        dump_flight_recorder("interrupted (SIGINT/SIGTERM)");
         break;
       }
       if (rc > 0) {
@@ -733,6 +866,7 @@ DriveReport Driver::run() {
       print_progress(false);
     }
   } catch (...) {
+    dump_flight_recorder("drive aborted by exception");
     // Never leak children past the call, whatever went wrong.
     for (const auto& w : workers_) {
       if (w->pid > 0) {

@@ -49,6 +49,11 @@ struct DriveOptions {
   std::string out_csv;
   /// Optional per-replication CSV; part files get the same ".w<k>" suffix.
   std::string per_run_csv;
+  /// Optional telemetry JSONL (pas-exp --metrics). Workers write ".w<k>"
+  /// parts; the driver merges them and appends its own orchestrator-scope
+  /// registry snapshot (lease latency, heartbeat gaps, respawns) as the
+  /// trailer row. Also arms the driver-side instruments.
+  std::string metrics_path;
   /// Worker processes to spawn (capped by the number of pending points).
   std::size_t workers = 2;
   /// Threads per worker for replication-parallel points.
@@ -108,5 +113,15 @@ DriveReport drive(const exp::Manifest& manifest, const DriveOptions& options);
                                         std::size_t computed,
                                         std::size_t replications,
                                         double elapsed_s);
+
+/// One per-worker row of the --progress drive status, e.g.
+///   "  worker 3: 5 pts leased | 12 done | last line 0.4s ago"
+/// (or "idle" when the worker holds no lease). `hb_age_s` is the time since
+/// the worker's last protocol line — the same signal the hang detector
+/// judges, so a climbing age flags a wedged worker before it is killed.
+[[nodiscard]] std::string worker_status_line(int id, bool has_lease,
+                                             std::size_t lease_points_left,
+                                             std::size_t points_done,
+                                             double hb_age_s);
 
 }  // namespace pas::orch

@@ -17,6 +17,7 @@
 #include "exp/aggregate.hpp"
 #include "exp/grid.hpp"
 #include "exp/runner.hpp"
+#include "exp/telemetry.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace pas::orch {
@@ -263,6 +264,16 @@ int run_worker(const exp::Manifest& manifest, const WorkerOptions& options) {
     exp::Aggregator aggregator(std::move(agg_options));
     const std::size_t recovered = aggregator.load_existing();
 
+    std::optional<exp::TelemetrySink> sink;
+    if (!options.metrics_csv.empty()) {
+      exp::TelemetryOptions telemetry_options;
+      telemetry_options.path = options.metrics_csv;
+      telemetry_options.axis_names = exp::axis_columns(manifest);
+      telemetry_options.total_points = points.size();
+      sink.emplace(std::move(telemetry_options));
+      sink->load_existing();
+    }
+
     std::unique_ptr<runtime::ThreadPool> pool;
     if (options.jobs > 1) {
       pool = std::make_unique<runtime::ThreadPool>(options.jobs);
@@ -301,9 +312,11 @@ int run_worker(const exp::Manifest& manifest, const WorkerOptions& options) {
           // loses at most the *message*, never the data — the supervisor
           // re-reads the file on crash recovery.
           aggregator.record(p, points[p].seed, points[p].values, metrics);
+          if (sink.has_value()) sink->record(points[p], metrics);
         }
         if (!out.send(format_point_done(p))) {
           aggregator.compact();  // driver died (EPIPE); exit tidily
+          if (sink.has_value()) sink->finalize();
           return 1;
         }
         if (crash_after != 0 && ++done_since_start >= crash_after) {
@@ -313,6 +326,7 @@ int run_worker(const exp::Manifest& manifest, const WorkerOptions& options) {
       }
       if (!out.send(format_lease_done(cmd->lease))) {
         aggregator.compact();
+        if (sink.has_value()) sink->finalize();
         return 1;
       }
     }
@@ -320,6 +334,7 @@ int run_worker(const exp::Manifest& manifest, const WorkerOptions& options) {
     // part file behind so it is directly mergeable/resumable.
     heartbeat.stop();
     aggregator.compact();
+    if (sink.has_value()) sink->finalize();
     return 0;
   } catch (const std::exception& e) {
     out.send(format_fail(e.what()));

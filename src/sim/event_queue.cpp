@@ -32,6 +32,7 @@ void EventQueue::clear() {
     free_head_ = s;
   }
   live_ = 0;
+  stats_ = Stats{};
 }
 
 }  // namespace pas::sim

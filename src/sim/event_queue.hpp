@@ -65,6 +65,16 @@ class EventQueue {
  public:
   using Callback = SmallFn;
 
+  /// Lifetime counters since construction / the last clear(). Plain
+  /// increments on paths that already touch the same cache lines — the
+  /// telemetry layer reads them after the run instead of hooking dispatch.
+  struct Stats {
+    std::uint64_t pushed = 0;
+    std::uint64_t cancelled = 0;
+    /// High-water mark of simultaneously pending events.
+    std::uint64_t max_live = 0;
+  };
+
   EventQueue() = default;
 
   // The push/cancel/dispatch path is defined inline below: it is the
@@ -101,6 +111,8 @@ class EventQueue {
     heap_.push_back(HeapEntry{t, next_seq_++, s, slot.generation});
     std::push_heap(heap_.begin(), heap_.end(), Later{});
     ++live_;
+    ++stats_.pushed;
+    if (live_ > stats_.max_live) stats_.max_live = live_;
     return EventId::pack(s, slot.generation);
   }
 
@@ -109,6 +121,7 @@ class EventQueue {
     if (!pending(id)) return false;
     release_slot(id.slot());
     --live_;
+    ++stats_.cancelled;
     return true;
   }
 
@@ -205,10 +218,19 @@ class EventQueue {
     return out;
   }
 
-  /// Drops everything (cancels all pending events). Slab capacity is
-  /// retained so a reused queue (world::Workspace) schedules into warm
-  /// memory.
+  /// Drops everything (cancels all pending events) and zeroes stats().
+  /// Slab capacity is retained so a reused queue (world::Workspace)
+  /// schedules into warm memory.
   void clear();
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  /// Slots the slab has ever grown to (survives clear() — a capacity
+  /// watermark, not per-run state, so workspace reuse makes it depend on
+  /// scheduling history; keep it out of deterministic outputs).
+  [[nodiscard]] std::size_t slot_capacity() const noexcept {
+    return slot_count_;
+  }
 
  private:
   static constexpr std::uint32_t kNilSlot = 0xffffffffU;
@@ -315,6 +337,7 @@ class EventQueue {
   ExecFrame* executing_ = nullptr;
   std::uint64_t next_seq_ = 0;
   std::size_t live_ = 0;
+  Stats stats_{};
 };
 
 }  // namespace pas::sim

@@ -90,6 +90,17 @@ class Simulator {
   /// Timestamp of the next pending event (kNever when none).
   [[nodiscard]] Time next_event_time() const { return queue_.next_time(); }
 
+  /// Lifetime push/cancel/high-water counters; zeroed by reset().
+  [[nodiscard]] const EventQueue::Stats& queue_stats() const noexcept {
+    return queue_.stats();
+  }
+
+  /// Event-slab slot watermark. Depends on workspace reuse history, not just
+  /// the schedule — keep it out of deterministic outputs.
+  [[nodiscard]] std::size_t event_capacity() const noexcept {
+    return queue_.slot_capacity();
+  }
+
  private:
   EventQueue queue_;
   Time now_ = 0.0;

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cassert>
+#include <cstdint>
 #include <utility>
 
 #include "sim/simulator.hpp"
@@ -38,7 +39,8 @@ class Timer {
   Timer(Timer&& other) noexcept
       : simulator_(other.simulator_),
         body_(std::move(other.body_)),
-        id_(other.id_) {
+        id_(other.id_),
+        reschedules_(other.reschedules_) {
     assert(!other.id_.valid() && "moving an armed Timer");
     other.simulator_ = nullptr;
     other.id_ = EventId{};
@@ -55,13 +57,13 @@ class Timer {
 
   /// Schedules the next firing after `dt` (clamped to >= 0 by the kernel).
   void arm_in(Duration dt) {
-    cancel();
+    if (cancel()) ++reschedules_;
     id_ = simulator_->schedule_in(dt, Fire{this});
   }
 
   /// Schedules the next firing at absolute time `t`.
   void arm_at(Time t) {
-    cancel();
+    if (cancel()) ++reschedules_;
     id_ = simulator_->schedule_at(t, Fire{this});
   }
 
@@ -77,6 +79,12 @@ class Timer {
     return simulator_ != nullptr && simulator_->pending(id_);
   }
 
+  /// Number of arms that displaced a still-pending firing — how often the
+  /// protocol revised its own schedule rather than reacting to a firing.
+  [[nodiscard]] std::uint64_t reschedules() const noexcept {
+    return reschedules_;
+  }
+
  private:
   struct Fire {
     Timer* timer;
@@ -89,6 +97,7 @@ class Timer {
   Simulator* simulator_ = nullptr;
   SmallFn body_;
   EventId id_;
+  std::uint64_t reschedules_ = 0;
 };
 
 }  // namespace pas::sim

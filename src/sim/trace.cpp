@@ -16,6 +16,64 @@ const char* to_string(TraceCategory c) noexcept {
   return "?";
 }
 
+const char* to_string(TraceKind k) noexcept {
+  switch (k) {
+    case TraceKind::kMark: return "mark";
+    case TraceKind::kWoke: return "woke";
+    case TraceKind::kSleepFor: return "sleep_for";
+    case TraceKind::kDetected: return "detected";
+    case TraceKind::kRequest: return "request";
+    case TraceKind::kResponse: return "response";
+    case TraceKind::kStateChange: return "state_change";
+    case TraceKind::kCoveredTimeout: return "covered_timeout";
+    case TraceKind::kArrivalReceded: return "arrival_receded";
+    case TraceKind::kActualVelocity: return "actual_velocity";
+    case TraceKind::kEval: return "eval";
+    case TraceKind::kNodeFailed: return "node_failed";
+  }
+  return "?";
+}
+
+std::string format_event(const TraceEvent& e) {
+  switch (e.kind) {
+    case TraceKind::kMark:
+      return {};
+    case TraceKind::kWoke:
+      return "woke up";
+    case TraceKind::kSleepFor: {
+      std::ostringstream os;
+      os << "sleeping for " << e.x << "s";
+      return os.str();
+    }
+    case TraceKind::kDetected:
+      return "detected stimulus";
+    case TraceKind::kRequest:
+      return "REQUEST";
+    case TraceKind::kResponse:
+      return "RESPONSE";
+    case TraceKind::kStateChange:
+      return std::string(e.s1 != nullptr ? e.s1 : "?") + " -> " +
+             (e.s2 != nullptr ? e.s2 : "?");
+    case TraceKind::kCoveredTimeout:
+      return "covered timeout -> safe";
+    case TraceKind::kArrivalReceded:
+      return "arrival receded -> safe";
+    case TraceKind::kActualVelocity: {
+      std::ostringstream os;
+      os << "actual velocity (" << e.x << ", " << e.y << ")";
+      return os.str();
+    }
+    case TraceKind::kEval: {
+      std::ostringstream os;
+      os << "eval: pred=" << e.x << " peers=" << e.a;
+      return os.str();
+    }
+    case TraceKind::kNodeFailed:
+      return "node failed";
+  }
+  return {};
+}
+
 std::vector<TraceEvent> TraceLog::filter(TraceCategory c) const {
   std::vector<TraceEvent> out;
   for (const auto& e : events_) {
@@ -30,7 +88,7 @@ std::string TraceLog::format() const {
   os.precision(3);
   for (const auto& e : events_) {
     os << "t=" << e.time << "s [" << to_string(e.category) << "] node "
-       << e.node << ": " << e.text << '\n';
+       << e.node << ": " << format_event(e) << '\n';
   }
   return os.str();
 }

@@ -1,8 +1,15 @@
 // Lightweight simulation tracing.
 //
 // Protocol modules record timestamped events (state changes, messages,
-// detections) into a TraceLog. Examples pretty-print it; tests assert on it;
-// benchmark runs leave it disabled so tracing costs nothing when off.
+// detections) into a TraceLog. Examples pretty-print it; tests assert on
+// it; benchmark runs leave it disabled so tracing costs nothing when off.
+//
+// Events are structured: a kind tag plus a handful of fixed-size arguments
+// (two integers, two doubles, two static-lifetime label pointers). The
+// record path is a bounds-checked push_back of a POD — no ostringstream,
+// no per-event heap string — and human-readable text is produced only at
+// dump time by format_event(). Tools that want machine-readable traces
+// (pas-exp --trace) export the structured fields directly as JSONL.
 #pragma once
 
 #include <cstdint>
@@ -24,12 +31,43 @@ enum class TraceCategory : std::uint8_t {
 
 [[nodiscard]] const char* to_string(TraceCategory c) noexcept;
 
+/// What happened — the tag that selects how the fixed args are read.
+enum class TraceKind : std::uint8_t {
+  kMark,            // no arguments (generic marker; tests)
+  kWoke,            // duty-cycle wake-up
+  kSleepFor,        // x = chosen sleep interval (s)
+  kDetected,        // stimulus detection
+  kRequest,         // REQUEST broadcast
+  kResponse,        // RESPONSE broadcast
+  kStateChange,     // s1 = old state name, s2 = new state name
+  kCoveredTimeout,  // covered → safe on detection timeout
+  kArrivalReceded,  // alert → safe (prediction receded)
+  kActualVelocity,  // x, y = actual front velocity (formula 1)
+  kEval,            // x = predicted arrival, a = peer-table size
+  kNodeFailed,      // node failure
+};
+
+[[nodiscard]] const char* to_string(TraceKind k) noexcept;
+
 struct TraceEvent {
   Time time = 0.0;
   TraceCategory category = TraceCategory::kMisc;
+  TraceKind kind = TraceKind::kMark;
   std::uint32_t node = 0;
-  std::string text;
+  /// Kind-specific fixed arguments (see TraceKind). The label pointers
+  /// must have static lifetime (enum-name tables); the log never copies
+  /// or frees them.
+  std::uint32_t a = 0;
+  double x = 0.0;
+  double y = 0.0;
+  const char* s1 = nullptr;
+  const char* s2 = nullptr;
 };
+
+/// The event's message text ("sleeping for 12.5s", "safe -> alert", ...),
+/// rendered on demand — identical to what the pre-structured TraceLog
+/// stored per record.
+[[nodiscard]] std::string format_event(const TraceEvent& e);
 
 class TraceLog {
  public:
@@ -37,9 +75,19 @@ class TraceLog {
   void enable(bool on = true) noexcept { enabled_ = on; }
   [[nodiscard]] bool enabled() const noexcept { return enabled_; }
 
-  void record(Time t, TraceCategory c, std::uint32_t node, std::string text) {
+  void record(const TraceEvent& e) {
+    if (enabled_) events_.push_back(e);
+  }
+
+  void record(Time t, TraceCategory c, std::uint32_t node,
+              TraceKind kind = TraceKind::kMark) {
     if (!enabled_) return;
-    events_.push_back(TraceEvent{t, c, node, std::move(text)});
+    TraceEvent e;
+    e.time = t;
+    e.category = c;
+    e.node = node;
+    e.kind = kind;
+    events_.push_back(e);
   }
 
   [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept {

@@ -82,11 +82,29 @@ struct ScenarioConfig {
   bool enable_trace = false;
 };
 
+/// Structured run telemetry: kernel and protocol counters accumulated over
+/// one or more runs. A single RunResult carries runs == 1; campaign code
+/// add()s every replication's RunMetrics into one of these per point. All
+/// fields are pure functions of the configs + seeds involved, so telemetry
+/// is byte-reproducible however the runs were scheduled.
+struct RunTelemetry {
+  std::size_t runs = 0;
+  metrics::KernelStats kernel{};
+  core::ProtocolStats protocol{};
+
+  void add(const metrics::RunMetrics& m) {
+    ++runs;
+    kernel.add(m.kernel);
+    protocol.add(m.protocol);
+  }
+};
+
 struct RunResult {
   metrics::RunMetrics metrics{};
   std::vector<metrics::NodeOutcome> outcomes;
   std::vector<geom::Vec2> positions;
   sim::TraceLog trace;
+  RunTelemetry telemetry{};
   /// Deployment attempts consumed before a connected layout was found.
   std::size_t deployment_attempts = 1;
 };

@@ -129,6 +129,15 @@ void Workspace::execute(const ScenarioConfig& config,
                       : config.duration_s;
   metrics_ = metrics::summarize(outcomes_, config.duration_s, censor_cutoff,
                                 network_->stats(), protocol.stats());
+
+  // Kernel counters are lifted here, not in summarize(): only the workspace
+  // holds the simulator, and reset() above re-zeroed them for this run.
+  const sim::EventQueue::Stats& queue = simulator_.queue_stats();
+  metrics_.kernel.events_scheduled = queue.pushed;
+  metrics_.kernel.events_dispatched = simulator_.executed_events();
+  metrics_.kernel.events_cancelled = queue.cancelled;
+  metrics_.kernel.max_pending = queue.max_live;
+  metrics_.kernel.timer_reschedules = protocol.timer_reschedules();
 }
 
 RunResult Workspace::run(const ScenarioConfig& config) {
@@ -138,6 +147,7 @@ RunResult Workspace::run(const ScenarioConfig& config) {
   result.positions = positions_;
   result.outcomes = outcomes_;
   result.metrics = metrics_;
+  result.telemetry.add(metrics_);
   result.deployment_attempts = deployment_attempts_;
   return result;
 }

@@ -288,13 +288,15 @@ TEST(Protocol, SleepIntervalClampedByMaxSleep) {
   w.trace.enable();
   w.protocol->start();
   w.simulator.run_until(60.0);
-  // Sleep trace messages record the chosen interval; none may exceed max.
+  // Sleep trace events carry the chosen interval; none may exceed max.
+  std::size_t sleeps = 0;
   for (const auto& e : w.trace.filter(sim::TraceCategory::kSleep)) {
-    if (e.text.rfind("sleeping for ", 0) == 0) {
-      const double interval = std::stod(e.text.substr(13));
-      EXPECT_LE(interval, 4.0 + 1e-9);
+    if (e.kind == sim::TraceKind::kSleepFor) {
+      ++sleeps;
+      EXPECT_LE(e.x, 4.0 + 1e-9);
     }
   }
+  EXPECT_GT(sleeps, 0u);
 }
 
 }  // namespace

@@ -1,0 +1,319 @@
+// Campaign telemetry: the JSONL sink's lifecycle, the row schema, part-file
+// merging, and the hard invariant that --metrics never changes the CSV.
+#include "exp/telemetry.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "exp/runner.hpp"
+#include "world/paper_setup.hpp"
+
+namespace pas::exp {
+namespace {
+
+namespace fs = std::filesystem;
+
+Manifest small_manifest() {
+  Manifest m;
+  m.name = "telemetry-test";
+  m.base = world::paper_scenario();
+  m.base.duration_s = 60.0;
+  m.replications = 2;
+  m.seed_base = 3;
+  m.axes = {
+      Axis{.kind = AxisKind::kPolicy, .labels = {"NS", "SAS", "PAS"}},
+      Axis{.kind = AxisKind::kMaxSleep, .numbers = {5.0, 15.0}},
+  };
+  return m;
+}
+
+class TelemetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("pas_telemetry_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  static std::string slurp(const fs::path& path) {
+    std::ifstream in(path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+  }
+
+  static std::vector<io::Json> parse_lines(const fs::path& path) {
+    std::ifstream in(path);
+    std::vector<io::Json> rows;
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!line.empty()) rows.push_back(io::Json::parse(line));
+    }
+    return rows;
+  }
+
+  /// A fabricated two-run ReplicatedMetrics with recognizable counters.
+  static world::ReplicatedMetrics fake_metrics(std::uint64_t base) {
+    world::ReplicatedMetrics m;
+    m.runs.resize(2);
+    for (auto& run : m.runs) {
+      run.kernel.events_dispatched = base;
+      run.kernel.max_pending = base + 1;
+      run.protocol.wakeups = base * 2;
+      run.protocol.sleep_s.record(2.0);
+    }
+    return m;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(TelemetryTest, PointRowSchema) {
+  const Manifest m = small_manifest();
+  const auto points = expand_grid(m);
+  const auto row = telemetry_point_row(points[4], axis_columns(m),
+                                       fake_metrics(10));
+  EXPECT_EQ(row.at("kind").as_string(), "point");
+  EXPECT_DOUBLE_EQ(row.at("point").as_double(), 4.0);
+  EXPECT_EQ(row.at("seed").as_string(), std::to_string(points[4].seed));
+  EXPECT_DOUBLE_EQ(row.at("replications").as_double(), 2.0);
+  EXPECT_EQ(row.at("policy").as_string(), "PAS");
+
+  // Axes echo the grid coordinates under the CSV column names.
+  const auto& axes = row.at("axes").as_object();
+  EXPECT_EQ(axes.size(), 2U);
+
+  // Kernel and protocol sections sum the replications.
+  EXPECT_DOUBLE_EQ(row.at("kernel").at("events_dispatched").as_double(), 20.0);
+  EXPECT_DOUBLE_EQ(row.at("kernel").at("max_pending").as_double(), 11.0);
+  EXPECT_DOUBLE_EQ(row.at("protocol").at("wakeups").as_double(), 40.0);
+  EXPECT_DOUBLE_EQ(row.at("protocol").at("sleep_s").at("total").as_double(),
+                   2.0);
+}
+
+TEST_F(TelemetryTest, SinkAppendsResumesAndFinalizesSorted) {
+  const Manifest m = small_manifest();
+  const auto points = expand_grid(m);
+  const std::string path = (dir_ / "metrics.jsonl").string();
+
+  TelemetryOptions options;
+  options.path = path;
+  options.axis_names = axis_columns(m);
+  options.total_points = points.size();
+  {
+    TelemetrySink sink(options);
+    EXPECT_EQ(sink.load_existing(), 0U);
+    sink.record(points[3], fake_metrics(5));
+    sink.record(points[1], fake_metrics(7));
+    sink.record(points[1], fake_metrics(9));  // duplicate: first wins
+    EXPECT_EQ(sink.recorded_count(), 2U);
+    // No finalize: the append-mode file is the crash artifact.
+  }
+  {
+    // Resume keeps existing rows and only adds the new ones.
+    TelemetrySink sink(options);
+    EXPECT_EQ(sink.load_existing(), 2U);
+    sink.record(points[0], fake_metrics(1));
+    io::JsonObject trailer;
+    trailer["kind"] = "registry";
+    sink.finalize({io::Json(std::move(trailer))});
+  }
+
+  const auto rows = parse_lines(path);
+  ASSERT_EQ(rows.size(), 4U);
+  EXPECT_DOUBLE_EQ(rows[0].at("point").as_double(), 0.0);
+  EXPECT_DOUBLE_EQ(rows[1].at("point").as_double(), 1.0);
+  EXPECT_DOUBLE_EQ(rows[2].at("point").as_double(), 3.0);
+  EXPECT_EQ(rows[3].at("kind").as_string(), "registry");
+  // Point 1 kept the first-recorded payload.
+  EXPECT_DOUBLE_EQ(rows[1].at("protocol").at("wakeups").as_double(), 28.0);
+}
+
+TEST_F(TelemetryTest, LoadExistingDropsGarbageAndForeignRows) {
+  const Manifest m = small_manifest();
+  const auto points = expand_grid(m);
+  const std::string path = (dir_ / "metrics.jsonl").string();
+  {
+    std::ofstream out(path);
+    out << "not json at all\n";
+    out << "{\"kind\":\"registry\",\"scope\":\"campaign\"}\n";  // stale trailer
+    out << "{\"kind\":\"point\",\"point\":999}\n";  // outside the grid
+    out << "{\"kind\":\"point\",\"point\":2}\n";    // the one good row
+  }
+  TelemetryOptions options;
+  options.path = path;
+  options.axis_names = axis_columns(m);
+  options.total_points = points.size();
+  TelemetrySink sink(options);
+  EXPECT_EQ(sink.load_existing(), 1U);
+  sink.finalize();
+  const auto rows = parse_lines(path);
+  ASSERT_EQ(rows.size(), 1U);
+  EXPECT_DOUBLE_EQ(rows[0].at("point").as_double(), 2.0);
+}
+
+TEST_F(TelemetryTest, MergeDeduplicatesFirstInputWins) {
+  const Manifest m = small_manifest();
+  const auto points = expand_grid(m);
+  const auto names = axis_columns(m);
+  const std::string a = (dir_ / "m.w0").string();
+  const std::string b = (dir_ / "m.w1").string();
+  {
+    std::ofstream out(a);
+    out << telemetry_point_row(points[0], names, fake_metrics(1)).dump()
+        << '\n';
+    out << telemetry_point_row(points[2], names, fake_metrics(2)).dump()
+        << '\n';
+  }
+  {
+    std::ofstream out(b);
+    out << telemetry_point_row(points[2], names, fake_metrics(50)).dump()
+        << '\n';
+    out << telemetry_point_row(points[1], names, fake_metrics(3)).dump()
+        << '\n';
+  }
+
+  const std::string merged = (dir_ / "merged.jsonl").string();
+  io::JsonObject trailer;
+  trailer["kind"] = "registry";
+  trailer["scope"] = "orchestrator";
+  // The missing third input stands in for a worker that wrote nothing.
+  EXPECT_EQ(merge_telemetry({a, b, (dir_ / "m.w2").string()}, merged,
+                            {io::Json(std::move(trailer))}),
+            3U);
+
+  const auto rows = parse_lines(merged);
+  ASSERT_EQ(rows.size(), 4U);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(rows[i].at("point").as_double(),
+                     static_cast<double>(i));
+  }
+  // Point 2 came from the first input, not the duplicate in the second.
+  EXPECT_DOUBLE_EQ(rows[2].at("kernel").at("events_dispatched").as_double(),
+                   4.0);
+  EXPECT_EQ(rows[3].at("scope").as_string(), "orchestrator");
+}
+
+TEST_F(TelemetryTest, MetricsOnAndOffProduceIdenticalCsv) {
+  const Manifest m = small_manifest();
+
+  CampaignOptions off;
+  off.jobs = 1;
+  off.out_csv = (dir_ / "off.csv").string();
+  run_campaign(m, off);
+
+  CampaignOptions on;
+  on.jobs = 1;
+  on.out_csv = (dir_ / "on.csv").string();
+  on.metrics_path = (dir_ / "on.jsonl").string();
+  run_campaign(m, on);
+
+  const std::string a = slurp(dir_ / "off.csv");
+  const std::string b = slurp(dir_ / "on.csv");
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(TelemetryTest, CampaignTelemetryIsScheduleIndependent) {
+  const Manifest m = small_manifest();
+
+  CampaignOptions serial;
+  serial.jobs = 1;
+  serial.out_csv = (dir_ / "serial.csv").string();
+  serial.metrics_path = (dir_ / "serial.jsonl").string();
+  run_campaign(m, serial);
+
+  CampaignOptions parallel;
+  parallel.jobs = 4;
+  parallel.out_csv = (dir_ / "parallel.csv").string();
+  parallel.metrics_path = (dir_ / "parallel.jsonl").string();
+  run_campaign(m, parallel);
+
+  EXPECT_EQ(slurp(dir_ / "serial.csv"), slurp(dir_ / "parallel.csv"));
+  // Point rows and the campaign registry trailer are pure functions of the
+  // grid, so the whole telemetry file is byte-identical across schedules.
+  const std::string a = slurp(dir_ / "serial.jsonl");
+  const std::string b = slurp(dir_ / "parallel.jsonl");
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+
+  // Every point row carries all three layers' sections.
+  const auto rows = parse_lines(dir_ / "serial.jsonl");
+  ASSERT_EQ(rows.size(), 7U);  // 6 points + registry trailer
+  for (std::size_t i = 0; i < 6; ++i) {
+    const auto& row = rows[i];
+    EXPECT_EQ(row.at("kind").as_string(), "point");
+    EXPECT_GT(row.at("kernel").at("events_dispatched").as_double(), 0.0);
+    if (row.at("policy").as_string() != "NS") {
+      // A never-sleeping node never wakes; sleeping policies must.
+      EXPECT_GT(row.at("protocol").at("wakeups").as_double(), 0.0);
+    }
+  }
+  const auto& trailer = rows[6];
+  EXPECT_EQ(trailer.at("kind").as_string(), "registry");
+  EXPECT_EQ(trailer.at("scope").as_string(), "campaign");
+#if !defined(PAS_OBS_OFF)
+  const auto& instruments = trailer.at("instruments");
+  EXPECT_DOUBLE_EQ(instruments.at("campaign.points_completed").as_double(),
+                   6.0);
+  EXPECT_GT(instruments.at("kernel.events_dispatched").as_double(), 0.0);
+  EXPECT_GT(instruments.at("policy.PAS.wakeups").as_double(), 0.0);
+#endif
+}
+
+TEST_F(TelemetryTest, ResumeCompletesTheTelemetryFile) {
+  const Manifest m = small_manifest();
+  const std::string out = (dir_ / "campaign.csv").string();
+  const std::string metrics = (dir_ / "metrics.jsonl").string();
+
+  CampaignOptions options;
+  options.jobs = 1;
+  options.out_csv = out;
+  options.metrics_path = metrics;
+  run_campaign(m, options);
+  const std::string complete_csv = slurp(out);
+  const std::string complete_metrics = slurp(metrics);
+
+  // Drop the even points from both files, as if the campaign had been
+  // killed mid-flight with both outputs in the same partial state. CSV data
+  // line i and telemetry line i both hold point i (the trailer drops too,
+  // which is exactly what a kill before finalize leaves behind).
+  const auto keep_odd_points = [](const std::string& text,
+                                  const std::string& path, int header_lines) {
+    std::istringstream in(text);
+    std::ofstream truncated(path, std::ios::trunc);
+    std::string line;
+    int n = 0;
+    while (std::getline(in, line)) {
+      if (n < header_lines || (n - header_lines) % 2 == 1) {
+        truncated << line << '\n';
+      }
+      ++n;
+    }
+  };
+  keep_odd_points(complete_csv, out, 1);
+  keep_odd_points(complete_metrics, metrics, 0);
+
+  options.resume = true;
+  run_campaign(m, options);
+  EXPECT_EQ(slurp(out), complete_csv);
+  // The finalized telemetry file has every point row again. The registry
+  // trailer only covers the points computed by the *resuming* invocation,
+  // so compare point rows, not trailer bytes.
+  const auto rows = parse_lines(metrics);
+  std::size_t point_rows = 0;
+  for (const auto& row : rows) {
+    if (row.at("kind").as_string() == "point") ++point_rows;
+  }
+  EXPECT_EQ(point_rows, 6U);
+}
+
+}  // namespace
+}  // namespace pas::exp

@@ -1,0 +1,83 @@
+#include "obs/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace pas::obs {
+namespace {
+
+TEST(LogBuckets, BinLayout) {
+  const LogBuckets spec{1.0, 4};
+  EXPECT_EQ(spec.bins(), 6U);  // underflow + 4 + overflow
+
+  // Underflow: <= lo, negatives, NaN.
+  EXPECT_EQ(spec.index(0.5), 0U);
+  EXPECT_EQ(spec.index(1.0), 0U);  // lo itself is the underflow edge
+  EXPECT_EQ(spec.index(-3.0), 0U);
+  EXPECT_EQ(spec.index(std::numeric_limits<double>::quiet_NaN()), 0U);
+
+  // Doubling buckets (1,2], (2,4], (4,8], (8,16].
+  EXPECT_EQ(spec.index(1.5), 1U);
+  EXPECT_EQ(spec.index(3.0), 2U);
+  EXPECT_EQ(spec.index(5.0), 3U);
+  EXPECT_EQ(spec.index(16.0), 4U);
+
+  // Overflow: beyond lo * 2^count.
+  EXPECT_EQ(spec.index(16.0001), 5U);
+  EXPECT_EQ(spec.index(std::numeric_limits<double>::infinity()), 5U);
+}
+
+TEST(LogBuckets, UpperEdgesAreInclusive) {
+  const LogBuckets spec{0.25, 12};
+  for (std::size_t i = 1; i <= spec.count; ++i) {
+    const double edge = spec.upper_edge(i);
+    EXPECT_EQ(spec.index(edge), i) << "edge " << edge;
+    // Just above an edge falls into the next bin.
+    EXPECT_EQ(spec.index(std::nextafter(
+                  edge, std::numeric_limits<double>::infinity())),
+              i + 1)
+        << "edge " << edge;
+  }
+  EXPECT_EQ(spec.upper_edge(0), 0.25);
+  EXPECT_TRUE(std::isinf(spec.upper_edge(spec.count + 1)));
+}
+
+TEST(HistogramData, LazyAllocationAndCounts) {
+  HistogramData h{LogBuckets{1.0, 4}, {}, 0};
+  EXPECT_TRUE(h.bin_counts.empty());
+  EXPECT_EQ(h.count, 0U);
+
+  h.record(3.0);
+  h.record(3.5);
+  h.record(100.0);
+  ASSERT_EQ(h.bin_counts.size(), h.spec.bins());
+  EXPECT_EQ(h.count, 3U);
+  EXPECT_EQ(h.bin_counts[2], 2U);  // (2, 4]
+  EXPECT_EQ(h.bin_counts[5], 1U);  // overflow
+}
+
+TEST(HistogramData, MergeSumsBinByBin) {
+  const LogBuckets spec{1.0, 4};
+  HistogramData a{spec, {}, 0};
+  HistogramData b{spec, {}, 0};
+  a.record(1.5);
+  b.record(1.7);
+  b.record(12.0);
+
+  a.merge(b);
+  EXPECT_EQ(a.count, 3U);
+  EXPECT_EQ(a.bin_counts[1], 2U);
+  EXPECT_EQ(a.bin_counts[4], 1U);
+
+  // Merging an empty histogram is a no-op and never allocates.
+  HistogramData empty{spec, {}, 0};
+  HistogramData target{spec, {}, 0};
+  target.merge(empty);
+  EXPECT_TRUE(target.bin_counts.empty());
+  EXPECT_EQ(target.count, 0U);
+}
+
+}  // namespace
+}  // namespace pas::obs

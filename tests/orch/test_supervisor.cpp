@@ -19,6 +19,7 @@
 #include <thread>
 
 #include "exp/runner.hpp"
+#include "io/json.hpp"
 #include "world/paper_setup.hpp"
 
 namespace pas::orch {
@@ -113,6 +114,20 @@ class SupervisorTest : public ::testing::Test {
       }
     }
     EXPECT_EQ(parts, 0U) << "part files should be deleted after the merge";
+  }
+
+  /// The "point" rows of a telemetry JSONL file (trailers are wall-clock
+  /// and schedule-dependent, so identity checks compare only point rows).
+  static std::vector<std::string> point_rows(const fs::path& p) {
+    std::ifstream in(p);
+    std::vector<std::string> rows;
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      const io::Json row = io::Json::parse(line);
+      if (row.string_or("kind", "") == "point") rows.push_back(line);
+    }
+    return rows;
   }
 
   std::string exe_;
@@ -222,6 +237,61 @@ TEST_F(SupervisorTest, SigintLeavesResumableStateAndResumeCompletes) {
     EXPECT_EQ(second.resumed + second.computed, 6U);
   }
   expect_merged_identical("out.csv", "runs.csv");
+}
+
+// Drive-mode telemetry: workers write metrics part files, the driver merges
+// them, and the merged point rows are byte-identical to a serial campaign's
+// (only the trailer — wall-clock orchestrator instruments — may differ).
+TEST_F(SupervisorTest, DriveMetricsMergeMatchesSerialPointRows) {
+  exp::CampaignOptions serial;
+  serial.jobs = 1;
+  serial.out_csv = path("ref2.csv");
+  serial.metrics_path = path("ref.jsonl");
+  exp::run_campaign(manifest_, serial);
+
+  auto o = options(3, "out.csv");
+  o.metrics_path = path("metrics.jsonl");
+  const auto report = drive(manifest_, o);
+  EXPECT_EQ(report.computed, 6U);
+  expect_merged_identical("out.csv");  // also: no .w* metrics parts left
+
+  const auto serial_rows = point_rows(path("ref.jsonl"));
+  const auto drive_rows = point_rows(path("metrics.jsonl"));
+  ASSERT_EQ(serial_rows.size(), 6U);
+  EXPECT_EQ(serial_rows, drive_rows);
+
+  // The drive trailer is the orchestrator's registry snapshot.
+  std::string last_line;
+  {
+    std::ifstream in(path("metrics.jsonl"));
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!line.empty()) last_line = line;
+    }
+  }
+  const io::Json trailer = io::Json::parse(last_line);
+  EXPECT_EQ(trailer.string_or("kind", ""), "registry");
+  EXPECT_EQ(trailer.string_or("scope", ""), "orchestrator");
+}
+
+// A crashed worker's telemetry part survives (rows are flushed before
+// point_done, like the CSV), the reassigned points fill the gaps, and the
+// crash dumps the protocol flight recorder next to the output.
+TEST_F(SupervisorTest, CrashedDriveKeepsTelemetryAndDumpsFlightRecorder) {
+  ::setenv("PAS_ORCH_TEST_CRASH", "0:1", 1);
+  auto o = options(2, "out.csv");
+  o.metrics_path = path("metrics.jsonl");
+  const auto report = drive(manifest_, o);
+  EXPECT_GE(report.crashes, 1U);
+  expect_merged_identical("out.csv");
+
+  EXPECT_EQ(point_rows(path("metrics.jsonl")).size(), 6U);
+
+  const std::string flightrec = path("out.csv.flightrec");
+  ASSERT_TRUE(fs::exists(flightrec)) << "crash should dump flight recorder";
+  const std::string dump = slurp(flightrec);
+  EXPECT_NE(dump.find("flight recorder:"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("hello"), std::string::npos) << dump;
 }
 
 // A respawn budget of zero turns the first crash into a hard failure when

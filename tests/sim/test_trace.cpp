@@ -8,45 +8,62 @@ namespace {
 TEST(TraceLog, DisabledByDefault) {
   TraceLog log;
   EXPECT_FALSE(log.enabled());
-  log.record(1.0, TraceCategory::kState, 0, "ignored");
+  log.record(1.0, TraceCategory::kState, 0);
   EXPECT_EQ(log.size(), 0U);
 }
 
 TEST(TraceLog, RecordsWhenEnabled) {
   TraceLog log;
   log.enable();
-  log.record(1.0, TraceCategory::kState, 3, "safe -> alert");
-  log.record(2.0, TraceCategory::kMessage, 4, "REQUEST");
+  log.record(1.0, TraceCategory::kState, 3, TraceKind::kWoke);
+  log.record(2.0, TraceCategory::kMessage, 4, TraceKind::kRequest);
   ASSERT_EQ(log.size(), 2U);
   EXPECT_EQ(log.events()[0].node, 3U);
+  EXPECT_EQ(log.events()[0].kind, TraceKind::kWoke);
   EXPECT_EQ(log.events()[1].category, TraceCategory::kMessage);
+}
+
+TEST(TraceLog, RecordsFullEvents) {
+  TraceLog log;
+  log.enable();
+  TraceEvent e;
+  e.time = 4.5;
+  e.category = TraceCategory::kSleep;
+  e.kind = TraceKind::kSleepFor;
+  e.node = 9;
+  e.x = 2.5;
+  log.record(e);
+  ASSERT_EQ(log.size(), 1U);
+  EXPECT_EQ(log.events()[0].kind, TraceKind::kSleepFor);
+  EXPECT_DOUBLE_EQ(log.events()[0].x, 2.5);
 }
 
 TEST(TraceLog, FilterByCategory) {
   TraceLog log;
   log.enable();
-  log.record(1.0, TraceCategory::kState, 0, "a");
-  log.record(2.0, TraceCategory::kMessage, 0, "b");
-  log.record(3.0, TraceCategory::kState, 1, "c");
+  log.record(1.0, TraceCategory::kState, 0, TraceKind::kWoke);
+  log.record(2.0, TraceCategory::kMessage, 0, TraceKind::kRequest);
+  log.record(3.0, TraceCategory::kState, 1, TraceKind::kNodeFailed);
   const auto states = log.filter(TraceCategory::kState);
   ASSERT_EQ(states.size(), 2U);
-  EXPECT_EQ(states[1].text, "c");
+  EXPECT_EQ(states[1].kind, TraceKind::kNodeFailed);
 }
 
 TEST(TraceLog, FormatContainsFields) {
   TraceLog log;
   log.enable();
-  log.record(12.0, TraceCategory::kDetection, 7, "detected stimulus");
+  log.record(12.0, TraceCategory::kDetection, 7, TraceKind::kDetected);
   const std::string s = log.format();
   EXPECT_NE(s.find("t=12.000s"), std::string::npos);
   EXPECT_NE(s.find("[detect]"), std::string::npos);
   EXPECT_NE(s.find("node 7"), std::string::npos);
+  EXPECT_NE(s.find("detected stimulus"), std::string::npos);
 }
 
 TEST(TraceLog, ClearEmptiesLog) {
   TraceLog log;
   log.enable();
-  log.record(1.0, TraceCategory::kMisc, 0, "x");
+  log.record(1.0, TraceCategory::kMisc, 0);
   log.clear();
   EXPECT_EQ(log.size(), 0U);
 }
@@ -58,6 +75,48 @@ TEST(TraceCategoryNames, AllDistinct) {
   EXPECT_STREQ(to_string(TraceCategory::kSleep), "sleep");
   EXPECT_STREQ(to_string(TraceCategory::kFailure), "fail");
   EXPECT_STREQ(to_string(TraceCategory::kMisc), "misc");
+}
+
+TEST(TraceKindNames, StableIdentifiers) {
+  // These strings are the "kind" field of the --trace JSONL export; changing
+  // one breaks downstream consumers.
+  EXPECT_STREQ(to_string(TraceKind::kMark), "mark");
+  EXPECT_STREQ(to_string(TraceKind::kWoke), "woke");
+  EXPECT_STREQ(to_string(TraceKind::kSleepFor), "sleep_for");
+  EXPECT_STREQ(to_string(TraceKind::kDetected), "detected");
+  EXPECT_STREQ(to_string(TraceKind::kRequest), "request");
+  EXPECT_STREQ(to_string(TraceKind::kResponse), "response");
+  EXPECT_STREQ(to_string(TraceKind::kStateChange), "state_change");
+  EXPECT_STREQ(to_string(TraceKind::kCoveredTimeout), "covered_timeout");
+  EXPECT_STREQ(to_string(TraceKind::kArrivalReceded), "arrival_receded");
+  EXPECT_STREQ(to_string(TraceKind::kActualVelocity), "actual_velocity");
+  EXPECT_STREQ(to_string(TraceKind::kEval), "eval");
+  EXPECT_STREQ(to_string(TraceKind::kNodeFailed), "node_failed");
+}
+
+TEST(FormatEvent, DeferredFormattingMatchesLegacyText) {
+  // Formatting happens at read time from the structured args; spot-check
+  // the renderings callers grep for.
+  TraceEvent sleep_for;
+  sleep_for.kind = TraceKind::kSleepFor;
+  sleep_for.x = 2.5;
+  EXPECT_EQ(format_event(sleep_for), "sleeping for 2.5s");
+
+  TraceEvent state;
+  state.kind = TraceKind::kStateChange;
+  state.s1 = "safe";
+  state.s2 = "alert";
+  EXPECT_EQ(format_event(state), "safe -> alert");
+
+  TraceEvent woke;
+  woke.kind = TraceKind::kWoke;
+  EXPECT_EQ(format_event(woke), "woke up");
+
+  TraceEvent velocity;
+  velocity.kind = TraceKind::kActualVelocity;
+  velocity.x = 1.5;
+  velocity.y = -2.0;
+  EXPECT_EQ(format_event(velocity), "actual velocity (1.5, -2)");
 }
 
 }  // namespace

@@ -95,7 +95,9 @@ TEST(Workspace, TraceMatchesFreshRun) {
     EXPECT_DOUBLE_EQ(reused.trace.events()[i].time, fresh.trace.events()[i].time);
     EXPECT_EQ(reused.trace.events()[i].category, fresh.trace.events()[i].category);
     EXPECT_EQ(reused.trace.events()[i].node, fresh.trace.events()[i].node);
-    EXPECT_EQ(reused.trace.events()[i].text, fresh.trace.events()[i].text);
+    EXPECT_EQ(reused.trace.events()[i].kind, fresh.trace.events()[i].kind);
+    EXPECT_EQ(sim::format_event(reused.trace.events()[i]),
+              sim::format_event(fresh.trace.events()[i]));
   }
 }
 

@@ -1,0 +1,170 @@
+#!/usr/bin/env python3
+"""Validate a pas-exp --metrics JSONL file against the telemetry schema.
+
+Usage:
+  check_metrics_schema.py METRICS.jsonl [--points N] [--require-scope SCOPE]
+  check_metrics_schema.py A.jsonl --compare-points B.jsonl
+
+Checks every line parses as JSON and is either a point row or a registry
+trailer:
+
+  point row:   {"kind":"point","point":i,"seed":"<u64>","replications":R,
+                "policy":"...","axes":{...},"kernel":{...},"protocol":{...}}
+  trailer:     {"kind":"registry","scope":"campaign"|"orchestrator",
+                "instruments":{...}}
+
+Point rows must be sorted, unique, and precede all trailers; --points N
+additionally requires exactly the point set {0..N-1}. --compare-points
+asserts two files carry byte-identical point rows (trailer rows are
+wall-clock and may differ — the drive-vs-serial comparison needs exactly
+this split). Exits non-zero with a line-numbered message on the first
+violation.
+"""
+
+import argparse
+import json
+import sys
+
+KERNEL_KEYS = {
+    "events_scheduled",
+    "events_dispatched",
+    "events_cancelled",
+    "max_pending",
+    "timer_reschedules",
+}
+PROTOCOL_KEYS = {
+    "wakeups",
+    "requests_sent",
+    "responses_sent",
+    "responses_pushed",
+    "pushes_suppressed",
+    "messages_received",
+    "alert_entries",
+    "alert_exits",
+    "covered_entries",
+    "covered_timeouts",
+    "failures",
+    "prediction_hits",
+    "prediction_misses",
+    "sleep_s",
+}
+HISTOGRAM_KEYS = {"lo", "count", "bins", "total"}
+
+
+def fail(path, lineno, message):
+    sys.exit(f"{path}:{lineno}: {message}")
+
+
+def check_histogram(path, lineno, name, value):
+    if not isinstance(value, dict) or set(value) != HISTOGRAM_KEYS:
+        fail(path, lineno, f"{name}: expected histogram keys {sorted(HISTOGRAM_KEYS)}")
+    bins = value["bins"]
+    if not isinstance(bins, list):
+        fail(path, lineno, f"{name}: bins must be an array")
+    if bins and len(bins) != int(value["count"]) + 2:
+        fail(path, lineno, f"{name}: {len(bins)} bins for count={value['count']}"
+                           " (want count + 2, or empty)")
+    if sum(bins) != value["total"]:
+        fail(path, lineno, f"{name}: bins sum {sum(bins)} != total {value['total']}")
+
+
+def check_counters(path, lineno, section, obj, keys):
+    if not isinstance(obj, dict) or set(obj) != keys:
+        fail(path, lineno, f"{section}: expected keys {sorted(keys)}")
+    for key, value in obj.items():
+        if key == "sleep_s":
+            check_histogram(path, lineno, f"{section}.{key}", value)
+        elif not isinstance(value, (int, float)) or value < 0:
+            fail(path, lineno, f"{section}.{key}: not a non-negative number")
+
+
+def load(path):
+    """Returns (point_rows: {index: raw_line}, trailers: [parsed])."""
+    points = {}
+    trailers = []
+    last_point = -1
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.rstrip("\n")
+            if not line:
+                fail(path, lineno, "blank line")
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError as e:
+                fail(path, lineno, f"not JSON: {e}")
+            kind = row.get("kind")
+            if kind == "point":
+                if trailers:
+                    fail(path, lineno, "point row after a registry trailer")
+                for key in ("point", "seed", "replications", "policy",
+                            "axes", "kernel", "protocol"):
+                    if key not in row:
+                        fail(path, lineno, f"point row missing '{key}'")
+                index = row["point"]
+                if not isinstance(index, int) or index < 0:
+                    fail(path, lineno, "'point' must be a non-negative integer")
+                if index <= last_point:
+                    fail(path, lineno,
+                         f"point {index} out of order after {last_point}"
+                         " (rows must be sorted and unique)")
+                last_point = index
+                if not isinstance(row["seed"], str) or not row["seed"].isdigit():
+                    fail(path, lineno, "'seed' must be a decimal string")
+                check_counters(path, lineno, "kernel", row["kernel"], KERNEL_KEYS)
+                check_counters(path, lineno, "protocol", row["protocol"],
+                               PROTOCOL_KEYS)
+                points[index] = line
+            elif kind == "registry":
+                if row.get("scope") not in ("campaign", "orchestrator"):
+                    fail(path, lineno, f"unknown registry scope {row.get('scope')!r}")
+                if not isinstance(row.get("instruments"), dict):
+                    fail(path, lineno, "registry trailer missing 'instruments'")
+                for name, value in row["instruments"].items():
+                    if isinstance(value, dict):
+                        check_histogram(path, lineno, name, value)
+                    elif not isinstance(value, (int, float)) or value < 0:
+                        fail(path, lineno, f"{name}: not a non-negative number")
+                trailers.append(row)
+            else:
+                fail(path, lineno, f"unknown row kind {kind!r}")
+    return points, trailers
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("metrics", help="telemetry JSONL file")
+    parser.add_argument("--points", type=int, default=None,
+                        help="require exactly points 0..N-1")
+    parser.add_argument("--require-scope", default=None,
+                        help="require a registry trailer with this scope")
+    parser.add_argument("--compare-points", metavar="OTHER", default=None,
+                        help="assert OTHER carries byte-identical point rows")
+    args = parser.parse_args()
+
+    points, trailers = load(args.metrics)
+    if args.points is not None and sorted(points) != list(range(args.points)):
+        missing = sorted(set(range(args.points)) - set(points))
+        extra = sorted(set(points) - set(range(args.points)))
+        sys.exit(f"{args.metrics}: expected points 0..{args.points - 1}; "
+                 f"missing {missing[:10]}, extra {extra[:10]}")
+    if args.require_scope is not None:
+        if not any(t.get("scope") == args.require_scope for t in trailers):
+            sys.exit(f"{args.metrics}: no registry trailer with scope "
+                     f"'{args.require_scope}'")
+
+    if args.compare_points is not None:
+        other_points, _ = load(args.compare_points)
+        if points != other_points:
+            diffs = [i for i in sorted(set(points) | set(other_points))
+                     if points.get(i) != other_points.get(i)]
+            sys.exit(f"point rows differ between {args.metrics} and "
+                     f"{args.compare_points} at points {diffs[:10]}")
+        print(f"OK: {len(points)} point rows identical across both files")
+        return
+
+    print(f"OK: {len(points)} point rows, {len(trailers)} trailer(s) in "
+          f"{args.metrics}")
+
+
+if __name__ == "__main__":
+    main()

@@ -24,6 +24,7 @@
 #include <chrono>
 #include <cstdio>
 #include <exception>
+#include <fstream>
 #include <string>
 
 #include "core/policy.hpp"
@@ -31,9 +32,12 @@
 #include "exp/grid.hpp"
 #include "exp/manifest.hpp"
 #include "exp/runner.hpp"
+#include "exp/telemetry.hpp"
 #include "io/cli.hpp"
+#include "obs/export.hpp"
 #include "orch/supervisor.hpp"
 #include "orch/worker_link.hpp"
+#include "world/scenario.hpp"
 
 namespace {
 
@@ -103,6 +107,9 @@ int main(int argc, char** argv) {
   std::string per_run_csv;
   std::string shard_spec;
   std::string bench_json;
+  std::string metrics_path;
+  std::string trace_path;
+  std::uint64_t trace_point = 0;
   std::uint64_t jobs = 0;
   std::uint64_t rep_chunk = 0;
   std::uint64_t drive_workers = 0;
@@ -158,6 +165,15 @@ int main(int argc, char** argv) {
   cli.add_string("bench-json", &bench_json,
                  "Append a {wall_s, reps_per_s, ...} sample to this file "
                  "after a completed run");
+  cli.add_string("metrics", &metrics_path,
+                 "Per-point telemetry JSONL: kernel/protocol counters and "
+                 "histograms per grid point plus a registry trailer; merges "
+                 "byte-identically across --jobs/--shard/--drive/--resume");
+  cli.add_string("trace", &trace_path,
+                 "Write one grid point's structured event trace as JSONL to "
+                 "this path and exit (no campaign output)");
+  cli.add_uint("trace-point", &trace_point,
+               "Grid point index for --trace (default 0)");
   cli.add_double("hang-timeout", &hang_timeout,
                  "--drive: kill a worker silent for this many seconds and "
                  "reassign its lease (0 disables)");
@@ -187,12 +203,28 @@ int main(int argc, char** argv) {
       if (!out_json.empty() || !per_run_csv.empty() || !shard_spec.empty() ||
           resume || dry_run || progress || jobs != 0 || rep_chunk != 0 ||
           drive_workers != 0 || worker || worker_id != 0 ||
-          !bench_json.empty() || hang_timeout != 120.0) {
+          !bench_json.empty() || hang_timeout != 120.0 ||
+          !trace_path.empty() || trace_point != 0) {
         std::fprintf(stderr,
                      "pas-exp: --merge takes only input CSVs, --out, and "
                      "--manifest (merge per-run shard files in a separate "
                      "--merge invocation)\n");
         return 2;
+      }
+      if (!metrics_path.empty()) {
+        // Telemetry merge: the positional inputs are telemetry JSONL shard
+        // files, recombined into --metrics. A separate invocation from the
+        // CSV merge, like per-run shard files.
+        if (!manifest_path.empty()) {
+          std::fprintf(stderr,
+                       "pas-exp: a telemetry merge (--merge --metrics) does "
+                       "not validate against a manifest; drop --manifest\n");
+          return 2;
+        }
+        const auto rows = pas::exp::merge_telemetry(inputs, metrics_path);
+        std::printf("merged %zu telemetry rows from %zu shard files -> %s\n",
+                    rows, inputs.size(), metrics_path.c_str());
+        return 0;
       }
       pas::exp::Manifest manifest;
       const bool validate = !manifest_path.empty();
@@ -225,6 +257,7 @@ int main(int argc, char** argv) {
       pas::orch::WorkerOptions options;
       options.out_csv = out_csv;
       options.per_run_csv = per_run_csv;
+      options.metrics_csv = metrics_path;
       options.worker_id = static_cast<int>(worker_id);
       options.jobs = std::max<std::size_t>(1, static_cast<std::size_t>(jobs));
       return pas::orch::run_worker(manifest, options);
@@ -258,6 +291,42 @@ int main(int argc, char** argv) {
       return 0;
     }
 
+    if (!trace_path.empty()) {
+      // Single-point structured trace export: run one grid point with the
+      // event trace enabled and dump it as JSONL, then exit — a debugging
+      // companion to a campaign, not part of one.
+      if (drive_workers > 0 || !shard_spec.empty() || resume ||
+          !out_json.empty() || !per_run_csv.empty() || !metrics_path.empty()) {
+        std::fprintf(stderr,
+                     "pas-exp: --trace runs one point and exits; it is "
+                     "incompatible with campaign output options\n");
+        return 2;
+      }
+      if (trace_point >= points.size()) {
+        std::fprintf(stderr,
+                     "pas-exp: --trace-point %llu is outside the grid "
+                     "(%zu points)\n",
+                     static_cast<unsigned long long>(trace_point),
+                     points.size());
+        return 2;
+      }
+      const auto& point = points[static_cast<std::size_t>(trace_point)];
+      auto config = point.config;
+      config.enable_trace = true;
+      const auto result = pas::world::run_scenario(config);
+      std::ofstream out(trace_path);
+      if (!out) {
+        std::fprintf(stderr, "pas-exp: cannot write %s\n", trace_path.c_str());
+        return 1;
+      }
+      pas::obs::write_trace_jsonl(result.trace, out);
+      std::printf("trace: point %zu %s (seed %llu) -> %zu events -> %s\n",
+                  point.index, point.label(manifest).c_str(),
+                  static_cast<unsigned long long>(point.seed),
+                  result.trace.size(), trace_path.c_str());
+      return 0;
+    }
+
     if (drive_workers > 0) {
       if (!shard_spec.empty() || rep_chunk != 0 || !out_json.empty()) {
         std::fprintf(stderr,
@@ -271,6 +340,7 @@ int main(int argc, char** argv) {
       drive_options.manifest_path = manifest_path;
       drive_options.out_csv = out_csv;
       drive_options.per_run_csv = per_run_csv;
+      drive_options.metrics_path = metrics_path;
       drive_options.workers = static_cast<std::size_t>(drive_workers);
       drive_options.jobs_per_worker =
           std::max<std::size_t>(1, static_cast<std::size_t>(jobs));
@@ -292,6 +362,7 @@ int main(int argc, char** argv) {
                                  " --manifest " + manifest_path + " --out " +
                                  out_csv;
         if (!per_run_csv.empty()) resume_cmd += " --per-run " + per_run_csv;
+        if (!metrics_path.empty()) resume_cmd += " --metrics " + metrics_path;
         if (jobs != 0) resume_cmd += " --jobs " + std::to_string(jobs);
         if (hang_timeout != 120.0) {
           char buf[48];
@@ -333,6 +404,7 @@ int main(int argc, char** argv) {
     options.out_csv = out_csv;
     options.out_json = out_json;
     options.per_run_csv = per_run_csv;
+    options.metrics_path = metrics_path;
     const auto t0 = std::chrono::steady_clock::now();
     if (progress && !quiet) {
       // Periodic one-liner from the same per-point callback stream. The
