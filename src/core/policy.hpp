@@ -91,6 +91,16 @@ class SleepingPolicy {
     return false;
   }
 
+  /// Whether sleeping backbone nodes may be used as multihop relays
+  /// (net::Collection reaches them through the MAC's LPL rendezvous — the
+  /// Sleep-Route scheme). Policies without any coordination machinery
+  /// (pure duty-cycling) opt out: their sleeping nodes never serve traffic,
+  /// so alerts route through awake nodes only and otherwise fall back to
+  /// the backbone's predicted value.
+  [[nodiscard]] virtual bool wants_collection_relay() const noexcept {
+    return true;
+  }
+
   /// Whether covered nodes run the detection-time exchange: REQUEST on
   /// detection, actual-velocity estimation (formula 1) from the replies,
   /// RESPONSE advertising the result. Policies that return false keep
@@ -196,6 +206,9 @@ class DutyCyclePolicy final : public SleepingPolicy {
   }
   [[nodiscard]] bool covered_nodes_estimate() const noexcept override {
     return false;
+  }
+  [[nodiscard]] bool wants_collection_relay() const noexcept override {
+    return false;  // no coordination: sleeping nodes never relay
   }
   [[nodiscard]] sim::Duration initial_interval() const noexcept override {
     return config_.duty_cycle.period_s;

@@ -29,7 +29,8 @@ Protocol::Protocol(sim::Simulator& simulator, net::Network& network,
                    const stimulus::StimulusModel& model,
                    const stimulus::ArrivalMap& arrivals,
                    ProtocolConfig config, const sim::SeedSequence& seeds,
-                   const node::FailurePlan* failures, sim::TraceLog* trace)
+                   const node::FailurePlan* failures, sim::TraceLog* trace,
+                   net::Collection* collection)
     : simulator_(simulator),
       network_(network),
       nodes_(nodes),
@@ -38,6 +39,7 @@ Protocol::Protocol(sim::Simulator& simulator, net::Network& network,
       config_(std::move(config)),
       failures_(failures),
       trace_(trace),
+      collection_(collection),
       wake_rng_(seeds.stream(sim::SeedSequence::kProtocol)) {
   config_.validate();
   policy_ = make_policy(config_);
@@ -127,6 +129,11 @@ void Protocol::detect(std::uint32_t i) {
   set_state(i, NodeState::kCovered);
   ++stats_.covered_entries;
   trace(sim::TraceCategory::kDetection, i, sim::TraceKind::kDetected);
+  if (collection_ != nullptr) {
+    // Raise the multihop alert toward the sink; the backbone's fallback
+    // answer is whatever this node predicted before the front hit it.
+    collection_->originate(i, simulator_.now(), rt.predicted_arrival);
+  }
 
   if (policy_->covered_nodes_estimate()) {
     // Gather covered neighbors' detection times to compute the actual

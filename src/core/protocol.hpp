@@ -30,6 +30,7 @@
 #include "core/observation.hpp"
 #include "core/policy.hpp"
 #include "core/state.hpp"
+#include "net/collection.hpp"
 #include "net/network.hpp"
 #include "node/failure_model.hpp"
 #include "node/sensor_node.hpp"
@@ -77,13 +78,16 @@ struct ProtocolStats {
 class Protocol {
  public:
   /// All referenced objects must outlive the Protocol. `trace` may be null.
+  /// `collection` (may be null) receives a multihop alert per detection —
+  /// the net::Collection routes it toward the sink (Sleep-Route).
   Protocol(sim::Simulator& simulator, net::Network& network,
            std::vector<node::SensorNode>& nodes,
            const stimulus::StimulusModel& model,
            const stimulus::ArrivalMap& arrivals, ProtocolConfig config,
            const sim::SeedSequence& seeds,
            const node::FailurePlan* failures = nullptr,
-           sim::TraceLog* trace = nullptr);
+           sim::TraceLog* trace = nullptr,
+           net::Collection* collection = nullptr);
 
   Protocol(const Protocol&) = delete;
   Protocol& operator=(const Protocol&) = delete;
@@ -181,6 +185,7 @@ class Protocol {
   std::unique_ptr<const SleepingPolicy> policy_;  // references config_
   const node::FailurePlan* failures_;
   sim::TraceLog* trace_;
+  net::Collection* collection_;
   sim::Pcg32 wake_rng_;
   std::vector<Runtime> runtime_;
   ProtocolStats stats_;

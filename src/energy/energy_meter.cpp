@@ -41,6 +41,21 @@ void EnergyMeter::add_rx(std::size_t bits) {
   ++rx_count_;
 }
 
+void EnergyMeter::add_cca(sim::Duration seconds) {
+  cca_j_ += profile_.radio_rx_w * seconds;
+  ++cca_count_;
+}
+
+void EnergyMeter::add_preamble(sim::Duration seconds) {
+  preamble_j_ += profile_.radio_tx_w * seconds;
+  preamble_s_ += seconds;
+}
+
+void EnergyMeter::add_listen(sim::Duration seconds) {
+  listen_j_ += profile_.total_active_w() * seconds;
+  listen_s_ += seconds;
+}
+
 double EnergyMeter::total_j(sim::Time now) const {
   double open = 0.0;
   if (now > last_change_) {
@@ -48,7 +63,8 @@ double EnergyMeter::total_j(sim::Time now) const {
     open = mode_ == PowerMode::kSleep ? profile_.sleep_w * dt
                                       : profile_.total_active_w() * dt;
   }
-  return sleep_j_ + active_j_ + tx_j_ + rx_j_ + transition_j_ + open;
+  return sleep_j_ + active_j_ + tx_j_ + rx_j_ + transition_j_ + cca_j_ +
+         preamble_j_ + listen_j_ + open;
 }
 
 }  // namespace pas::energy

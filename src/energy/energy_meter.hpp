@@ -41,6 +41,18 @@ class EnergyMeter {
   /// that price receives separately; the default pipeline does not call it).
   void add_rx(std::size_t bits);
 
+  // MAC line items (net::SlottedLplMac hooks; all zero when the MAC is off).
+
+  /// One clear-channel assessment of `seconds` — radio briefly up at RX
+  /// power. Charged to sleeping nodes (LPL slot samples, relay CCAs); an
+  /// awake radio's listening is already inside the active-mode power.
+  void add_cca(sim::Duration seconds);
+  /// Preamble of `seconds` at TX power (rendezvous preambles dominate).
+  void add_preamble(sim::Duration seconds);
+  /// Idle-listen extension of `seconds` at total-active power: a sleeping
+  /// node that detected a preamble holds its radio up through the data.
+  void add_listen(sim::Duration seconds);
+
   /// Total energy including the open interval [last_change, now] (J).
   [[nodiscard]] double total_j(sim::Time now) const;
 
@@ -53,12 +65,18 @@ class EnergyMeter {
   [[nodiscard]] double tx_j() const noexcept { return tx_j_; }
   [[nodiscard]] double rx_j() const noexcept { return rx_j_; }
   [[nodiscard]] double transition_j() const noexcept { return transition_j_; }
+  [[nodiscard]] double cca_j() const noexcept { return cca_j_; }
+  [[nodiscard]] double preamble_j() const noexcept { return preamble_j_; }
+  [[nodiscard]] double listen_j() const noexcept { return listen_j_; }
 
   [[nodiscard]] double sleep_s() const noexcept { return sleep_s_; }
   [[nodiscard]] double active_s() const noexcept { return active_s_; }
+  [[nodiscard]] double preamble_s() const noexcept { return preamble_s_; }
+  [[nodiscard]] double listen_s() const noexcept { return listen_s_; }
   [[nodiscard]] std::uint64_t transitions() const noexcept { return transitions_; }
   [[nodiscard]] std::uint64_t tx_count() const noexcept { return tx_count_; }
   [[nodiscard]] std::uint64_t rx_count() const noexcept { return rx_count_; }
+  [[nodiscard]] std::uint64_t cca_count() const noexcept { return cca_count_; }
 
   [[nodiscard]] const PowerProfile& profile() const noexcept { return profile_; }
 
@@ -74,11 +92,17 @@ class EnergyMeter {
   double tx_j_ = 0.0;
   double rx_j_ = 0.0;
   double transition_j_ = 0.0;
+  double cca_j_ = 0.0;
+  double preamble_j_ = 0.0;
+  double listen_j_ = 0.0;
   double sleep_s_ = 0.0;
   double active_s_ = 0.0;
+  double preamble_s_ = 0.0;
+  double listen_s_ = 0.0;
   std::uint64_t transitions_ = 0;
   std::uint64_t tx_count_ = 0;
   std::uint64_t rx_count_ = 0;
+  std::uint64_t cca_count_ = 0;
 };
 
 }  // namespace pas::energy

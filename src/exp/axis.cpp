@@ -22,6 +22,10 @@ AxisKind axis_kind_from_string(std::string_view s) {
   if (s == "ge_p_good_to_bad") return AxisKind::kGilbertPGoodToBad;
   if (s == "duty_cycle_period_s") return AxisKind::kDutyCyclePeriod;
   if (s == "hold_window_s") return AxisKind::kHoldWindow;
+  if (s == "mac") return AxisKind::kMacEnabled;
+  if (s == "slot_period_s") return AxisKind::kSlotPeriod;
+  if (s == "topology") return AxisKind::kTopology;
+  if (s == "sink_placement") return AxisKind::kSinkPlacement;
   throw std::runtime_error("Axis: unknown axis \"" + std::string(s) + "\"");
 }
 
@@ -104,6 +108,39 @@ void Axis::apply(world::ScenarioConfig& config, std::size_t i) const {
         throw std::invalid_argument("Axis hold_window_s: value must be >= 0");
       }
       config.protocol.threshold_hold.hold_window_s = numbers.at(i);
+      break;
+    case AxisKind::kMacEnabled: {
+      const std::string& v = labels.at(i);
+      if (v != "on" && v != "off") {
+        throw std::invalid_argument("Axis mac: values must be on/off");
+      }
+      config.mac.enabled = v == "on";
+      break;
+    }
+    case AxisKind::kSlotPeriod:
+      if (numbers.at(i) <= 0.0) {
+        throw std::invalid_argument("Axis slot_period_s: value must be > 0");
+      }
+      config.mac.slot_period_s = numbers.at(i);
+      // Sweeping the wake-slot period implies the MAC, like channel_loss
+      // implies the Bernoulli channel.
+      config.mac.enabled = true;
+      break;
+    case AxisKind::kTopology:
+      // Multihop spellings of the deployment layouts: a regular grid vs. the
+      // paper's aerial scattering (both typically sized well beyond one hop).
+      if (labels.at(i) == "grid") {
+        config.deployment.kind = world::DeploymentKind::kGrid;
+      } else if (labels.at(i) == "random-multihop") {
+        config.deployment.kind = world::DeploymentKind::kUniform;
+      } else {
+        throw std::invalid_argument(
+            "Axis topology: values must be grid/random-multihop");
+      }
+      break;
+    case AxisKind::kSinkPlacement:
+      config.collection.sink_placement =
+          net::sink_placement_from_string(labels.at(i));
       break;
   }
 }

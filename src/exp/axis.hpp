@@ -35,6 +35,10 @@ enum class AxisKind : std::uint8_t {
   kGilbertPGoodToBad,  // gilbert.p_good_to_bad (switches the channel to GE)
   kDutyCyclePeriod,  // protocol.duty_cycle.period_s (DutyCycle points)
   kHoldWindow,       // protocol.threshold_hold.hold_window_s (ThresholdHold)
+  kMacEnabled,       // mac.enabled — "on" / "off" (slotted LPL MAC)
+  kSlotPeriod,       // mac.slot_period_s (implies mac on)
+  kTopology,         // deployment.kind — "grid" / "random-multihop"
+  kSinkPlacement,    // collection.sink_placement — "center"/"corner"/"edge"
 };
 
 [[nodiscard]] constexpr const char* to_string(AxisKind k) noexcept {
@@ -53,6 +57,10 @@ enum class AxisKind : std::uint8_t {
     case AxisKind::kGilbertPGoodToBad: return "ge_p_good_to_bad";
     case AxisKind::kDutyCyclePeriod: return "duty_cycle_period_s";
     case AxisKind::kHoldWindow: return "hold_window_s";
+    case AxisKind::kMacEnabled: return "mac";
+    case AxisKind::kSlotPeriod: return "slot_period_s";
+    case AxisKind::kTopology: return "topology";
+    case AxisKind::kSinkPlacement: return "sink_placement";
   }
   // Axis names become CSV column headers (resume identity); a silent "?"
   // would poison them, so fail loudly in debug builds.
@@ -66,7 +74,9 @@ enum class AxisKind : std::uint8_t {
 /// the rest numbers.
 [[nodiscard]] constexpr bool axis_is_categorical(AxisKind k) noexcept {
   return k == AxisKind::kPolicy || k == AxisKind::kStimulus ||
-         k == AxisKind::kDeployment || k == AxisKind::kSleepRamp;
+         k == AxisKind::kDeployment || k == AxisKind::kSleepRamp ||
+         k == AxisKind::kMacEnabled || k == AxisKind::kTopology ||
+         k == AxisKind::kSinkPlacement;
 }
 
 struct Axis {

@@ -17,10 +17,13 @@ void Manifest::validate() const {
     throw std::invalid_argument("Manifest: replications must be >= 1");
   }
   bool sweeps_channel_loss = false, sweeps_ge = false;
+  bool sweeps_topology = false, sweeps_deployment = false;
   for (std::size_t i = 0; i < axes.size(); ++i) {
     axes[i].validate();
     sweeps_channel_loss |= axes[i].kind == AxisKind::kChannelLoss;
     sweeps_ge |= axes[i].kind == AxisKind::kGilbertPGoodToBad;
+    sweeps_topology |= axes[i].kind == AxisKind::kTopology;
+    sweeps_deployment |= axes[i].kind == AxisKind::kDeployment;
     for (std::size_t k = i + 1; k < axes.size(); ++k) {
       if (axes[i].kind == axes[k].kind) {
         throw std::invalid_argument(std::string("Manifest: duplicate axis ") +
@@ -35,6 +38,13 @@ void Manifest::validate() const {
     throw std::invalid_argument(
         "Manifest: channel_loss and ge_p_good_to_bad axes cannot be "
         "combined (the Gilbert-Elliott channel ignores channel_loss)");
+  }
+  if (sweeps_topology && sweeps_deployment) {
+    // Both axes write deployment.kind; whichever applies last would silently
+    // win and the other's column would lie about the simulated layout.
+    throw std::invalid_argument(
+        "Manifest: topology and deployment axes cannot be combined (both "
+        "select the deployment layout)");
   }
   base.protocol.validate();
 }

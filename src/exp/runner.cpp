@@ -80,6 +80,48 @@ PolicyInstruments make_policy_instruments(obs::Registry& registry,
   return out;
 }
 
+/// Campaign-level net.mac.* / net.collection.* instruments, registered only
+/// when at least one grid point runs with the MAC enabled — MAC-free
+/// campaigns keep their registry trailer byte-identical to pre-MAC builds.
+struct NetInstruments {
+  obs::Counter data_tx;
+  obs::Counter rendezvous_tx;
+  obs::Counter cca_busy;
+  obs::Counter backoffs;
+  obs::Counter retries;
+  obs::Counter collisions;
+  obs::Counter captures;
+  obs::Counter delivered;
+  obs::Counter drops;
+  obs::Counter lpl_samples;
+  obs::Counter lpl_wakeups;
+  obs::Counter alerts_originated;
+  obs::Counter alerts_forwarded;
+  obs::Counter alerts_delivered;
+  obs::Counter alerts_predicted;
+};
+
+NetInstruments make_net_instruments(obs::Registry& registry) {
+  NetInstruments out;
+  out.data_tx = registry.counter("net.mac.data_tx");
+  out.rendezvous_tx = registry.counter("net.mac.rendezvous_tx");
+  out.cca_busy = registry.counter("net.mac.cca_busy");
+  out.backoffs = registry.counter("net.mac.backoffs");
+  out.retries = registry.counter("net.mac.retries");
+  out.collisions = registry.counter("net.mac.collisions");
+  out.captures = registry.counter("net.mac.captures");
+  out.delivered = registry.counter("net.mac.delivered");
+  out.drops = registry.counter("net.mac.drops");
+  out.lpl_samples = registry.counter("net.mac.lpl_samples");
+  out.lpl_wakeups = registry.counter("net.mac.lpl_wakeups");
+  out.alerts_originated = registry.counter("net.collection.originated");
+  out.alerts_forwarded = registry.counter("net.collection.forwarded");
+  out.alerts_delivered = registry.counter("net.collection.delivered");
+  out.alerts_predicted =
+      registry.counter("net.collection.delivered_predicted");
+  return out;
+}
+
 }  // namespace
 
 world::ReplicatedMetrics run_point(const GridPoint& point,
@@ -156,12 +198,16 @@ CampaignReport run_campaign(const Manifest& manifest,
   }
   obs::Registry registry(sink.has_value());
   std::map<core::Policy, PolicyInstruments> policy_instruments;
+  std::optional<NetInstruments> net_instruments;
   if (registry.enabled()) {
     for (const auto& point : points) {
       const core::Policy policy = point.config.protocol.policy;
       if (!policy_instruments.contains(policy)) {
         policy_instruments.emplace(policy,
                                    make_policy_instruments(registry, policy));
+      }
+      if (point.config.mac.enabled && !net_instruments.has_value()) {
+        net_instruments = make_net_instruments(registry);
       }
     }
   }
@@ -219,6 +265,24 @@ CampaignReport run_campaign(const Manifest& manifest,
       pi.prediction_hits.add(telemetry.protocol.prediction_hits);
       pi.prediction_misses.add(telemetry.protocol.prediction_misses);
       pi.sleep_s.merge(telemetry.protocol.sleep_s);
+      if (point.config.mac.enabled && net_instruments.has_value()) {
+        const NetInstruments& ni = *net_instruments;
+        ni.data_tx.add(telemetry.mac.data_tx);
+        ni.rendezvous_tx.add(telemetry.mac.rendezvous_tx);
+        ni.cca_busy.add(telemetry.mac.cca_busy);
+        ni.backoffs.add(telemetry.mac.backoffs);
+        ni.retries.add(telemetry.mac.retries);
+        ni.collisions.add(telemetry.mac.collisions);
+        ni.captures.add(telemetry.mac.captures);
+        ni.delivered.add(telemetry.mac.delivered);
+        ni.drops.add(telemetry.mac.drops_cca + telemetry.mac.drops_retry);
+        ni.lpl_samples.add(telemetry.mac.lpl_samples);
+        ni.lpl_wakeups.add(telemetry.mac.lpl_wakeups);
+        ni.alerts_originated.add(telemetry.collection.originated);
+        ni.alerts_forwarded.add(telemetry.collection.forwarded);
+        ni.alerts_delivered.add(telemetry.collection.delivered);
+        ni.alerts_predicted.add(telemetry.collection.delivered_predicted);
+      }
       points_completed.add();
     }
     if (options.progress) {

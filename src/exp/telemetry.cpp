@@ -39,6 +39,39 @@ io::Json protocol_json(const core::ProtocolStats& p) {
   return io::Json(std::move(out));
 }
 
+io::Json net_json(const net::MacStats& mac, const net::CollectionStats& c) {
+  io::JsonObject m;
+  m["unicasts"] = mac.unicasts;
+  m["broadcasts"] = mac.broadcasts;
+  m["data_tx"] = mac.data_tx;
+  m["rendezvous_tx"] = mac.rendezvous_tx;
+  m["cca_busy"] = mac.cca_busy;
+  m["backoffs"] = mac.backoffs;
+  m["retries"] = mac.retries;
+  m["collisions"] = mac.collisions;
+  m["captures"] = mac.captures;
+  m["delivered"] = mac.delivered;
+  m["acks"] = mac.acks;
+  m["drops_cca"] = mac.drops_cca;
+  m["drops_retry"] = mac.drops_retry;
+  m["lpl_samples"] = mac.lpl_samples;
+  m["lpl_wakeups"] = mac.lpl_wakeups;
+  m["overhears"] = mac.overhears;
+  io::JsonObject coll;
+  coll["originated"] = c.originated;
+  coll["forwarded"] = c.forwarded;
+  coll["delivered"] = c.delivered;
+  coll["delivered_predicted"] = c.delivered_predicted;
+  coll["dropped_ttl"] = c.dropped_ttl;
+  coll["dropped_queue"] = c.dropped_queue;
+  coll["sum_delay_s"] = c.sum_delay_s;
+  coll["sum_hops"] = c.sum_hops;
+  io::JsonObject out;
+  out["mac"] = io::Json(std::move(m));
+  out["collection"] = io::Json(std::move(coll));
+  return io::Json(std::move(out));
+}
+
 /// Parses one JSONL line into a point row; returns the point index or
 /// SIZE_MAX when the line is not a (valid) point row.
 std::size_t parse_point_row(const std::string& line, std::size_t total_points,
@@ -101,6 +134,11 @@ io::Json telemetry_point_row(const GridPoint& point,
   row["axes"] = std::move(axes);
   row["kernel"] = kernel_json(telemetry.kernel);
   row["protocol"] = protocol_json(telemetry.protocol);
+  // The "net" section exists only for MAC-enabled points: mac-off rows stay
+  // byte-identical to pre-MAC builds (the JSONL schema marks it optional).
+  if (point.config.mac.enabled) {
+    row["net"] = net_json(telemetry.mac, telemetry.collection);
+  }
   return io::Json(std::move(row));
 }
 

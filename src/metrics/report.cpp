@@ -31,8 +31,12 @@ void collect_outcomes(const std::vector<node::SensorNode>& nodes,
     o.energy_active_j = n.meter.active_j();
     o.energy_tx_j = n.meter.tx_j();
     o.energy_transition_j = n.meter.transition_j();
+    o.energy_cca_j = n.meter.cca_j();
+    o.energy_preamble_j = n.meter.preamble_j();
+    o.energy_listen_j = n.meter.listen_j();
     o.energy_j = o.energy_sleep_j + o.energy_active_j + o.energy_tx_j +
-                 o.energy_transition_j + n.meter.rx_j();
+                 o.energy_transition_j + n.meter.rx_j() + o.energy_cca_j +
+                 o.energy_preamble_j + o.energy_listen_j;
     o.active_s = n.meter.active_s();
     o.sleep_s = n.meter.sleep_s();
     o.transitions = n.meter.transitions();

@@ -14,6 +14,8 @@
 #include <vector>
 
 #include "core/protocol.hpp"
+#include "net/collection.hpp"
+#include "net/mac.hpp"
 #include "net/network.hpp"
 #include "node/sensor_node.hpp"
 #include "sim/time.hpp"
@@ -35,6 +37,10 @@ struct NodeOutcome {
   double energy_active_j = 0.0;
   double energy_tx_j = 0.0;
   double energy_transition_j = 0.0;
+  // MAC line items (zero when the MAC is off).
+  double energy_cca_j = 0.0;
+  double energy_preamble_j = 0.0;
+  double energy_listen_j = 0.0;
   double active_s = 0.0;
   double sleep_s = 0.0;
   std::uint64_t transitions = 0;
@@ -90,6 +96,10 @@ struct RunMetrics {
   /// Filled by world::Workspace after the run (summarize() leaves it
   /// zeroed — the summarizer never sees the simulator).
   KernelStats kernel{};
+  /// Filled by world::Workspace when the MAC is enabled (all-zero
+  /// otherwise — summarize() never sees the net layer's internals).
+  net::MacStats mac{};
+  net::CollectionStats collection{};
 };
 
 /// Builds outcome rows from finalized nodes. Call node.meter.finalize(end)

@@ -1,0 +1,183 @@
+// Tree-based multihop alert collection (the Sleep-Route scheme).
+//
+// A sink is chosen near a configured placement point and a shortest-path
+// (BFS) collection tree is built over the radio range graph. When a node
+// detects the stimulus it originates an ALERT that is routed hop-by-hop
+// toward the sink through *uphill* neighbors (strictly smaller tree depth).
+// The next hop must be reachable: awake, or — when the sleeping policy
+// permits relay participation — a sleeping *backbone* node (an internal
+// tree node), which the MAC reaches via LPL rendezvous. When no uphill
+// neighbor is reachable, the alert falls back to the Sleep-Route answer:
+// the backbone reports the *predicted* arrival time instead of the
+// measured one (delivered_predicted).
+//
+// The collection layer sits above SlottedLplMac (acknowledged unicasts,
+// retries, rendezvous cost) and below pas::core (the protocol calls
+// originate(); policies only gate relay participation). Delivery records
+// keep full per-alert paths so tests can assert the multihop invariant:
+// every delivered alert followed a connected, strictly-uphill path.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "geom/aabb.hpp"
+#include "net/mac.hpp"
+#include "net/message.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+
+namespace pas::net {
+
+class Network;
+
+enum class SinkPlacement : std::uint8_t {
+  kCenter,  // region center
+  kCorner,  // region.lo corner
+  kEdge,    // midpoint of the bottom edge
+};
+
+[[nodiscard]] constexpr const char* to_string(SinkPlacement p) noexcept {
+  switch (p) {
+    case SinkPlacement::kCenter: return "center";
+    case SinkPlacement::kCorner: return "corner";
+    case SinkPlacement::kEdge: return "edge";
+  }
+  return "?";
+}
+
+/// Parses "center" / "corner" / "edge"; throws std::invalid_argument.
+[[nodiscard]] SinkPlacement sink_placement_from_string(std::string_view s);
+
+struct CollectionConfig {
+  SinkPlacement sink_placement = SinkPlacement::kCenter;
+  /// Alerts are dropped after this many hops (routing-loop backstop; the
+  /// uphill rule makes loops impossible, so this only bounds pathologies).
+  std::uint32_t max_hops = 16;
+  /// A holder refuses to queue an alert when its MAC send queue is at least
+  /// this deep (backpressure under contention).
+  std::uint32_t node_queue_limit = 8;
+
+  /// Throws std::invalid_argument on zero limits.
+  void validate() const;
+
+  bool operator==(const CollectionConfig&) const noexcept = default;
+};
+
+struct CollectionStats {
+  std::uint64_t originated = 0;           // alerts created at detectors
+  std::uint64_t forwarded = 0;            // hop receptions (incl. at sink)
+  std::uint64_t delivered = 0;            // measured alerts reaching the sink
+  std::uint64_t delivered_predicted = 0;  // Sleep-Route fallback answers
+  std::uint64_t dropped_ttl = 0;          // exceeded max_hops
+  std::uint64_t dropped_queue = 0;        // holder queue over node_queue_limit
+  double sum_delay_s = 0.0;               // Σ (delivered_at − detected_at)
+  std::uint64_t sum_hops = 0;             // Σ hops over delivered alerts
+
+  void add(const CollectionStats& other);
+
+  bool operator==(const CollectionStats&) const noexcept = default;
+};
+
+class Collection {
+ public:
+  /// One completed alert. `delivered` distinguishes a measured delivery at
+  /// the sink from the predicted-value fallback; `path` lists every holder
+  /// in order (origin first; sink last when delivered).
+  struct DeliveryRecord {
+    std::uint32_t alert_id = 0;
+    std::uint32_t origin = 0;
+    bool delivered = false;
+    std::uint32_t hops = 0;
+    sim::Time detected_at = 0.0;
+    sim::Time completed_at = 0.0;
+    sim::Time predicted_arrival = 0.0;
+    std::vector<std::uint32_t> path;
+  };
+
+  Collection(sim::Simulator& simulator, Network& network, SlottedLplMac& mac);
+
+  /// Rebuilds the collection tree for a new run: picks the sink nearest the
+  /// placement point (ties to the lowest id), BFS depths/parents over the
+  /// current neighbor lists, uphill candidate lists sorted by (depth, id),
+  /// and the backbone set (sink + internal tree nodes). Call after
+  /// Network::reset and SlottedLplMac::reset. Installs itself as the
+  /// Network's alert handler.
+  void reset(const CollectionConfig& config, bool relay_through_sleeping,
+             const geom::Aabb& region, sim::TraceLog* trace);
+
+  /// A detector raises an alert carrying the measured detection time plus
+  /// the predicted arrival the backbone would answer with on fallback.
+  void originate(std::uint32_t node, sim::Time detected_at,
+                 sim::Time predicted_arrival);
+
+  [[nodiscard]] std::uint32_t sink() const noexcept { return sink_; }
+  [[nodiscard]] std::uint32_t depth(std::uint32_t id) const {
+    return depth_.at(id);
+  }
+  [[nodiscard]] bool is_backbone(std::uint32_t id) const {
+    return backbone_.at(id) != 0;
+  }
+  [[nodiscard]] const std::vector<std::uint32_t>& uphill(
+      std::uint32_t id) const {
+    return uphill_.at(id);
+  }
+  /// Nodes with no route to the sink (disconnected component).
+  [[nodiscard]] std::size_t unreachable_count() const noexcept;
+
+  [[nodiscard]] const CollectionStats& stats() const noexcept {
+    return stats_;
+  }
+  [[nodiscard]] const CollectionConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] const std::vector<DeliveryRecord>& records() const noexcept {
+    return records_;
+  }
+  /// Alerts still traveling (or stranded on failed holders) at end of run.
+  [[nodiscard]] std::size_t in_flight() const noexcept {
+    return in_flight_.size();
+  }
+
+  static constexpr std::uint32_t kNoDepth = 0xffffffffu;
+
+ private:
+  struct InFlight {
+    std::uint32_t origin = 0;
+    std::uint32_t hops = 0;
+    sim::Time detected_at = 0.0;
+    sim::Time predicted_arrival = 0.0;
+    std::uint32_t holder = 0;
+    std::uint32_t next_candidate = 0;  // index into uphill_[holder]
+    std::vector<std::uint32_t> path;
+  };
+
+  void build_tree(const geom::Aabb& region);
+  void forward(std::uint32_t alert_id);
+  void on_send_result(std::uint32_t alert_id, std::uint32_t from,
+                      bool delivered);
+  void on_receive(const Message& msg, std::uint32_t at_node);
+  void complete(std::uint32_t alert_id, InFlight& alert, bool delivered);
+  [[nodiscard]] bool reachable(std::uint32_t id) const;
+  void trace(sim::TraceKind kind, std::uint32_t node, double x = 0.0);
+
+  sim::Simulator& simulator_;
+  Network& network_;
+  SlottedLplMac& mac_;
+  CollectionConfig config_{};
+  bool relay_through_sleeping_ = true;
+  std::uint32_t sink_ = 0;
+  std::vector<std::uint32_t> depth_;
+  std::vector<std::uint32_t> parent_;
+  std::vector<std::vector<std::uint32_t>> uphill_;
+  std::vector<char> backbone_;
+  std::unordered_map<std::uint32_t, InFlight> in_flight_;
+  std::vector<DeliveryRecord> records_;
+  std::uint32_t next_id_ = 0;
+  CollectionStats stats_;
+  sim::TraceLog* trace_ = nullptr;
+};
+
+}  // namespace pas::net

@@ -20,10 +20,16 @@ namespace pas::net {
 enum class MessageType : std::uint8_t {
   kRequest,
   kResponse,
+  kAlert,
 };
 
 [[nodiscard]] constexpr const char* to_string(MessageType t) noexcept {
-  return t == MessageType::kRequest ? "REQUEST" : "RESPONSE";
+  switch (t) {
+    case MessageType::kRequest: return "REQUEST";
+    case MessageType::kResponse: return "RESPONSE";
+    case MessageType::kAlert: return "ALERT";
+  }
+  return "?";
 }
 
 /// RESPONSE payload. Sizes below follow a plausible on-air encoding; they
@@ -38,21 +44,39 @@ struct ResponsePayload {
   sim::Time detected_at = sim::kNever;        // 4 B (covered nodes only)
 };
 
+/// ALERT payload (multihop collection, net/collection.hpp): the alert id,
+/// the originating detector, the hop count so far, the measured detection
+/// time, and the predicted arrival the backbone would answer with on a
+/// Sleep-Route fallback.
+struct AlertPayload {
+  std::uint32_t id = 0;                       // 4 B
+  std::uint32_t origin = 0;                   // 2 B on air (node id)
+  std::uint8_t hops = 0;                      // 1 B
+  sim::Time detected_at = sim::kNever;        // 4 B
+  sim::Time predicted_arrival = sim::kNever;  // 4 B
+};
+
 struct Message {
   MessageType type = MessageType::kRequest;
   std::uint32_t sender = 0;
   sim::Time sent_at = 0.0;
   ResponsePayload payload{};  // meaningful only for kResponse
+  AlertPayload alert{};       // meaningful only for kAlert
 
   /// 802.15.4-style MAC/PHY framing overhead per packet.
   static constexpr std::size_t kHeaderBytes = 12;
   /// Encoded RESPONSE payload size.
   static constexpr std::size_t kResponsePayloadBytes = 25;
+  /// Encoded ALERT payload size (per-field sizes above).
+  static constexpr std::size_t kAlertPayloadBytes = 15;
 
   [[nodiscard]] constexpr std::size_t size_bits() const noexcept {
-    const std::size_t bytes =
-        kHeaderBytes +
-        (type == MessageType::kResponse ? kResponsePayloadBytes : 0);
+    std::size_t bytes = kHeaderBytes;
+    switch (type) {
+      case MessageType::kRequest: break;
+      case MessageType::kResponse: bytes += kResponsePayloadBytes; break;
+      case MessageType::kAlert: bytes += kAlertPayloadBytes; break;
+    }
     return bytes * 8;
   }
 };

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "geom/aabb.hpp"
+#include "net/mac.hpp"
 
 namespace pas::net {
 
@@ -34,6 +35,8 @@ void Network::reset(std::vector<geom::Vec2> positions, RadioConfig config,
   // Hooks capture the previous world's state; a fresh Network has none.
   tx_hook_ = EnergyHook{};
   rx_hook_ = EnergyHook{};
+  alert_handler_ = AlertHandler{};
+  mac_ = nullptr;
 
   // Precompute the neighbor lists once; nodes are static for a run. The
   // per-node vectors keep their capacity across resets.
@@ -70,11 +73,38 @@ void Network::set_rx_handler(std::uint32_t id, RxHandler handler) {
 
 void Network::set_listening(std::uint32_t id, bool listening) {
   listening_.at(id) = listening ? 1 : 0;
+  if (mac_ != nullptr) mac_->on_listening_changed(id, listening);
 }
 
 void Network::set_failed(std::uint32_t id) {
   failed_.at(id) = 1;
   listening_.at(id) = 0;
+  if (mac_ != nullptr) mac_->on_failed(id);
+}
+
+void Network::attach_mac(SlottedLplMac* mac) {
+  mac_ = mac;
+  if (mac_ != nullptr) {
+    mac_->set_deliver([this](const Message& msg, std::uint32_t to) {
+      deliver_from_mac(msg, to);
+    });
+  }
+}
+
+bool Network::channel_roll(std::uint32_t from, std::uint32_t to) {
+  if (channel_->deliver(from, to, link_rng_.at(to))) return true;
+  ++stats_.dropped_channel;
+  return false;
+}
+
+void Network::deliver_from_mac(const Message& msg, std::uint32_t to) {
+  ++stats_.deliveries;
+  if (rx_hook_) rx_hook_(to, msg.size_bits());
+  if (msg.type == MessageType::kAlert) {
+    if (alert_handler_) alert_handler_(msg, to);
+    return;
+  }
+  if (handlers_.at(to)) handlers_[to](msg);
 }
 
 void Network::broadcast(std::uint32_t from, Message msg) {
@@ -88,6 +118,13 @@ void Network::broadcast(std::uint32_t from, Message msg) {
   msg.sender = from;
   msg.sent_at = simulator_.now();
   ++stats_.broadcasts;
+  if (mac_ != nullptr) {
+    // The MAC owns the medium: CCA, backoff, preamble and collision
+    // resolution replace the jitter model, and it charges tx energy through
+    // its own hook (tx_hook_ here stays silent to avoid double billing).
+    mac_->broadcast(from, msg);
+    return;
+  }
   if (tx_hook_) tx_hook_(from, msg.size_bits());
 
   const sim::Duration backoff = jitter_rng_.uniform(0.0, config_.max_jitter_s);

@@ -22,6 +22,8 @@
 
 namespace pas::net {
 
+class SlottedLplMac;
+
 struct RadioConfig {
   /// Transmission/reception disk radius (m).
   double range_m = 10.0;
@@ -50,6 +52,9 @@ class Network {
              std::shared_ptr<Channel> channel, const sim::SeedSequence& seeds);
 
   [[nodiscard]] std::size_t size() const noexcept { return positions_.size(); }
+  [[nodiscard]] const RadioConfig& radio_config() const noexcept {
+    return config_;
+  }
   [[nodiscard]] geom::Vec2 position(std::uint32_t id) const {
     return positions_.at(id);
   }
@@ -78,8 +83,31 @@ class Network {
   void broadcast(std::uint32_t from, Message msg);
 
   /// Energy hooks: tx fires once per broadcast, rx once per delivery.
+  /// (With a MAC attached, tx energy is charged by the MAC instead.)
   void set_tx_hook(EnergyHook hook) { tx_hook_ = std::move(hook); }
   void set_rx_hook(EnergyHook hook) { rx_hook_ = std::move(hook); }
+
+  /// Attaches (or detaches, with nullptr) a slotted LPL MAC. While attached,
+  /// broadcast() routes through the MAC's CCA/backoff/preamble machinery and
+  /// listening/failed transitions are forwarded to it; the MAC hands
+  /// successful receptions back through deliver_from_mac(). reset() detaches.
+  void attach_mac(SlottedLplMac* mac);
+  [[nodiscard]] SlottedLplMac* mac() const noexcept { return mac_; }
+
+  /// ALERT messages (multihop collection) bypass per-node rx handlers and go
+  /// to this handler with the receiving node's id.
+  using AlertHandler = std::function<void(const Message&, std::uint32_t to)>;
+  void set_alert_handler(AlertHandler handler) {
+    alert_handler_ = std::move(handler);
+  }
+
+  /// One independent channel-model draw for the (from, to) link, consuming
+  /// the receiver's kChannel stream. Counts dropped_channel on loss. The
+  /// attached MAC consults this after collision resolution.
+  [[nodiscard]] bool channel_roll(std::uint32_t from, std::uint32_t to);
+
+  /// MAC-successful reception: runs stats/rx-hook/handler dispatch for `to`.
+  void deliver_from_mac(const Message& msg, std::uint32_t to);
 
   struct Stats {
     std::uint64_t broadcasts = 0;
@@ -104,6 +132,8 @@ class Network {
   std::shared_ptr<Channel> channel_;
   std::vector<std::vector<std::uint32_t>> neighbors_;
   std::vector<RxHandler> handlers_;
+  AlertHandler alert_handler_;
+  SlottedLplMac* mac_ = nullptr;
   std::vector<char> listening_;
   std::vector<char> failed_;
   std::vector<sim::Pcg32> link_rng_;  // per receiver

@@ -98,6 +98,8 @@ class SeedSequence {
     kFailure = 4,
     kStimulus = 5,
     kProtocol = 6,
+    kMacSlot = 7,     // per-node LPL wake-slot phases (indexed by node)
+    kMacBackoff = 8,  // per-node MAC backoff draws (indexed by node)
     kUser = 1000,
   };
 

@@ -11,6 +11,7 @@ const char* to_string(TraceCategory c) noexcept {
     case TraceCategory::kDetection: return "detect";
     case TraceCategory::kSleep: return "sleep";
     case TraceCategory::kFailure: return "fail";
+    case TraceCategory::kNet: return "net";
     case TraceCategory::kMisc: return "misc";
   }
   return "?";
@@ -30,6 +31,12 @@ const char* to_string(TraceKind k) noexcept {
     case TraceKind::kActualVelocity: return "actual_velocity";
     case TraceKind::kEval: return "eval";
     case TraceKind::kNodeFailed: return "node_failed";
+    case TraceKind::kMacDataTx: return "mac_data_tx";
+    case TraceKind::kMacCollision: return "mac_collision";
+    case TraceKind::kAlertOriginated: return "alert_originated";
+    case TraceKind::kAlertForwarded: return "alert_forwarded";
+    case TraceKind::kAlertDelivered: return "alert_delivered";
+    case TraceKind::kAlertPredicted: return "alert_predicted";
   }
   return "?";
 }
@@ -70,6 +77,30 @@ std::string format_event(const TraceEvent& e) {
     }
     case TraceKind::kNodeFailed:
       return "node failed";
+    case TraceKind::kMacDataTx: {
+      std::ostringstream os;
+      os << "mac tx on air for " << e.x << "s";
+      return os.str();
+    }
+    case TraceKind::kMacCollision:
+      return "mac collision";
+    case TraceKind::kAlertOriginated:
+      return "alert originated";
+    case TraceKind::kAlertForwarded: {
+      std::ostringstream os;
+      os << "alert forwarded (hop " << e.x << ")";
+      return os.str();
+    }
+    case TraceKind::kAlertDelivered: {
+      std::ostringstream os;
+      os << "alert delivered after " << e.x << "s";
+      return os.str();
+    }
+    case TraceKind::kAlertPredicted: {
+      std::ostringstream os;
+      os << "alert fallback: predicted arrival " << e.x << "s";
+      return os.str();
+    }
   }
   return {};
 }

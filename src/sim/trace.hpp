@@ -27,6 +27,7 @@ enum class TraceCategory : std::uint8_t {
   kSleep,      // sleep/wake decisions
   kFailure,    // node failures
   kMisc,
+  kNet,        // MAC / multihop collection events (appended: digest-stable)
 };
 
 [[nodiscard]] const char* to_string(TraceCategory c) noexcept;
@@ -45,6 +46,12 @@ enum class TraceKind : std::uint8_t {
   kActualVelocity,  // x, y = actual front velocity (formula 1)
   kEval,            // x = predicted arrival, a = peer-table size
   kNodeFailed,      // node failure
+  kMacDataTx,       // x = preamble + data time on air (s)
+  kMacCollision,    // reception corrupted at the traced receiver
+  kAlertOriginated, // detector raised a multihop alert
+  kAlertForwarded,  // x = hop count after this reception
+  kAlertDelivered,  // x = collection delay (s)
+  kAlertPredicted,  // x = backbone's predicted arrival (fallback answer)
 };
 
 [[nodiscard]] const char* to_string(TraceKind k) noexcept;

@@ -139,6 +139,24 @@ io::Json to_json(const ScenarioConfig& config) {
   fail["window_start_s"] = config.failures.window_start_s;
   fail["window_end_s"] = config.failures.window_end_s;
   j["failures"] = std::move(fail);
+
+  io::Json mac;
+  mac["enabled"] = config.mac.enabled;
+  mac["slot_period_s"] = config.mac.slot_period_s;
+  mac["cca_s"] = config.mac.cca_s;
+  mac["backoff_unit_s"] = config.mac.backoff_unit_s;
+  mac["max_backoff_exponent"] = config.mac.max_backoff_exponent;
+  mac["max_attempts"] = config.mac.max_attempts;
+  mac["ack_wait_s"] = config.mac.ack_wait_s;
+  mac["capture_margin_s"] = config.mac.capture_margin_s;
+  j["mac"] = std::move(mac);
+
+  io::Json coll;
+  coll["sink_placement"] = std::string(net::to_string(config.collection.sink_placement));
+  coll["max_hops"] = static_cast<double>(config.collection.max_hops);
+  coll["node_queue_limit"] =
+      static_cast<double>(config.collection.node_queue_limit);
+  j["collection"] = std::move(coll);
   return j;
 }
 
@@ -287,7 +305,8 @@ node::RampKind ramp_kind_from_string(std::string_view s) {
 ScenarioConfig scenario_from_json(const io::Json& j, ScenarioConfig base) {
   read_known_keys(j, "scenario",
                   {"seed", "duration_s", "deployment", "radio", "power",
-                   "protocol", "stimulus", "channel", "failures"});
+                   "protocol", "stimulus", "channel", "failures", "mac",
+                   "collection"});
 
   const double seed = j.number_or("seed", static_cast<double>(base.seed));
   if (seed < 0.0) {
@@ -460,6 +479,41 @@ ScenarioConfig scenario_from_json(const io::Json& j, ScenarioConfig base) {
         f.number_or("window_start_s", base.failures.window_start_s);
     base.failures.window_end_s =
         f.number_or("window_end_s", base.failures.window_end_s);
+  }
+
+  if (j.contains("mac")) {
+    const auto& m = j.at("mac");
+    read_known_keys(m, "mac",
+                    {"enabled", "slot_period_s", "cca_s", "backoff_unit_s",
+                     "max_backoff_exponent", "max_attempts", "ack_wait_s",
+                     "capture_margin_s"});
+    base.mac.enabled = m.bool_or("enabled", base.mac.enabled);
+    base.mac.slot_period_s =
+        m.number_or("slot_period_s", base.mac.slot_period_s);
+    base.mac.cca_s = m.number_or("cca_s", base.mac.cca_s);
+    base.mac.backoff_unit_s =
+        m.number_or("backoff_unit_s", base.mac.backoff_unit_s);
+    base.mac.max_backoff_exponent = static_cast<int>(m.number_or(
+        "max_backoff_exponent", base.mac.max_backoff_exponent));
+    base.mac.max_attempts =
+        static_cast<int>(m.number_or("max_attempts", base.mac.max_attempts));
+    base.mac.ack_wait_s = m.number_or("ack_wait_s", base.mac.ack_wait_s);
+    base.mac.capture_margin_s =
+        m.number_or("capture_margin_s", base.mac.capture_margin_s);
+  }
+
+  if (j.contains("collection")) {
+    const auto& c = j.at("collection");
+    read_known_keys(c, "collection",
+                    {"sink_placement", "max_hops", "node_queue_limit"});
+    if (c.contains("sink_placement")) {
+      base.collection.sink_placement =
+          net::sink_placement_from_string(c.at("sink_placement").as_string());
+    }
+    base.collection.max_hops = static_cast<std::uint32_t>(
+        c.number_or("max_hops", base.collection.max_hops));
+    base.collection.node_queue_limit = static_cast<std::uint32_t>(
+        c.number_or("node_queue_limit", base.collection.node_queue_limit));
   }
 
   return base;

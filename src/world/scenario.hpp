@@ -14,6 +14,8 @@
 #include "energy/power_profile.hpp"
 #include "geom/aabb.hpp"
 #include "metrics/report.hpp"
+#include "net/collection.hpp"
+#include "net/mac.hpp"
 #include "net/network.hpp"
 #include "node/failure_model.hpp"
 #include "sim/trace.hpp"
@@ -76,6 +78,12 @@ struct ScenarioConfig {
 
   node::FailureConfig failures{};
 
+  /// Slotted LPL MAC (off by default — the coin-flip single-hop path; runs
+  /// are byte-identical to pre-MAC builds while disabled).
+  net::MacConfig mac{};
+  /// Multihop collection tree (only active when mac.enabled).
+  net::CollectionConfig collection{};
+
   /// Simulated duration (s).
   sim::Duration duration_s = 150.0;
 
@@ -91,11 +99,15 @@ struct RunTelemetry {
   std::size_t runs = 0;
   metrics::KernelStats kernel{};
   core::ProtocolStats protocol{};
+  net::MacStats mac{};
+  net::CollectionStats collection{};
 
   void add(const metrics::RunMetrics& m) {
     ++runs;
     kernel.add(m.kernel);
     protocol.add(m.protocol);
+    mac.add(m.mac);
+    collection.add(m.collection);
   }
 };
 

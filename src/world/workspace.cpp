@@ -108,11 +108,55 @@ void Workspace::execute(const ScenarioConfig& config,
   // Reception while active is already covered by the 41 mW idle-listen
   // power (see EnergyMeter docs); no rx hook in the default accounting.
 
+  // Slotted LPL MAC + multihop collection (off by default). The MAC consumes
+  // the dedicated kMacSlot/kMacBackoff seed domains only when enabled, so a
+  // mac-off run stays byte-identical to pre-MAC builds.
+  if (config.mac.enabled) {
+    config.mac.validate();
+    config.collection.validate();
+    if (mac_.has_value()) {
+      mac_->reset(config.mac, seeds);
+    } else {
+      mac_.emplace(simulator_, *network_);
+      mac_->reset(config.mac, seeds);
+    }
+    network_->attach_mac(&*mac_);
+    mac_->set_cca_hook([this](std::uint32_t id, sim::Duration s) {
+      nodes_[id].meter.add_cca(s);
+    });
+    mac_->set_preamble_hook([this](std::uint32_t id, sim::Duration s) {
+      nodes_[id].meter.add_preamble(s);
+    });
+    mac_->set_listen_hook([this](std::uint32_t id, sim::Duration s) {
+      nodes_[id].meter.add_listen(s);
+    });
+    mac_->set_tx_hook([this](std::uint32_t id, std::size_t bits) {
+      nodes_[id].meter.add_tx(bits);
+    });
+    mac_->set_trace(trace_log);
+  } else {
+    network_->attach_mac(nullptr);
+  }
+
+  net::Collection* collection = nullptr;
+  if (config.mac.enabled) {
+    // The relay decision is the policy's; instantiate it briefly to ask
+    // (the Protocol below builds its own copy from the same config).
+    const auto policy = core::make_policy(config.protocol);
+    if (!collection_.has_value()) {
+      collection_.emplace(simulator_, *network_, *mac_);
+    }
+    collection_->reset(config.collection, policy->wants_collection_relay(),
+                       config.deployment.region, trace_log);
+    collection = &*collection_;
+  }
+
   node::FailurePlan failures(nodes_.size(), config.failures,
                              seeds.stream(sim::SeedSequence::kFailure));
 
   core::Protocol protocol(simulator_, *network_, nodes_, model, arrivals_,
-                          config.protocol, seeds, &failures, trace_log);
+                          config.protocol, seeds, &failures, trace_log,
+                          collection);
   protocol.start();
   simulator_.run_until(config.duration_s);
 
@@ -138,6 +182,11 @@ void Workspace::execute(const ScenarioConfig& config,
   metrics_.kernel.events_cancelled = queue.cancelled;
   metrics_.kernel.max_pending = queue.max_live;
   metrics_.kernel.timer_reschedules = protocol.timer_reschedules();
+
+  // Net-layer counters, same pattern: the summarizer never sees the MAC.
+  metrics_.mac = config.mac.enabled ? mac_->stats() : net::MacStats{};
+  metrics_.collection =
+      config.mac.enabled ? collection_->stats() : net::CollectionStats{};
 }
 
 RunResult Workspace::run(const ScenarioConfig& config) {

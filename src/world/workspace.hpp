@@ -70,6 +70,8 @@ class Workspace {
 
   sim::Simulator simulator_;
   std::optional<net::Network> network_;
+  std::optional<net::SlottedLplMac> mac_;
+  std::optional<net::Collection> collection_;
 
   std::unique_ptr<stimulus::StimulusModel> model_;
   ScenarioConfig model_key_;

@@ -1,0 +1,173 @@
+#include "net/collection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace pas::net {
+namespace {
+
+/// Line topology 0 -- 1 -- 2 -- 3 -- 4 (spacing 8 m, range 10 m) inside a
+/// region whose lo corner sits at node 0 and whose center is nearest node 2.
+struct CollectionFixture : ::testing::Test {
+  sim::Simulator simulator;
+  sim::SeedSequence seeds{42};
+  std::vector<geom::Vec2> positions{
+      {0.0, 0.0}, {8.0, 0.0}, {16.0, 0.0}, {24.0, 0.0}, {32.0, 0.0}};
+  geom::Aabb region{{0.0, 0.0}, {32.0, 8.0}};
+  RadioConfig radio{};
+  Network network{simulator, positions, radio,
+                  std::make_shared<PerfectChannel>(), seeds};
+  SlottedLplMac mac{simulator, network};
+  Collection collection{simulator, network, mac};
+
+  void arm(SinkPlacement placement, bool relay_through_sleeping = true,
+           CollectionConfig extra = {}) {
+    mac.reset(MacConfig{}, seeds);
+    network.attach_mac(&mac);
+    extra.sink_placement = placement;
+    collection.reset(extra, relay_through_sleeping, region, nullptr);
+  }
+};
+
+TEST_F(CollectionFixture, SinkPlacementPicksNearestNode) {
+  arm(SinkPlacement::kCorner);
+  EXPECT_EQ(collection.sink(), 0U);  // region.lo = (0,0) — node 0
+  arm(SinkPlacement::kCenter);
+  EXPECT_EQ(collection.sink(), 2U);  // center (16,4) — node 2
+  arm(SinkPlacement::kEdge);
+  EXPECT_EQ(collection.sink(), 2U);  // bottom-edge midpoint (16,0)
+}
+
+TEST_F(CollectionFixture, BfsTreeDepthsUphillAndBackbone) {
+  arm(SinkPlacement::kCorner);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(collection.depth(i), i);
+  }
+  // On a line every node's only uphill neighbor is its parent.
+  EXPECT_TRUE(collection.uphill(0).empty());
+  for (std::uint32_t i = 1; i < 5; ++i) {
+    EXPECT_EQ(collection.uphill(i), (std::vector<std::uint32_t>{i - 1}));
+  }
+  // Backbone: sink + internal tree nodes. The far end (4) is a leaf.
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    EXPECT_TRUE(collection.is_backbone(i));
+  }
+  EXPECT_FALSE(collection.is_backbone(4));
+  EXPECT_EQ(collection.unreachable_count(), 0U);
+}
+
+TEST_F(CollectionFixture, AlertTravelsHopByHopToTheSink) {
+  arm(SinkPlacement::kCorner);
+  collection.originate(4, /*detected_at=*/0.0, /*predicted_arrival=*/9.0);
+  simulator.run();
+  ASSERT_EQ(collection.records().size(), 1U);
+  const auto& r = collection.records()[0];
+  EXPECT_TRUE(r.delivered);
+  EXPECT_EQ(r.origin, 4U);
+  EXPECT_EQ(r.hops, 4U);
+  EXPECT_EQ(r.path, (std::vector<std::uint32_t>{4, 3, 2, 1, 0}));
+  EXPECT_GT(r.completed_at, r.detected_at);
+  EXPECT_EQ(collection.stats().delivered, 1ULL);
+  EXPECT_EQ(collection.stats().forwarded, 4ULL);
+  EXPECT_EQ(collection.in_flight(), 0U);
+  EXPECT_GT(collection.stats().sum_delay_s, 0.0);
+}
+
+TEST_F(CollectionFixture, DetectionAtTheSinkDeliversInstantly) {
+  arm(SinkPlacement::kCorner);
+  collection.originate(0, 1.5, 2.0);
+  ASSERT_EQ(collection.records().size(), 1U);
+  EXPECT_TRUE(collection.records()[0].delivered);
+  EXPECT_EQ(collection.records()[0].hops, 0U);
+  EXPECT_EQ(mac.stats().unicasts, 0ULL);
+}
+
+TEST_F(CollectionFixture, FallbackToPredictedWhenNoRelayPermitted) {
+  // DutyCycle-style policy: sleeping nodes refuse to relay. With the whole
+  // uphill path asleep, the Sleep-Route fallback answers with the
+  // prediction instead of forwarding the measurement.
+  arm(SinkPlacement::kCorner, /*relay_through_sleeping=*/false);
+  network.set_listening(3, false);
+  collection.originate(4, 0.0, 7.25);
+  simulator.run_until(1.0);
+  ASSERT_EQ(collection.records().size(), 1U);
+  const auto& r = collection.records()[0];
+  EXPECT_FALSE(r.delivered);
+  EXPECT_DOUBLE_EQ(r.predicted_arrival, 7.25);
+  EXPECT_EQ(collection.stats().delivered_predicted, 1ULL);
+  EXPECT_EQ(collection.stats().delivered, 0ULL);
+  EXPECT_EQ(mac.stats().unicasts, 0ULL);  // never even tried the hop
+}
+
+TEST_F(CollectionFixture, SleepingBackboneRelaysThroughRendezvous) {
+  // Same sleeper, but PAS-style relay participation: the MAC pays the LPL
+  // rendezvous to wake node 3 and the measurement still reaches the sink.
+  arm(SinkPlacement::kCorner, /*relay_through_sleeping=*/true);
+  network.set_listening(3, false);
+  collection.originate(4, 0.0, 7.25);
+  simulator.run_until(1.0);
+  ASSERT_EQ(collection.records().size(), 1U);
+  EXPECT_TRUE(collection.records()[0].delivered);
+  EXPECT_GE(mac.stats().rendezvous_tx, 1ULL);
+  EXPECT_EQ(collection.stats().delivered, 1ULL);
+}
+
+TEST_F(CollectionFixture, TtlDropsLoopingAlerts) {
+  CollectionConfig cfg;
+  cfg.max_hops = 2;
+  arm(SinkPlacement::kCorner, true, cfg);
+  collection.originate(4, 0.0, 1.0);
+  simulator.run();
+  EXPECT_EQ(collection.stats().dropped_ttl, 1ULL);
+  EXPECT_EQ(collection.stats().delivered, 0ULL);
+  EXPECT_TRUE(collection.records().empty());
+}
+
+TEST_F(CollectionFixture, FailedNextHopIsSkippedNotWaitedOn) {
+  // 4 → 3 fails permanently; node 4 has no other uphill neighbor, so the
+  // alert completes as a predicted-value fallback instead of hanging.
+  arm(SinkPlacement::kCorner);
+  network.set_failed(3);
+  collection.originate(4, 0.0, 3.0);
+  simulator.run();
+  ASSERT_EQ(collection.records().size(), 1U);
+  EXPECT_FALSE(collection.records()[0].delivered);
+  EXPECT_EQ(collection.stats().delivered_predicted, 1ULL);
+}
+
+TEST(Collection, DisconnectedNodeFallsBackImmediately) {
+  sim::Simulator simulator;
+  const sim::SeedSequence seeds(5);
+  // Node 2 is 100 m away: out of range of everyone, depth = kNoDepth.
+  const std::vector<geom::Vec2> positions{
+      {0.0, 0.0}, {8.0, 0.0}, {100.0, 0.0}};
+  Network network(simulator, positions, RadioConfig{},
+                  std::make_shared<PerfectChannel>(), seeds);
+  SlottedLplMac mac(simulator, network);
+  mac.reset(MacConfig{}, seeds);
+  network.attach_mac(&mac);
+  Collection collection(simulator, network, mac);
+  collection.reset(CollectionConfig{}, true, {{0.0, 0.0}, {100.0, 8.0}},
+                   nullptr);
+  EXPECT_EQ(collection.unreachable_count(), 1U);
+  EXPECT_EQ(collection.depth(2), Collection::kNoDepth);
+  collection.originate(2, 0.0, 4.0);
+  simulator.run();
+  ASSERT_EQ(collection.records().size(), 1U);
+  EXPECT_FALSE(collection.records()[0].delivered);
+}
+
+TEST(CollectionConfig, ValidationRejectsZeroLimits) {
+  CollectionConfig bad;
+  bad.max_hops = 0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = CollectionConfig{};
+  bad.node_queue_limit = 0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pas::net

@@ -6,12 +6,17 @@ Usage:
   check_metrics_schema.py A.jsonl --compare-points B.jsonl
 
 Checks every line parses as JSON and is either a point row or a registry
-trailer:
+trailer (the full schema is documented in docs/FORMATS.md):
 
   point row:   {"kind":"point","point":i,"seed":"<u64>","replications":R,
-                "policy":"...","axes":{...},"kernel":{...},"protocol":{...}}
+                "policy":"...","axes":{...},"kernel":{...},"protocol":{...},
+                "net":{"mac":{...},"collection":{...}}}   # MAC points only
   trailer:     {"kind":"registry","scope":"campaign"|"orchestrator",
                 "instruments":{...}}
+
+The "net" section is present exactly when the point ran with the slotted
+LPL MAC enabled; mac-off rows must not carry it (that absence is part of
+the mac-off byte-identity contract).
 
 Point rows must be sorted, unique, and precede all trailers; --points N
 additionally requires exactly the point set {0..N-1}. --compare-points
@@ -47,6 +52,34 @@ PROTOCOL_KEYS = {
     "prediction_hits",
     "prediction_misses",
     "sleep_s",
+}
+NET_MAC_KEYS = {
+    "unicasts",
+    "broadcasts",
+    "data_tx",
+    "rendezvous_tx",
+    "cca_busy",
+    "backoffs",
+    "retries",
+    "collisions",
+    "captures",
+    "delivered",
+    "acks",
+    "drops_cca",
+    "drops_retry",
+    "lpl_samples",
+    "lpl_wakeups",
+    "overhears",
+}
+NET_COLLECTION_KEYS = {
+    "originated",
+    "forwarded",
+    "delivered",
+    "delivered_predicted",
+    "dropped_ttl",
+    "dropped_queue",
+    "sum_delay_s",
+    "sum_hops",
 }
 HISTOGRAM_KEYS = {"lo", "count", "bins", "total"}
 
@@ -113,6 +146,16 @@ def load(path):
                 check_counters(path, lineno, "kernel", row["kernel"], KERNEL_KEYS)
                 check_counters(path, lineno, "protocol", row["protocol"],
                                PROTOCOL_KEYS)
+                if "net" in row:  # optional: present iff the MAC ran
+                    net = row["net"]
+                    if not isinstance(net, dict) or set(net) != {"mac",
+                                                                 "collection"}:
+                        fail(path, lineno,
+                             "net: expected {'mac', 'collection'} sections")
+                    check_counters(path, lineno, "net.mac", net["mac"],
+                                   NET_MAC_KEYS)
+                    check_counters(path, lineno, "net.collection",
+                                   net["collection"], NET_COLLECTION_KEYS)
                 points[index] = line
             elif kind == "registry":
                 if row.get("scope") not in ("campaign", "orchestrator"):
