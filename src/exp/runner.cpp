@@ -15,6 +15,7 @@
 #include "exp/telemetry.hpp"
 #include "obs/export.hpp"
 #include "obs/registry.hpp"
+#include "serve/feed.hpp"
 #include "world/sweep.hpp"
 
 namespace pas::exp {
@@ -48,7 +49,28 @@ struct PointTask {
   std::vector<metrics::RunMetrics> runs;
   std::once_flag alloc;
   std::atomic<std::size_t> remaining{0};
+  /// Set when a graceful stop lands before the point's last chunk ran: the
+  /// point is abandoned whole (no reduction, no row), keeping the output
+  /// resumable and the no-partial-points invariant intact.
+  std::atomic<bool> aborted{false};
 };
+
+/// The compact JSON row published per completed point through the feed
+/// (/api/points and the "point" SSE event). Summary means only — the full
+/// row lives in the CSV; the feed is a live view, not a second output.
+std::string feed_point_row(const GridPoint& point, std::size_t replications,
+                           const PointSummary& summary) {
+  io::JsonObject row;
+  row["point"] = point.index;
+  row["seed"] = std::to_string(point.seed);
+  row["replications"] = replications;
+  row["delay_mean_s"] = summary.delay_s.mean;
+  row["energy_mean_j"] = summary.energy_j.mean;
+  row["active_fraction_mean"] = summary.active_fraction.mean;
+  row["mean_missed"] = summary.mean_missed;
+  row["mean_broadcasts"] = summary.mean_broadcasts;
+  return io::Json(std::move(row)).dump();
+}
 
 /// Registry handles for one policy's campaign-level instruments, resolved
 /// once before the first point completes (registration freezes on first
@@ -182,6 +204,13 @@ CampaignReport run_campaign(const Manifest& manifest,
   const std::size_t recovered = aggregator.load_existing();
   const auto pending = aggregator.pending();
 
+  serve::CampaignFeed* const feed = options.feed;
+  if (feed != nullptr) {
+    feed->begin_campaign(manifest.name, options.campaign_id,
+                         aggregator.owned_count(), manifest.replications,
+                         recovered);
+  }
+
   // Telemetry: a JSONL sink for per-point rows plus a campaign-scoped
   // registry for the cross-point roll-up. Both exist only when --metrics
   // was given; a disabled registry hands out inert handles, and nothing in
@@ -220,6 +249,26 @@ CampaignReport run_campaign(const Manifest& manifest,
       registry.counter("kernel.timer_reschedules");
   const obs::Counter points_completed =
       registry.counter("campaign.points_completed");
+
+  // The feed's /api/metrics source snapshots this campaign's registry.
+  // The guard (declared after the registry, destroyed before it) detaches
+  // the closure on every exit path so the server can never snapshot a
+  // dead registry.
+  struct FeedMetricsGuard {
+    serve::CampaignFeed* feed = nullptr;
+    ~FeedMetricsGuard() {
+      if (feed != nullptr) feed->set_metrics_source(nullptr);
+    }
+  } metrics_guard;
+  if (feed != nullptr && registry.enabled()) {
+    metrics_guard.feed = feed;
+    feed->set_metrics_source([&registry] {
+      io::JsonObject out;
+      out["scope"] = "campaign";
+      out["instruments"] = obs::snapshot_json(registry.snapshot());
+      return io::Json(std::move(out));
+    });
+  }
 
   const std::size_t reps = manifest.replications;
   const std::size_t jobs =
@@ -285,10 +334,16 @@ CampaignReport run_campaign(const Manifest& manifest,
       }
       points_completed.add();
     }
-    if (options.progress) {
+    if (options.progress || feed != nullptr) {
       const std::lock_guard lock(progress_mutex);
-      options.progress(PointSummary::of(point.index, point.seed, metrics),
-                       aggregator.done_count(), aggregator.owned_count());
+      const auto summary = PointSummary::of(point.index, point.seed, metrics);
+      const std::size_t done = aggregator.done_count();
+      const std::size_t owned = aggregator.owned_count();
+      if (options.progress) options.progress(summary, done, owned);
+      if (feed != nullptr) {
+        feed->point_done(feed_point_row(point, reps, summary));
+        feed->progress_tick(done == owned);
+      }
     }
   };
   // Inline (jobs==1) chunks run on the caller's thread and use this
@@ -299,26 +354,37 @@ CampaignReport run_campaign(const Manifest& manifest,
   // stimulus — for PDE campaigns that drops a full solver integration per
   // replication.
   world::Workspace inline_workspace;
+  const auto stop_requested = [&options] {
+    return options.should_stop && options.should_stop();
+  };
   const auto run_chunk = [&](PointTask& task, std::size_t begin,
                              std::size_t end, world::Workspace* caller_ws) {
-    std::call_once(task.alloc, [&task, reps] { task.runs.resize(reps); });
-    world::Workspace& workspace = [&]() -> world::Workspace& {
-      if (caller_ws != nullptr) return *caller_ws;
-      static thread_local world::Workspace pool_workspace;
-      return pool_workspace;
-    }();
-    for (std::size_t r = begin; r < end; ++r) {
-      task.runs[r] = world::run_replication(workspace, task.point->config, r);
+    // Graceful stop is checked at chunk granularity: a chunk either runs
+    // whole or not at all, and an abandoned point (any chunk skipped)
+    // never reduces into a row — the output stays resumable.
+    if (stop_requested()) task.aborted.store(true, std::memory_order_relaxed);
+    if (!task.aborted.load(std::memory_order_relaxed)) {
+      std::call_once(task.alloc, [&task, reps] { task.runs.resize(reps); });
+      world::Workspace& workspace = [&]() -> world::Workspace& {
+        if (caller_ws != nullptr) return *caller_ws;
+        static thread_local world::Workspace pool_workspace;
+        return pool_workspace;
+      }();
+      for (std::size_t r = begin; r < end; ++r) {
+        task.runs[r] = world::run_replication(workspace, task.point->config, r);
+      }
     }
     // acq_rel: the final decrement must observe every other chunk's writes
     // to task.runs before reducing them.
-    if (task.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    if (task.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1 &&
+        !task.aborted.load(std::memory_order_acquire)) {
       finish_point(task);
     }
   };
 
   if (options.jobs == 1) {
     for (auto& task : tasks) {
+      if (stop_requested()) break;
       for (std::size_t begin = 0; begin < reps; begin += chunk) {
         run_chunk(task, begin, std::min(reps, begin + chunk),
                   &inline_workspace);
@@ -339,24 +405,32 @@ CampaignReport run_campaign(const Manifest& manifest,
     for (auto& f : futures) f.get();  // propagate the first failure
   }
 
-  aggregator.finalize();
-  if (sink.has_value()) {
-    // The registry snapshot covers the points computed *this invocation*
-    // (resumed rows were recovered, not re-simulated); points_completed
-    // records exactly that.
-    io::JsonObject trailer;
-    trailer["kind"] = "registry";
-    trailer["scope"] = "campaign";
-    trailer["instruments"] = obs::snapshot_json(registry.snapshot());
-    sink->finalize({io::Json(std::move(trailer))});
+  const bool interrupted = stop_requested();
+  if (!interrupted) {
+    aggregator.finalize();
+    if (sink.has_value()) {
+      // The registry snapshot covers the points computed *this invocation*
+      // (resumed rows were recovered, not re-simulated); points_completed
+      // records exactly that.
+      io::JsonObject trailer;
+      trailer["kind"] = "registry";
+      trailer["scope"] = "campaign";
+      trailer["instruments"] = obs::snapshot_json(registry.snapshot());
+      sink->finalize({io::Json(std::move(trailer))});
+    }
   }
+  // Interrupted: no finalize, no trailer — the appended rows are exactly
+  // what a resume expects, the same shape a killed process leaves behind.
+
+  if (feed != nullptr) feed->end_campaign(interrupted);
 
   CampaignReport report;
   report.total_points = points.size();
   report.owned_points = aggregator.owned_count();
-  report.computed = pending.size();
+  report.computed = aggregator.done_count() - recovered;
   report.skipped = recovered;
   report.replications = manifest.replications;
+  report.interrupted = interrupted;
   report.wall_s = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - t0)
                       .count();

@@ -27,6 +27,10 @@
 #include "exp/manifest.hpp"
 #include "runtime/thread_pool.hpp"
 
+namespace pas::serve {
+class CampaignFeed;
+}  // namespace pas::serve
+
 namespace pas::exp {
 
 struct CampaignOptions {
@@ -63,6 +67,20 @@ struct CampaignOptions {
   std::function<void(const PointSummary&, std::size_t done,
                      std::size_t total)>
       progress;
+  /// Live-observability hub (serve/feed.hpp). When set, the campaign
+  /// publishes begin/point/progress/end into it and installs a registry
+  /// snapshot as the feed's metrics source (cleared again before return).
+  /// The feed only ever receives copies — attaching one cannot change a
+  /// single output byte.
+  serve::CampaignFeed* feed = nullptr;
+  /// Identity reported through the feed (0 = the CLI campaign; submitted
+  /// manifests get ids from POST /api/campaigns).
+  std::uint64_t campaign_id = 0;
+  /// Polled between replication chunks; returning true stops the campaign
+  /// gracefully: in-flight points finish or are abandoned whole (a partial
+  /// point never produces a row), finalize is skipped, and the outputs are
+  /// left exactly as resumable as after a kill. Null = never stop.
+  std::function<bool()> should_stop;
 };
 
 struct CampaignReport {
@@ -72,6 +90,9 @@ struct CampaignReport {
   std::size_t skipped = 0;       // points recovered from the resume file
   std::size_t replications = 0;
   double wall_s = 0.0;
+  /// True when should_stop ended the campaign early; outputs are left
+  /// resumable (no finalize pass ran).
+  bool interrupted = false;
 };
 
 /// Runs one replicated point exactly as a campaign job would (benches and

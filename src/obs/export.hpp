@@ -18,13 +18,30 @@
 namespace pas::obs {
 
 /// {"lo": ..., "count": N, "bins": [...], "total": M}; `bins` is empty for
-/// a histogram that never recorded.
+/// a histogram that never recorded. Non-empty histograms additionally carry
+/// "p50"/"p95"/"p99": quantile estimates interpolated within the log
+/// buckets (obs::quantile) — a pure function of the bins, so the keys never
+/// break byte-identity across schedules.
 [[nodiscard]] io::Json histogram_json(const HistogramData& data);
 
 /// One object mapping instrument name → value (counters/gauges) or
 /// histogram object. Key order is io::Json's (sorted), so serialization is
 /// deterministic for a given snapshot.
 [[nodiscard]] io::Json snapshot_json(const Snapshot& snapshot);
+
+/// Instrument-wise difference `cur - prev` for two snapshots of the same
+/// registry (prev may be older and therefore missing instruments; missing
+/// means 0). Counters and histogram bins subtract; gauges are high-water
+/// marks, so the delta reports the current max. Used by the live server's
+/// incremental SSE metrics events.
+[[nodiscard]] Snapshot snapshot_delta(const Snapshot& prev,
+                                      const Snapshot& cur);
+
+/// snapshot_json of snapshot_delta, with unchanged instruments (zero
+/// counters, histograms with no new samples) omitted — the compact shape
+/// pushed to dashboard clients between full /api/metrics polls.
+[[nodiscard]] io::Json snapshot_delta_json(const Snapshot& prev,
+                                           const Snapshot& cur);
 
 /// Writes one JSONL line per trace event: structured fields plus the
 /// rendered text, e.g.

@@ -82,4 +82,38 @@ struct HistogramData {
   }
 };
 
+/// Quantile estimate (q in [0, 1]) interpolated within log buckets: the
+/// bucket holding the target rank contributes linearly by the fraction of
+/// its count below the rank, so the error is bounded by one bucket's width
+/// instead of a whole doubling step. The telemetry values recorded here
+/// are non-negative durations, so the underflow bucket interpolates over
+/// [0, lo]; the unbounded overflow bucket reports its lower edge
+/// (lo * 2^count) — a deliberate under-estimate rather than a made-up
+/// extrapolation. An empty histogram reports 0.
+[[nodiscard]] inline double quantile(const HistogramData& data,
+                                     double q) noexcept {
+  if (data.count == 0 || data.bin_counts.empty()) return 0.0;
+  if (!(q > 0.0)) q = 0.0;  // also catches NaN
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(data.count);
+  std::uint64_t below = 0;
+  for (std::size_t i = 0; i < data.bin_counts.size(); ++i) {
+    const std::uint64_t in_bin = data.bin_counts[i];
+    if (in_bin == 0) continue;
+    if (static_cast<double>(below + in_bin) >= target) {
+      const double lower = i == 0 ? 0.0 : data.spec.upper_edge(i - 1);
+      if (i == data.spec.count + 1) return lower;  // overflow bucket
+      const double upper = data.spec.upper_edge(i);
+      double frac = (target - static_cast<double>(below)) /
+                    static_cast<double>(in_bin);
+      if (frac < 0.0) frac = 0.0;
+      if (frac > 1.0) frac = 1.0;
+      return lower + frac * (upper - lower);
+    }
+    below += in_bin;
+  }
+  // Unreachable while count == sum(bin_counts); degrade to the top edge.
+  return data.spec.upper_edge(data.spec.count);
+}
+
 }  // namespace pas::obs

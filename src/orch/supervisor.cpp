@@ -32,6 +32,7 @@
 #include "orch/lease.hpp"
 #include "orch/queue.hpp"
 #include "orch/worker_link.hpp"
+#include "serve/feed.hpp"
 
 namespace pas::orch {
 
@@ -181,6 +182,18 @@ class Driver {
     crashes_ = registry_.counter("orch.worker_crashes");
     respawns_ = registry_.counter("orch.respawns");
     recovered_rows_ = registry_.counter("orch.recovered_rows");
+
+    // Progress and worker events flow through one feed whether or not a
+    // server is attached; without one the driver owns a throwaway feed so
+    // the --progress rendering path is identical either way.
+    if (options.feed != nullptr) {
+      feed_ = options.feed;
+    } else {
+      local_feed_ = std::make_unique<serve::CampaignFeed>();
+      feed_ = local_feed_.get();
+    }
+    feed_->set_echo(options.verbosity == DriveOptions::Verbosity::kPeriodic,
+                    /*drive_style=*/true, options.progress_interval_s);
   }
 
   DriveReport run();
@@ -249,7 +262,10 @@ class Driver {
   DriveReport report_;
   std::string last_worker_error_;
   Clock::time_point t0_{};
-  Clock::time_point last_progress_{};
+
+  /// The unified progress/event hub: options_.feed, or a private one.
+  serve::CampaignFeed* feed_ = nullptr;
+  std::unique_ptr<serve::CampaignFeed> local_feed_;
 
   // Observability: inert (and the registry snapshot empty) unless --metrics
   // was given; the flight recorder always runs — noting a protocol line is
@@ -402,6 +418,7 @@ void Driver::spawn(int id) {
   all_part_ids_.insert(id);
   ++report_.workers_spawned;
   workers_.push_back(std::make_unique<Worker>(std::move(w)));
+  feed_->worker_event("spawn", id, "pid " + std::to_string(pid));
 }
 
 bool Driver::send(Worker& w, const std::string& line) {
@@ -488,6 +505,16 @@ void Driver::handle_line(Worker& w, const std::string& line) {
       }
       ++report_.computed;
       ++w.points_done;
+      {
+        // Identity-only row: the supervisor never parses worker CSV, so
+        // the live view carries what the protocol proves — which point
+        // finished, on which worker.
+        io::JsonObject row;
+        row["point"] = msg->point;
+        row["seed"] = std::to_string(points_[msg->point].seed);
+        row["worker"] = w.id;
+        feed_->point_done(io::Json(std::move(row)).dump());
+      }
       print_point(w, msg->point);
       break;
     }
@@ -548,6 +575,9 @@ void Driver::read_worker(Worker& w) {
 void Driver::crash_recover(Worker& w) {
   ++report_.crashes;
   crashes_.add();
+  feed_->worker_event("crash", w.id,
+                      w.doom_reason.empty() ? "exited unclean"
+                                            : w.doom_reason);
   dump_flight_recorder("worker " + std::to_string(w.id) + " crashed: " +
                        (w.doom_reason.empty() ? "exited unclean"
                                               : w.doom_reason));
@@ -561,6 +591,12 @@ void Driver::crash_recover(Worker& w) {
       sanitize_and_claim(w.part_csv, w.part_runs, w.id);
   report_.computed += recovered_from_disk;
   recovered_rows_.add(recovered_from_disk);
+  feed_->add_recovered(recovered_from_disk);
+  if (recovered_from_disk > 0) {
+    feed_->worker_event("recovered", w.id,
+                        std::to_string(recovered_from_disk) +
+                            " rows from part file");
+  }
   std::erase_if(unfinished,
                 [this](std::size_t p) { return claimed_.count(p) > 0; });
   queue_->put_back(unfinished);
@@ -568,6 +604,8 @@ void Driver::crash_recover(Worker& w) {
   if (report_.respawns < options_.max_respawns) {
     ++report_.respawns;
     respawns_.add();
+    feed_->worker_event("respawn", next_worker_id_,
+                        "replacing worker " + std::to_string(w.id));
     spawn(next_worker_id_++);
     return;
   }
@@ -725,37 +763,30 @@ void Driver::print_point(const Worker& w, std::size_t point) {
 }
 
 void Driver::print_progress(bool force) {
-  if (options_.verbosity != DriveOptions::Verbosity::kPeriodic) return;
-  const auto now = Clock::now();
-  const double since =
-      std::chrono::duration<double>(now - last_progress_).count();
-  if (!force && since < options_.progress_interval_s) return;
-  last_progress_ = now;
-  const double elapsed = std::chrono::duration<double>(now - t0_).count();
-  std::printf("%s | %zu workers\n",
-              progress_line(claimed_.size(), points_.size(), report_.computed,
-                            manifest_.replications, elapsed)
-                  .c_str(),
-              workers_.size());
+  // The worker table and the throttled progress line both go through the
+  // feed: with --progress the feed echoes the classic lines; with --serve
+  // the same push becomes the SSE "progress" event and /api/status table.
+  std::vector<serve::CampaignFeed::WorkerRow> rows;
+  rows.reserve(workers_.size());
   for (const auto& w : workers_) {
-    std::size_t left = 0;
+    serve::CampaignFeed::WorkerRow row;
+    row.id = w->id;
+    row.has_lease = w->has_lease;
     if (w->has_lease) {
       if (const Lease* lease = leases_.find(w->lease); lease != nullptr) {
-        left = lease->pending.size();
+        row.lease_points_left = lease->pending.size();
       }
     }
-    const double age =
-        std::chrono::duration<double>(now - w->last_line).count();
-    std::printf("%s\n", worker_status_line(w->id, w->has_lease, left,
-                                           w->points_done, age)
-                            .c_str());
+    row.points_done = w->points_done;
+    row.last_line = w->last_line;
+    rows.push_back(row);
   }
-  std::fflush(stdout);
+  feed_->update_workers(std::move(rows));
+  feed_->progress_tick(force);
 }
 
 DriveReport Driver::run() {
   t0_ = Clock::now();
-  last_progress_ = t0_;
   manifest_.validate();
   if (options_.workers == 0) {
     throw std::invalid_argument("drive: workers must be >= 1");
@@ -787,6 +818,27 @@ DriveReport Driver::run() {
   next_worker_id_ =
       std::max<int>(static_cast<int>(options_.workers),
                     all_part_ids_.empty() ? 0 : *all_part_ids_.rbegin() + 1);
+
+  feed_->begin_campaign(manifest_.name, 0, points_.size(),
+                        manifest_.replications, claimed_.size());
+  // /api/metrics serves this drive's registry while it runs; detached on
+  // every exit path (the guard dies before registry_ only because feed_
+  // may outlive this Driver, not because registry_ does).
+  struct FeedMetricsGuard {
+    serve::CampaignFeed* feed = nullptr;
+    ~FeedMetricsGuard() {
+      if (feed != nullptr) feed->set_metrics_source(nullptr);
+    }
+  } metrics_guard;
+  if (registry_.enabled()) {
+    metrics_guard.feed = feed_;
+    feed_->set_metrics_source([this] {
+      io::JsonObject out;
+      out["scope"] = "orchestrator";
+      out["instruments"] = obs::snapshot_json(registry_.snapshot());
+      return io::Json(std::move(out));
+    });
+  }
 
   // Destruction order matters: the SignalGuard (constructed second) is
   // destroyed first, detaching the handler before the pipe fds close — a
@@ -866,6 +918,7 @@ DriveReport Driver::run() {
       print_progress(false);
     }
   } catch (...) {
+    feed_->end_campaign(/*interrupted=*/true);
     dump_flight_recorder("drive aborted by exception");
     // Never leak children past the call, whatever went wrong.
     for (const auto& w : workers_) {
@@ -889,6 +942,7 @@ DriveReport Driver::run() {
     print_progress(true);
     merge_and_clean();
   }
+  feed_->end_campaign(report_.interrupted);
   report_.wall_s =
       std::chrono::duration<double>(Clock::now() - t0_).count();
   return report_;

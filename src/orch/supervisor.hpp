@@ -37,6 +37,10 @@
 
 #include "exp/manifest.hpp"
 
+namespace pas::serve {
+class CampaignFeed;
+}  // namespace pas::serve
+
 namespace pas::orch {
 
 struct DriveOptions {
@@ -76,6 +80,14 @@ struct DriveOptions {
   };
   Verbosity verbosity = Verbosity::kPerPoint;
   double progress_interval_s = 1.0;
+
+  /// Live-observability hub (serve/feed.hpp). The driver publishes the
+  /// worker table, point completions, crash/respawn/recovery events, and
+  /// throttled progress into it; with --progress the feed also renders
+  /// the classic status lines, so the terminal and any SSE stream are two
+  /// views of the same counters. Null = the driver owns a private feed
+  /// (progress unification still applies; nothing is retained).
+  serve::CampaignFeed* feed = nullptr;
 };
 
 struct DriveReport {

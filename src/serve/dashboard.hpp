@@ -1,0 +1,17 @@
+// The embedded dashboard served at GET /.
+//
+// One self-contained HTML page (no external assets, works from file:// or
+// behind the embedded server) that subscribes to /api/events with
+// EventSource and renders campaign progress, a throughput chart, the
+// worker table, the live metrics snapshot, and the event log. Kept in its
+// own translation unit so the ~large raw string does not slow down
+// rebuilds of the server logic.
+#pragma once
+
+#include <string_view>
+
+namespace pas::serve {
+
+[[nodiscard]] std::string_view dashboard_html() noexcept;
+
+}  // namespace pas::serve

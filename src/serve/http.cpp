@@ -1,0 +1,273 @@
+#include "serve/http.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+
+namespace pas::serve {
+
+namespace {
+
+std::string_view strip(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
+                        s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::string lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+}  // namespace
+
+std::string query_param(const HttpRequest& request, std::string_view key,
+                        std::string fallback) {
+  std::string_view q = request.query;
+  while (!q.empty()) {
+    const std::size_t amp = q.find('&');
+    const std::string_view pair =
+        amp == std::string_view::npos ? q : q.substr(0, amp);
+    q = amp == std::string_view::npos ? std::string_view{}
+                                      : q.substr(amp + 1);
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string_view::npos) continue;
+    if (pair.substr(0, eq) == key) return std::string(pair.substr(eq + 1));
+  }
+  return fallback;
+}
+
+bool RequestParser::consume(std::string_view bytes) {
+  if (failed()) return false;
+  buffer_.append(bytes.data(), bytes.size());
+  return parse_available();
+}
+
+HttpRequest RequestParser::take_request() {
+  HttpRequest out = std::move(complete_.front());
+  complete_.pop_front();
+  return out;
+}
+
+void RequestParser::reset() {
+  buffer_.clear();
+  complete_.clear();
+  pending_ = HttpRequest{};
+  pending_body_ = 0;
+  in_body_ = false;
+  error_status_ = 0;
+}
+
+bool RequestParser::parse_available() {
+  while (true) {
+    if (in_body_) {
+      if (buffer_.size() < pending_body_) return true;  // body still arriving
+      pending_.body = buffer_.substr(0, pending_body_);
+      buffer_.erase(0, pending_body_);
+      in_body_ = false;
+      complete_.push_back(std::move(pending_));
+      pending_ = HttpRequest{};
+      continue;  // pipelining: the buffer may already hold the next head
+    }
+    const std::size_t end = buffer_.find("\r\n\r\n");
+    if (end == std::string::npos) {
+      // Tolerate bare-LF clients for the head terminator too.
+      const std::size_t lf = buffer_.find("\n\n");
+      if (lf == std::string::npos) {
+        if (buffer_.size() > limits_.max_head_bytes) {
+          fail(431);
+          return false;
+        }
+        return true;  // head still arriving
+      }
+      if (lf + 2 > limits_.max_head_bytes) {
+        fail(431);
+        return false;
+      }
+      if (!parse_head(std::string_view(buffer_).substr(0, lf))) return false;
+      buffer_.erase(0, lf + 2);
+      continue;
+    }
+    if (end + 4 > limits_.max_head_bytes) {
+      fail(431);
+      return false;
+    }
+    if (!parse_head(std::string_view(buffer_).substr(0, end))) return false;
+    buffer_.erase(0, end + 4);
+  }
+}
+
+bool RequestParser::parse_head(std::string_view head) {
+  // Request line: METHOD SP TARGET SP HTTP/1.x
+  const std::size_t line_end = head.find('\n');
+  std::string_view line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+  line = strip(line);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
+    fail(400);
+    return false;
+  }
+  HttpRequest request;
+  request.method = std::string(line.substr(0, sp1));
+  request.target = std::string(line.substr(sp1 + 1, sp2 - sp1 - 1));
+  const std::string_view version = strip(line.substr(sp2 + 1));
+  if (request.method.empty() || request.target.empty() ||
+      request.target[0] != '/' ||
+      request.target.find(' ') != std::string::npos) {
+    fail(400);
+    return false;
+  }
+  if (version != "HTTP/1.1" && version != "HTTP/1.0") {
+    fail(400);
+    return false;
+  }
+  for (const char c : request.method) {
+    if (!std::isupper(static_cast<unsigned char>(c))) {
+      fail(400);
+      return false;
+    }
+  }
+  const std::size_t qmark = request.target.find('?');
+  request.path = request.target.substr(0, qmark);
+  request.query = qmark == std::string::npos
+                      ? std::string()
+                      : request.target.substr(qmark + 1);
+
+  // Header fields.
+  std::string_view rest = line_end == std::string_view::npos
+                              ? std::string_view{}
+                              : head.substr(line_end + 1);
+  while (!rest.empty()) {
+    const std::size_t nl = rest.find('\n');
+    std::string_view field =
+        nl == std::string_view::npos ? rest : rest.substr(0, nl);
+    rest = nl == std::string_view::npos ? std::string_view{}
+                                        : rest.substr(nl + 1);
+    field = strip(field);
+    if (field.empty()) continue;
+    const std::size_t colon = field.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      fail(400);
+      return false;
+    }
+    request.headers[lower(strip(field.substr(0, colon)))] =
+        std::string(strip(field.substr(colon + 1)));
+  }
+
+  request.keep_alive = version == "HTTP/1.1";
+  if (const auto it = request.headers.find("connection");
+      it != request.headers.end()) {
+    const std::string value = lower(it->second);
+    if (value.find("close") != std::string::npos) {
+      request.keep_alive = false;
+    } else if (value.find("keep-alive") != std::string::npos) {
+      request.keep_alive = true;
+    }
+  }
+
+  if (request.headers.contains("transfer-encoding")) {
+    fail(501);  // chunked uploads are out of scope
+    return false;
+  }
+  pending_body_ = 0;
+  if (const auto it = request.headers.find("content-length");
+      it != request.headers.end()) {
+    const std::string& value = it->second;
+    std::size_t length = 0;
+    const auto [ptr, ec] =
+        std::from_chars(value.data(), value.data() + value.size(), length);
+    if (ec != std::errc{} || ptr != value.data() + value.size()) {
+      fail(400);
+      return false;
+    }
+    if (length > limits_.max_body_bytes) {
+      fail(413);
+      return false;
+    }
+    pending_body_ = length;
+  }
+  if (pending_body_ > 0) {
+    pending_ = std::move(request);
+    in_body_ = true;
+  } else {
+    complete_.push_back(std::move(request));
+  }
+  return true;
+}
+
+const char* status_text(int status) noexcept {
+  switch (status) {
+    case 200: return "OK";
+    case 202: return "Accepted";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 413: return "Payload Too Large";
+    case 431: return "Request Header Fields Too Large";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    default: return "Error";
+  }
+}
+
+std::string http_response(int status, std::string_view content_type,
+                          std::string_view body, bool keep_alive) {
+  std::string out;
+  out.reserve(body.size() + 160);
+  out += "HTTP/1.1 ";
+  out += std::to_string(status);
+  out += ' ';
+  out += status_text(status);
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(body.size());
+  out += "\r\nCache-Control: no-store\r\nConnection: ";
+  out += keep_alive ? "keep-alive" : "close";
+  out += "\r\n\r\n";
+  out += body;
+  return out;
+}
+
+std::string sse_preamble() {
+  return
+      "HTTP/1.1 200 OK\r\n"
+      "Content-Type: text/event-stream\r\n"
+      "Cache-Control: no-store\r\n"
+      "Connection: keep-alive\r\n"
+      "\r\n";
+}
+
+std::string sse_event(std::uint64_t id, std::string_view type,
+                      std::string_view data) {
+  std::string out;
+  out.reserve(data.size() + 48);
+  out += "id: ";
+  out += std::to_string(id);
+  out += "\nevent: ";
+  out += type;
+  out += "\ndata: ";
+  out += data;
+  out += "\n\n";
+  return out;
+}
+
+std::string sse_comment(std::string_view text) {
+  std::string out(": ");
+  out += text;
+  out += "\n\n";
+  return out;
+}
+
+}  // namespace pas::serve

@@ -1,0 +1,116 @@
+// Minimal HTTP/1.1 request parsing and response/SSE formatting for the
+// embedded campaign server (src/serve/server.hpp).
+//
+// RequestParser is incremental: the server feeds it whatever recv()
+// returned — half a request line, three pipelined requests, or a body
+// split across ten segments — and drains completed requests as they
+// become available. Parsing is defensive the same way the orchestrator's
+// protocol parser is: a malformed request line, an oversized header
+// block, or an over-limit body flips the parser into a sticky error
+// state with the HTTP status the connection should die with (400/431/
+// 413/501), and nothing after the poisoned bytes is ever interpreted.
+//
+// Scope is deliberately the slice the dashboard needs: GET/POST,
+// Content-Length bodies (no chunked uploads), no multipart, no
+// compression. The response side is plain helpers returning wire-ready
+// strings; Server-Sent Events frames (`id:`/`event:`/`data:`) are
+// formatted here too so the framing is unit-testable without a socket.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace pas::serve {
+
+struct HttpRequest {
+  std::string method;  // uppercase as sent: "GET", "POST", ...
+  std::string target;  // raw request target, e.g. "/api/points?since=4"
+  std::string path;    // target before '?'
+  std::string query;   // target after '?' (no '?'), may be empty
+  /// Header field names lower-cased; values stripped of surrounding
+  /// whitespace. Duplicate fields keep the last value (none of the
+  /// headers this server reads are list-valued).
+  std::map<std::string, std::string> headers;
+  std::string body;
+  /// HTTP/1.1 defaults to keep-alive; "Connection: close" (or HTTP/1.0
+  /// without "keep-alive") turns it off.
+  bool keep_alive = true;
+};
+
+/// One query parameter ("since=12&x=y" style); `fallback` when absent or
+/// valueless. No %-decoding — the API's parameters are numeric.
+[[nodiscard]] std::string query_param(const HttpRequest& request,
+                                      std::string_view key,
+                                      std::string fallback = "");
+
+class RequestParser {
+ public:
+  struct Limits {
+    /// Request line + headers, including the blank line.
+    std::size_t max_head_bytes = 8192;
+    /// Content-Length cap (manifest submissions are small JSON files).
+    std::size_t max_body_bytes = 1 << 20;
+  };
+
+  RequestParser() : RequestParser(Limits()) {}
+  explicit RequestParser(Limits limits) : limits_(limits) {}
+
+  /// Appends bytes from the connection and parses as far as possible.
+  /// Returns false once the parser is in the error state (the caller
+  /// should answer `error_status()` and close).
+  bool consume(std::string_view bytes);
+
+  [[nodiscard]] bool has_request() const noexcept {
+    return !complete_.empty();
+  }
+  /// Pops the oldest completed request (FIFO across pipelined requests).
+  [[nodiscard]] HttpRequest take_request();
+
+  [[nodiscard]] bool failed() const noexcept { return error_status_ != 0; }
+  /// 400 bad request / 431 headers too large / 413 body too large /
+  /// 501 unsupported (chunked bodies); 0 while healthy.
+  [[nodiscard]] int error_status() const noexcept { return error_status_; }
+
+  /// Forgets buffered bytes, queued requests, and any error — the server
+  /// reuses parser objects across connections, slot-map style.
+  void reset();
+
+ private:
+  bool parse_available();
+  bool parse_head(std::string_view head);
+  void fail(int status) { error_status_ = status; }
+
+  Limits limits_;
+  std::string buffer_;
+  std::deque<HttpRequest> complete_;
+  /// Request whose head parsed but whose body is still arriving.
+  HttpRequest pending_{};
+  std::size_t pending_body_ = 0;
+  bool in_body_ = false;
+  int error_status_ = 0;
+};
+
+[[nodiscard]] const char* status_text(int status) noexcept;
+
+/// A complete response with Content-Length and Connection headers.
+[[nodiscard]] std::string http_response(int status,
+                                        std::string_view content_type,
+                                        std::string_view body,
+                                        bool keep_alive);
+
+/// Response head opening a Server-Sent Events stream (no Content-Length;
+/// the connection stays open and frames follow).
+[[nodiscard]] std::string sse_preamble();
+
+/// One SSE frame: "id: <id>\nevent: <type>\ndata: <data>\n\n". `data`
+/// must be newline-free (the server sends compact single-line JSON).
+[[nodiscard]] std::string sse_event(std::uint64_t id, std::string_view type,
+                                    std::string_view data);
+
+/// SSE comment frame used as a keep-alive tick.
+[[nodiscard]] std::string sse_comment(std::string_view text);
+
+}  // namespace pas::serve

@@ -79,5 +79,63 @@ TEST(HistogramData, MergeSumsBinByBin) {
   EXPECT_EQ(target.count, 0U);
 }
 
+TEST(Quantile, EmptyHistogramReportsZero) {
+  const HistogramData h{LogBuckets{1.0, 4}, {}, 0};
+  EXPECT_DOUBLE_EQ(quantile(h, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(quantile(h, 0.99), 0.0);
+}
+
+TEST(Quantile, InterpolatesWithinABucket) {
+  // All mass in (2, 4]: the quantile walks linearly across that bucket.
+  HistogramData h{LogBuckets{1.0, 4}, {}, 0};
+  for (int i = 0; i < 4; ++i) h.record(3.0);
+  EXPECT_DOUBLE_EQ(quantile(h, 0.0), 2.0);   // bucket lower edge
+  EXPECT_DOUBLE_EQ(quantile(h, 0.5), 3.0);   // halfway across
+  EXPECT_DOUBLE_EQ(quantile(h, 1.0), 4.0);   // bucket upper edge
+}
+
+TEST(Quantile, UnderflowBucketInterpolatesFromZero) {
+  // Durations are non-negative, so the underflow bucket spans [0, lo].
+  HistogramData h{LogBuckets{1.0, 4}, {}, 0};
+  h.record(0.5);
+  h.record(0.5);
+  EXPECT_DOUBLE_EQ(quantile(h, 0.5), 0.5);
+}
+
+TEST(Quantile, OverflowBucketReportsItsLowerEdge) {
+  // The unbounded top bucket under-estimates instead of extrapolating.
+  HistogramData h{LogBuckets{1.0, 4}, {}, 0};
+  h.record(100.0);
+  EXPECT_DOUBLE_EQ(quantile(h, 0.5), 16.0);
+  EXPECT_DOUBLE_EQ(quantile(h, 1.0), 16.0);
+}
+
+TEST(Quantile, WalksAcrossBucketsAndStaysMonotonic) {
+  HistogramData h{LogBuckets{1.0, 4}, {}, 0};
+  h.record(1.5);  // (1, 2]
+  h.record(3.0);  // (2, 4]
+  h.record(5.0);  // (4, 8]
+  h.record(6.0);  // (4, 8]
+  // target(0.5) = 2 ranks: one in bin 1, the second exhausts bin 2.
+  EXPECT_DOUBLE_EQ(quantile(h, 0.5), 4.0);
+  // target(0.99) = 3.96 ranks: 1.96 of bin 3's two counts -> frac 0.98.
+  EXPECT_DOUBLE_EQ(quantile(h, 0.99), 4.0 + 0.98 * 4.0);
+
+  const double p50 = quantile(h, 0.50);
+  const double p95 = quantile(h, 0.95);
+  const double p99 = quantile(h, 0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+}
+
+TEST(Quantile, ClampsOutOfRangeQ) {
+  HistogramData h{LogBuckets{1.0, 4}, {}, 0};
+  h.record(3.0);
+  EXPECT_DOUBLE_EQ(quantile(h, -0.5), quantile(h, 0.0));
+  EXPECT_DOUBLE_EQ(quantile(h, 2.0), quantile(h, 1.0));
+  EXPECT_DOUBLE_EQ(quantile(h, std::numeric_limits<double>::quiet_NaN()),
+                   quantile(h, 0.0));
+}
+
 }  // namespace
 }  // namespace pas::obs

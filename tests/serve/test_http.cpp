@@ -1,0 +1,172 @@
+// HTTP parser corpus + response/SSE framing (serve/http.hpp). Everything
+// here runs without a socket: the parser eats arbitrary byte slices, so
+// the corpus drives it with whole requests, one-byte drips, pipelined
+// batches, and poisoned input, asserting the exact error statuses the
+// server maps to close-with-status behavior.
+#include "serve/http.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace pas::serve {
+namespace {
+
+TEST(RequestParser, ParsesASimpleGet) {
+  RequestParser parser;
+  ASSERT_TRUE(parser.consume("GET /api/status HTTP/1.1\r\n"
+                             "Host: localhost\r\n"
+                             "Accept: */*\r\n"
+                             "\r\n"));
+  ASSERT_TRUE(parser.has_request());
+  const HttpRequest request = parser.take_request();
+  EXPECT_EQ(request.method, "GET");
+  EXPECT_EQ(request.target, "/api/status");
+  EXPECT_EQ(request.path, "/api/status");
+  EXPECT_EQ(request.query, "");
+  EXPECT_EQ(request.headers.at("host"), "localhost");
+  EXPECT_TRUE(request.keep_alive);
+  EXPECT_FALSE(parser.has_request());
+}
+
+TEST(RequestParser, SplitsTargetIntoPathAndQuery) {
+  RequestParser parser;
+  ASSERT_TRUE(
+      parser.consume("GET /api/points?since=12&max=5 HTTP/1.1\r\n\r\n"));
+  const HttpRequest request = parser.take_request();
+  EXPECT_EQ(request.path, "/api/points");
+  EXPECT_EQ(request.query, "since=12&max=5");
+  EXPECT_EQ(query_param(request, "since"), "12");
+  EXPECT_EQ(query_param(request, "max"), "5");
+  EXPECT_EQ(query_param(request, "absent", "7"), "7");
+}
+
+TEST(RequestParser, ByteAtATimeProducesTheSameRequest) {
+  const std::string wire =
+      "POST /api/campaigns HTTP/1.1\r\n"
+      "Content-Length: 4\r\n"
+      "\r\n"
+      "{\"a\"";
+  RequestParser parser;
+  for (const char c : wire) {
+    ASSERT_TRUE(parser.consume(std::string_view(&c, 1)));
+  }
+  ASSERT_TRUE(parser.has_request());
+  const HttpRequest request = parser.take_request();
+  EXPECT_EQ(request.method, "POST");
+  EXPECT_EQ(request.body, "{\"a\"");
+}
+
+TEST(RequestParser, TruncatedRequestIsNotACompletedRequest) {
+  RequestParser parser;
+  ASSERT_TRUE(parser.consume("GET /api/status HTTP/1.1\r\nHost: x\r\n"));
+  EXPECT_FALSE(parser.has_request());
+  EXPECT_FALSE(parser.failed());
+  // The terminator arrives later; the request completes then.
+  ASSERT_TRUE(parser.consume("\r\n"));
+  EXPECT_TRUE(parser.has_request());
+}
+
+TEST(RequestParser, PipelinedRequestsDrainInOrder) {
+  RequestParser parser;
+  ASSERT_TRUE(parser.consume("GET /a HTTP/1.1\r\n\r\n"
+                             "GET /b HTTP/1.1\r\n\r\n"
+                             "GET /c HTTP/1.1\r\n\r\n"));
+  ASSERT_TRUE(parser.has_request());
+  EXPECT_EQ(parser.take_request().path, "/a");
+  EXPECT_EQ(parser.take_request().path, "/b");
+  EXPECT_EQ(parser.take_request().path, "/c");
+  EXPECT_FALSE(parser.has_request());
+}
+
+TEST(RequestParser, MalformedRequestLineFailsWith400) {
+  for (const char* wire : {
+           "garbage\r\n\r\n",
+           "get /lower HTTP/1.1\r\n\r\n",      // method must be uppercase
+           "GET nopath HTTP/1.1\r\n\r\n",      // target must start with '/'
+           "GET / HTTP/2.0\r\n\r\n",           // unsupported version
+           "GET /\r\n\r\n",                    // missing version
+       }) {
+    RequestParser parser;
+    EXPECT_FALSE(parser.consume(wire)) << wire;
+    EXPECT_TRUE(parser.failed()) << wire;
+    EXPECT_EQ(parser.error_status(), 400) << wire;
+  }
+}
+
+TEST(RequestParser, OversizedHeadFailsWith431) {
+  RequestParser parser(RequestParser::Limits{64, 1024});
+  const std::string wire = "GET / HTTP/1.1\r\nX-Pad: " +
+                           std::string(128, 'x') + "\r\n\r\n";
+  EXPECT_FALSE(parser.consume(wire));
+  EXPECT_EQ(parser.error_status(), 431);
+}
+
+TEST(RequestParser, OversizedBodyFailsWith413) {
+  RequestParser parser(RequestParser::Limits{8192, 16});
+  EXPECT_FALSE(parser.consume("POST /api/campaigns HTTP/1.1\r\n"
+                              "Content-Length: 17\r\n\r\n"));
+  EXPECT_EQ(parser.error_status(), 413);
+}
+
+TEST(RequestParser, ChunkedBodyFailsWith501) {
+  RequestParser parser;
+  EXPECT_FALSE(parser.consume("POST /api/campaigns HTTP/1.1\r\n"
+                              "Transfer-Encoding: chunked\r\n\r\n"));
+  EXPECT_EQ(parser.error_status(), 501);
+}
+
+TEST(RequestParser, ErrorStateIsStickyUntilReset) {
+  RequestParser parser;
+  EXPECT_FALSE(parser.consume("broken\r\n\r\n"));
+  // Later (well-formed) bytes are never interpreted after the poison.
+  EXPECT_FALSE(parser.consume("GET / HTTP/1.1\r\n\r\n"));
+  EXPECT_FALSE(parser.has_request());
+
+  parser.reset();
+  EXPECT_FALSE(parser.failed());
+  ASSERT_TRUE(parser.consume("GET / HTTP/1.1\r\n\r\n"));
+  EXPECT_TRUE(parser.has_request());
+}
+
+TEST(RequestParser, ConnectionHeaderControlsKeepAlive) {
+  RequestParser parser;
+  ASSERT_TRUE(parser.consume("GET / HTTP/1.1\r\nConnection: close\r\n\r\n"));
+  EXPECT_FALSE(parser.take_request().keep_alive);
+
+  ASSERT_TRUE(parser.consume("GET / HTTP/1.0\r\n\r\n"));
+  EXPECT_FALSE(parser.take_request().keep_alive);
+
+  ASSERT_TRUE(
+      parser.consume("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n"));
+  EXPECT_TRUE(parser.take_request().keep_alive);
+}
+
+TEST(HttpResponse, CarriesStatusLengthAndConnection) {
+  const std::string response =
+      http_response(200, "application/json", "{\"ok\":true}", true);
+  EXPECT_EQ(response.find("HTTP/1.1 200 OK\r\n"), 0U);
+  EXPECT_NE(response.find("Content-Length: 11\r\n"), std::string::npos);
+  EXPECT_NE(response.find("Connection: keep-alive\r\n"), std::string::npos);
+  EXPECT_NE(response.find("\r\n\r\n{\"ok\":true}"), std::string::npos);
+
+  const std::string closing = http_response(404, "text/plain", "no", false);
+  EXPECT_EQ(closing.find("HTTP/1.1 404 Not Found\r\n"), 0U);
+  EXPECT_NE(closing.find("Connection: close\r\n"), std::string::npos);
+}
+
+TEST(SseFraming, EventCommentAndPreamble) {
+  EXPECT_EQ(sse_event(7, "point", "{\"point\":3}"),
+            "id: 7\nevent: point\ndata: {\"point\":3}\n\n");
+  EXPECT_EQ(sse_comment("keep-alive"), ": keep-alive\n\n");
+
+  const std::string preamble = sse_preamble();
+  EXPECT_EQ(preamble.find("HTTP/1.1 200 OK\r\n"), 0U);
+  EXPECT_NE(preamble.find("Content-Type: text/event-stream"),
+            std::string::npos);
+  // A stream has no Content-Length — frames follow until close.
+  EXPECT_EQ(preamble.find("Content-Length"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pas::serve

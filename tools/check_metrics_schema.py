@@ -82,6 +82,8 @@ NET_COLLECTION_KEYS = {
     "sum_hops",
 }
 HISTOGRAM_KEYS = {"lo", "count", "bins", "total"}
+# Quantile estimates ride along exactly when the histogram is non-empty.
+HISTOGRAM_QUANTILE_KEYS = {"p50", "p95", "p99"}
 
 
 def fail(path, lineno, message):
@@ -89,8 +91,12 @@ def fail(path, lineno, message):
 
 
 def check_histogram(path, lineno, name, value):
-    if not isinstance(value, dict) or set(value) != HISTOGRAM_KEYS:
-        fail(path, lineno, f"{name}: expected histogram keys {sorted(HISTOGRAM_KEYS)}")
+    if not isinstance(value, dict) or not (
+        set(value) == HISTOGRAM_KEYS
+        or set(value) == HISTOGRAM_KEYS | HISTOGRAM_QUANTILE_KEYS
+    ):
+        fail(path, lineno, f"{name}: expected histogram keys {sorted(HISTOGRAM_KEYS)}"
+                           f" (+ optional {sorted(HISTOGRAM_QUANTILE_KEYS)})")
     bins = value["bins"]
     if not isinstance(bins, list):
         fail(path, lineno, f"{name}: bins must be an array")
@@ -99,6 +105,12 @@ def check_histogram(path, lineno, name, value):
                            " (want count + 2, or empty)")
     if sum(bins) != value["total"]:
         fail(path, lineno, f"{name}: bins sum {sum(bins)} != total {value['total']}")
+    has_quantiles = HISTOGRAM_QUANTILE_KEYS <= set(value)
+    if has_quantiles != (value["total"] > 0):
+        fail(path, lineno, f"{name}: p50/p95/p99 must be present exactly when"
+                           " total > 0")
+    if has_quantiles and not (value["p50"] <= value["p95"] <= value["p99"]):
+        fail(path, lineno, f"{name}: quantiles not monotone")
 
 
 def check_counters(path, lineno, section, obj, keys):

@@ -22,10 +22,13 @@
 #include <algorithm>
 #include <charconv>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <exception>
 #include <fstream>
+#include <memory>
 #include <string>
+#include <thread>
 
 #include "core/policy.hpp"
 #include "exp/aggregate.hpp"
@@ -34,12 +37,23 @@
 #include "exp/runner.hpp"
 #include "exp/telemetry.hpp"
 #include "io/cli.hpp"
+#include "io/json.hpp"
 #include "obs/export.hpp"
 #include "orch/supervisor.hpp"
 #include "orch/worker_link.hpp"
+#include "serve/feed.hpp"
+#include "serve/server.hpp"
 #include "world/scenario.hpp"
 
 namespace {
+
+/// Set by SIGINT/SIGTERM while --serve is active; the campaign engine polls
+/// it (CampaignOptions::should_stop) and the serve loop exits its drain.
+/// --drive installs its own guard for the duration of the drive and restores
+/// this one afterwards, so both topologies drain gracefully.
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+void handle_stop_signal(int) { g_stop_requested = 1; }
 
 /// Parses "i/N" into shard index + count. Returns false on malformed input.
 bool parse_shard(const std::string& spec, std::size_t& index,
@@ -115,6 +129,8 @@ int main(int argc, char** argv) {
   std::uint64_t drive_workers = 0;
   std::uint64_t worker_id = 0;
   double hang_timeout = 120.0;
+  std::string serve_spec;
+  bool serve_linger = false;
   bool resume = false;
   bool quiet = false;
   bool progress = false;
@@ -174,6 +190,13 @@ int main(int argc, char** argv) {
                  "this path and exit (no campaign output)");
   cli.add_uint("trace-point", &trace_point,
                "Grid point index for --trace (default 0)");
+  cli.add_string("serve", &serve_spec,
+                 "Serve the live campaign dashboard + HTTP API on host:port "
+                 "(e.g. 127.0.0.1:8080; :0 picks a free port) while the "
+                 "campaign runs; observe-only, outputs stay byte-identical");
+  cli.add_flag("serve-linger", &serve_linger,
+               "With --serve: keep serving (and accept POST /api/campaigns "
+               "submissions) after the campaign finishes, until SIGINT");
   cli.add_double("hang-timeout", &hang_timeout,
                  "--drive: kill a worker silent for this many seconds and "
                  "reassign its lease (0 disables)");
@@ -204,7 +227,8 @@ int main(int argc, char** argv) {
           resume || dry_run || progress || jobs != 0 || rep_chunk != 0 ||
           drive_workers != 0 || worker || worker_id != 0 ||
           !bench_json.empty() || hang_timeout != 120.0 ||
-          !trace_path.empty() || trace_point != 0) {
+          !trace_path.empty() || trace_point != 0 || !serve_spec.empty() ||
+          serve_linger) {
         std::fprintf(stderr,
                      "pas-exp: --merge takes only input CSVs, --out, and "
                      "--manifest (merge per-run shard files in a separate "
@@ -248,6 +272,17 @@ int main(int argc, char** argv) {
     }
     if (manifest_path.empty()) {
       std::fprintf(stderr, "pas-exp: --manifest is required (try --help)\n");
+      return 2;
+    }
+    if (serve_linger && serve_spec.empty()) {
+      std::fprintf(stderr,
+                   "pas-exp: --serve-linger needs --serve <host:port>\n");
+      return 2;
+    }
+    if (!serve_spec.empty() && (worker || dry_run || !trace_path.empty())) {
+      std::fprintf(stderr,
+                   "pas-exp: --serve watches a running campaign; it is "
+                   "incompatible with --worker, --dry-run, and --trace\n");
       return 2;
     }
 
@@ -327,6 +362,80 @@ int main(int argc, char** argv) {
       return 0;
     }
 
+    // --- live observability: one feed for terminal echo and --serve -------
+    // The feed exists for every campaign topology (it renders the classic
+    // --progress lines), but only retains point rows when a server will
+    // actually read them back out of /api/points.
+    const bool serving = !serve_spec.empty();
+    pas::serve::CampaignFeed::Options feed_options;
+    feed_options.store_points = serving;
+    pas::serve::CampaignFeed feed(feed_options);
+    std::unique_ptr<pas::serve::Server> server;
+    std::thread server_thread;
+    // Scope guard: every exit path (drive return, interrupt, exception)
+    // announces shutdown to SSE clients, stops the poll loop, and joins the
+    // server thread — which is also what flushes the flight-recorder dump.
+    struct ServeShutdown {
+      pas::serve::CampaignFeed& feed;
+      std::unique_ptr<pas::serve::Server>& server;
+      std::thread& thread;
+      ~ServeShutdown() {
+        if (server != nullptr) {
+          feed.publish("shutdown", "{}");
+          server->stop();
+          if (thread.joinable()) thread.join();
+        }
+      }
+    } serve_shutdown{feed, server, server_thread};
+    if (serving) {
+      pas::serve::Server::Options server_options;
+      if (!pas::serve::parse_listen_address(serve_spec, server_options.host,
+                                            server_options.port)) {
+        std::fprintf(stderr,
+                     "pas-exp: --serve expects host:port (got \"%s\")\n",
+                     serve_spec.c_str());
+        return 2;
+      }
+      server_options.flightrec_path = out_csv + ".flightrec";
+      server_options.manifest_validator =
+          [](const std::string& body) -> std::string {
+        try {
+          pas::exp::Manifest::from_json(pas::io::Json::parse(body)).validate();
+          return "";
+        } catch (const std::exception& e) {
+          return e.what();
+        }
+      };
+      server = std::make_unique<pas::serve::Server>(feed, server_options);
+      std::string error;
+      if (!server->start(error)) {
+        std::fprintf(stderr, "pas-exp: --serve: %s\n", error.c_str());
+        return 1;
+      }
+      std::printf("pas-exp: serving on http://%s:%u/\n",
+                  server->host().c_str(),
+                  static_cast<unsigned>(server->port()));
+      std::fflush(stdout);
+      server_thread = std::thread([&server] { server->run(); });
+      std::signal(SIGINT, handle_stop_signal);
+      std::signal(SIGTERM, handle_stop_signal);
+    }
+    // Serve loop: after the primary campaign, run queued POST /api/campaigns
+    // submissions (each into <out>.c<id>.csv); with --serve-linger, keep
+    // waiting for more until SIGINT. `run_one` returns false to stop early
+    // (an interrupted submission leaves its outputs resumable).
+    const auto drain_submissions = [&](const auto& run_one) {
+      while (g_stop_requested == 0) {
+        auto submission = feed.pop_submission();
+        if (submission.has_value()) {
+          if (!run_one(submission->first, submission->second)) break;
+          continue;
+        }
+        if (!serve_linger) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      }
+    };
+
     if (drive_workers > 0) {
       if (!shard_spec.empty() || rep_chunk != 0 || !out_json.empty()) {
         std::fprintf(stderr,
@@ -351,6 +460,7 @@ int main(int argc, char** argv) {
                 : (progress
                        ? pas::orch::DriveOptions::Verbosity::kPeriodic
                        : pas::orch::DriveOptions::Verbosity::kPerPoint);
+      drive_options.feed = &feed;
 
       const auto report = pas::orch::drive(manifest, drive_options);
       if (report.interrupted) {
@@ -395,6 +505,46 @@ int main(int argc, char** argv) {
                          drive_options.workers, drive_options.jobs_per_worker,
                          report.computed, report.wall_s);
       }
+      if (serving) {
+        drain_submissions([&](std::uint64_t id, const std::string& text) {
+          try {
+            auto sub_manifest =
+                pas::exp::Manifest::from_json(pas::io::Json::parse(text));
+            sub_manifest.validate();
+            // Workers re-load the manifest from disk, so the submitted JSON
+            // is written next to its output (and left there as a record).
+            const std::string sub_out =
+                out_csv + ".c" + std::to_string(id) + ".csv";
+            const std::string sub_manifest_path = sub_out + ".manifest.json";
+            {
+              std::ofstream mf(sub_manifest_path);
+              if (!mf) {
+                throw std::runtime_error("cannot write " + sub_manifest_path);
+              }
+              mf << text;
+            }
+            auto sub_options = drive_options;
+            sub_options.manifest_path = sub_manifest_path;
+            sub_options.out_csv = sub_out;
+            sub_options.per_run_csv.clear();
+            sub_options.metrics_path.clear();
+            sub_options.resume = false;
+            const auto sub_report = pas::orch::drive(sub_manifest, sub_options);
+            std::printf("campaign #%llu (%s): %zu points (%zu computed) -> "
+                        "%s%s\n",
+                        static_cast<unsigned long long>(id),
+                        sub_manifest.name.c_str(), sub_report.total_points,
+                        sub_report.computed, sub_out.c_str(),
+                        sub_report.interrupted ? " [interrupted]" : "");
+            return !sub_report.interrupted;
+          } catch (const std::exception& e) {
+            std::fprintf(stderr,
+                         "pas-exp: submitted campaign %llu failed: %s\n",
+                         static_cast<unsigned long long>(id), e.what());
+            return true;  // a bad submission does not end the serve loop
+          }
+        });
+      }
       return 0;
     }
 
@@ -405,30 +555,14 @@ int main(int argc, char** argv) {
     options.out_json = out_json;
     options.per_run_csv = per_run_csv;
     options.metrics_path = metrics_path;
-    const auto t0 = std::chrono::steady_clock::now();
-    if (progress && !quiet) {
-      // Periodic one-liner from the same per-point callback stream. The
-      // first line waits out one interval so the rate has data behind it.
-      auto last = t0;
-      std::size_t computed = 0;
-      options.progress = [&manifest, t0, last, computed](
-                             const pas::exp::PointSummary&, std::size_t done,
-                             std::size_t total) mutable {
-        ++computed;
-        const auto now = std::chrono::steady_clock::now();
-        if (done < total &&
-            std::chrono::duration<double>(now - last).count() < 1.0) {
-          return;
-        }
-        last = now;
-        std::printf("%s\n",
-                    pas::orch::progress_line(
-                        done, total, computed, manifest.replications,
-                        std::chrono::duration<double>(now - t0).count())
-                        .c_str());
-        std::fflush(stdout);
-      };
-    } else if (!quiet) {
+    options.feed = &feed;
+    if (serving) {
+      options.should_stop = [] { return g_stop_requested != 0; };
+    }
+    // --progress is rendered by the feed (serve/feed.hpp): the terminal
+    // line and any SSE "progress" event are two views of the same counters.
+    feed.set_echo(progress && !quiet, /*drive_style=*/false, 1.0);
+    if (!progress && !quiet) {
       options.progress = [&points, &manifest](
                              const pas::exp::PointSummary& s,
                              std::size_t done, std::size_t total) {
@@ -440,6 +574,28 @@ int main(int argc, char** argv) {
     }
 
     const auto report = pas::exp::run_campaign(manifest, options);
+    if (report.interrupted) {
+      // Mirrors the --drive interrupt path: name the exact command that
+      // finishes the campaign. The unfinalized output resumes like a kill.
+      std::string resume_cmd =
+          "pas-exp --manifest " + manifest_path + " --out " + out_csv;
+      if (!out_json.empty()) resume_cmd += " --json " + out_json;
+      if (!per_run_csv.empty()) resume_cmd += " --per-run " + per_run_csv;
+      if (!metrics_path.empty()) resume_cmd += " --metrics " + metrics_path;
+      if (!shard_spec.empty()) resume_cmd += " --shard " + shard_spec;
+      if (jobs != 0) resume_cmd += " --jobs " + std::to_string(jobs);
+      if (rep_chunk != 0) {
+        resume_cmd += " --rep-chunk " + std::to_string(rep_chunk);
+      }
+      if (quiet) resume_cmd += " --quiet";
+      if (progress) resume_cmd += " --progress";
+      std::printf(
+          "interrupted: %zu of %zu points on disk; the output is resumable\n"
+          "resume with: %s --resume\n",
+          report.computed + report.skipped, report.owned_points,
+          resume_cmd.c_str());
+      return 130;
+    }
     if (options.shard_count > 1) {
       std::printf("shard %zu/%zu: %zu of %zu points\n", options.shard_index,
                   options.shard_count, report.owned_points,
@@ -458,6 +614,36 @@ int main(int argc, char** argv) {
       write_bench_json(bench_json, manifest, "single", 1,
                        options.jobs == 0 ? 0 : options.jobs, report.computed,
                        report.wall_s);
+    }
+    if (serving) {
+      drain_submissions([&](std::uint64_t id, const std::string& text) {
+        try {
+          auto sub_manifest =
+              pas::exp::Manifest::from_json(pas::io::Json::parse(text));
+          sub_manifest.validate();
+          pas::exp::CampaignOptions sub_options;
+          sub_options.jobs = static_cast<std::size_t>(jobs);
+          sub_options.rep_chunk = static_cast<std::size_t>(rep_chunk);
+          sub_options.out_csv = out_csv + ".c" + std::to_string(id) + ".csv";
+          sub_options.feed = &feed;
+          sub_options.campaign_id = id;
+          sub_options.should_stop = [] { return g_stop_requested != 0; };
+          const auto sub_report =
+              pas::exp::run_campaign(sub_manifest, sub_options);
+          std::printf("campaign #%llu (%s): %zu points (%zu computed) -> "
+                      "%s%s\n",
+                      static_cast<unsigned long long>(id),
+                      sub_manifest.name.c_str(), sub_report.owned_points,
+                      sub_report.computed, sub_options.out_csv.c_str(),
+                      sub_report.interrupted ? " [interrupted]" : "");
+          return !sub_report.interrupted;
+        } catch (const std::exception& e) {
+          std::fprintf(stderr,
+                       "pas-exp: submitted campaign %llu failed: %s\n",
+                       static_cast<unsigned long long>(id), e.what());
+          return true;  // a bad submission does not end the serve loop
+        }
+      });
     }
     return 0;
   } catch (const std::exception& e) {
