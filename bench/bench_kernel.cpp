@@ -1,9 +1,11 @@
 // Microbenchmarks A4 — simulator-kernel throughput and parallel-sweep
 // scaling: the costs everything else in this repository is built on.
 //
-// BM_Simulator_EventStorm and BM_Scenario_SingleRun are the two numbers the
-// CI perf gate watches (tools/check_bench_regression.py against
-// bench/BENCH_kernel_baseline.json); keep their workloads stable.
+// The CI perf gate (tools/check_bench_regression.py against
+// bench/BENCH_kernel_baseline.json) watches BM_Simulator_EventStorm,
+// BM_Simulator_EventStormPayload, BM_Scenario_SingleRun,
+// BM_EventQueue_MacShaped and BM_EventQueue_Sparse; keep their workloads
+// stable.
 #include <benchmark/benchmark.h>
 
 #include <cstddef>
@@ -87,6 +89,62 @@ void BM_EventQueue_MixedHorizon(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
 }
 BENCHMARK(BM_EventQueue_MixedHorizon)->Arg(10000)->Arg(100000);
+
+void BM_EventQueue_MacShaped(benchmark::State& state) {
+  // MAC-scale pending set: every node keeps one slot-sampling timer armed
+  // (n live events at all times), re-arming one period ahead as it fires,
+  // with a thin layer of short-horizon traffic on top. This is the workload
+  // the ladder index exists for — a heap pays O(log n) per re-arm against a
+  // deep heap; the ladder touches one calendar bucket.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  constexpr double kPeriod = 0.25;
+  pas::sim::Pcg32 rng(5, 9);
+  for (auto _ : state) {
+    pas::sim::EventQueue q;
+    for (std::size_t i = 0; i < n; ++i) {
+      q.push(kPeriod * static_cast<double>(i) / static_cast<double>(n),
+             [] {});
+    }
+    const std::size_t pops = 8 * n;
+    for (std::size_t i = 0; i < pops; ++i) {
+      const auto popped = q.pop();
+      benchmark::DoNotOptimize(popped.time);
+      if (i % 8 == 7) {
+        q.push(popped.time + 0.01 * rng.uniform01(), [] {});  // traffic
+      } else {
+        q.push(popped.time + kPeriod, [] {});  // timer re-arm
+      }
+    }
+    q.clear();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(8 * n) *
+                          state.iterations());
+}
+BENCHMARK(BM_EventQueue_MacShaped)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_EventQueue_Sparse(benchmark::State& state) {
+  // The opposite extreme: a near-empty pending set churning across an
+  // astronomically wide horizon (idle nodes holding a failure timer and
+  // little else). Guards the ladder's constant factors — with almost
+  // nothing live, reseeds must cost almost nothing.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kLive = 16;
+  pas::sim::Pcg32 rng(13, 2);
+  for (auto _ : state) {
+    pas::sim::EventQueue q;
+    for (std::size_t i = 0; i < kLive; ++i) {
+      q.push(rng.uniform(0.0, 1e9), [] {});
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto popped = q.pop();
+      benchmark::DoNotOptimize(popped.time);
+      q.push(popped.time + rng.uniform(0.0, 1e9), [] {});
+    }
+    q.clear();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_EventQueue_Sparse)->Arg(100000);
 
 void BM_Simulator_EventStorm(benchmark::State& state) {
   // Self-rescheduling chain through a 16-byte POD functor: measures the

@@ -247,6 +247,11 @@ CampaignReport run_campaign(const Manifest& manifest,
   const obs::Gauge k_max_pending = registry.gauge("kernel.max_pending");
   const obs::Counter k_reschedules =
       registry.counter("kernel.timer_reschedules");
+  const obs::Counter k_rung_spawns = registry.counter("kernel.rung_spawns");
+  const obs::Counter k_bucket_resizes =
+      registry.counter("kernel.bucket_resizes");
+  const obs::Gauge k_max_bucket = registry.gauge("kernel.max_bucket");
+  const obs::Counter k_dead_skips = registry.counter("kernel.dead_skips");
   const obs::Counter points_completed =
       registry.counter("campaign.points_completed");
 
@@ -304,6 +309,10 @@ CampaignReport run_campaign(const Manifest& manifest,
       k_cancelled.add(telemetry.kernel.events_cancelled);
       k_max_pending.record_max(telemetry.kernel.max_pending);
       k_reschedules.add(telemetry.kernel.timer_reschedules);
+      k_rung_spawns.add(telemetry.kernel.rung_spawns);
+      k_bucket_resizes.add(telemetry.kernel.bucket_resizes);
+      k_max_bucket.record_max(telemetry.kernel.max_bucket);
+      k_dead_skips.add(telemetry.kernel.dead_skips);
       const PolicyInstruments& pi =
           policy_instruments.at(point.config.protocol.policy);
       pi.wakeups.add(telemetry.protocol.wakeups);

@@ -17,6 +17,10 @@ io::Json kernel_json(const metrics::KernelStats& k) {
   out["events_cancelled"] = k.events_cancelled;
   out["max_pending"] = k.max_pending;
   out["timer_reschedules"] = k.timer_reschedules;
+  out["rung_spawns"] = k.rung_spawns;
+  out["bucket_resizes"] = k.bucket_resizes;
+  out["max_bucket"] = k.max_bucket;
+  out["dead_skips"] = k.dead_skips;
   return io::Json(std::move(out));
 }
 

@@ -57,6 +57,13 @@ struct KernelStats {
   std::uint64_t events_cancelled = 0;
   std::uint64_t max_pending = 0;
   std::uint64_t timer_reschedules = 0;
+  // Event-queue shape (ladder index): how the pending set organised itself.
+  // Pure functions of the schedule like everything else here; all four are
+  // zero in PAS_EVENTQ_HEAP builds (the heap has no rungs or buckets).
+  std::uint64_t rung_spawns = 0;
+  std::uint64_t bucket_resizes = 0;
+  std::uint64_t max_bucket = 0;
+  std::uint64_t dead_skips = 0;
 
   void add(const KernelStats& other) {
     events_scheduled += other.events_scheduled;
@@ -64,6 +71,10 @@ struct KernelStats {
     events_cancelled += other.events_cancelled;
     max_pending = std::max(max_pending, other.max_pending);
     timer_reschedules += other.timer_reschedules;
+    rung_spawns += other.rung_spawns;
+    bucket_resizes += other.bucket_resizes;
+    max_bucket = std::max(max_bucket, other.max_bucket);
+    dead_skips += other.dead_skips;
   }
 };
 

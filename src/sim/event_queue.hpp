@@ -1,9 +1,23 @@
 // Pending-event set for the discrete-event kernel.
 //
-// A binary heap ordered by (time, sequence) with O(1) lazy cancellation:
-// cancelled events stay in the heap but are skipped on pop. Sequence numbers
-// give FIFO ordering among simultaneous events, which keeps protocol runs
-// deterministic regardless of heap internals.
+// The pending-set index is a ladder/calendar-queue hybrid ordered by
+// (time, sequence): a sorted "bottom" rung dispatched back-to-front, nested
+// calendar rungs of unsorted buckets over the mid horizon (an overfull
+// bucket spawns a finer sub-rung instead of being sorted wholesale), and an
+// unsorted far-future overflow list that reseeds the calendar when the
+// rungs drain. push and pop are O(1) amortized — only the active bucket is
+// ever sorted — and the structure touches one small contiguous bucket per
+// dispatch instead of O(log n) scattered heap nodes, which is what makes
+// MAC-scale pending sets (every node's slot-sampling timer armed at once)
+// cheap. Building with -DPAS_EVENTQ_HEAP=ON swaps the index back to the
+// original binary heap (same contract, O(log n)) for differential testing
+// and A/B benchmarks; see docs/ARCHITECTURE.md "Kernel internals".
+//
+// Determinism is contractual either way: dispatch order is strict
+// (time, seq) with seq assigned in push order, so simultaneous events fire
+// FIFO regardless of which index is compiled in or how buckets split.
+// Cancellation stays lazy — cancelled events linger in their bucket (or the
+// heap) and are skipped when the dispatch path reaches them.
 //
 // Callbacks live in a free-list slab of generation-tagged slots (a slot
 // map). An EventId is (slot index, generation): cancel() and pending() are
@@ -59,8 +73,9 @@ class EventId {
   std::uint64_t value_ = 0;
 };
 
-/// Min-heap of (time, seq) with cancellation. Not thread-safe by design:
-/// one simulation owns one queue; parallelism happens across simulations.
+/// Pending-event set ordered by (time, seq) with O(1) cancellation. Not
+/// thread-safe by design: one simulation owns one queue; parallelism
+/// happens across simulations.
 class EventQueue {
  public:
   using Callback = SmallFn;
@@ -68,11 +83,24 @@ class EventQueue {
   /// Lifetime counters since construction / the last clear(). Plain
   /// increments on paths that already touch the same cache lines — the
   /// telemetry layer reads them after the run instead of hooking dispatch.
+  /// Every field is a pure function of the push/cancel/dispatch schedule
+  /// (never of retained capacity or reuse history), so all of them are safe
+  /// to surface in byte-deterministic outputs.
   struct Stats {
     std::uint64_t pushed = 0;
     std::uint64_t cancelled = 0;
     /// High-water mark of simultaneously pending events.
     std::uint64_t max_live = 0;
+    // Ladder-shape counters. All four stay zero in PAS_EVENTQ_HEAP builds
+    // (the heap has no rungs and drops dead entries at the top instead).
+    /// Sub-rungs spawned from overfull buckets.
+    std::uint64_t rung_spawns = 0;
+    /// Calendar (re)seeds: bucket-array layouts built from the overflow list.
+    std::uint64_t bucket_resizes = 0;
+    /// Largest live batch sorted into the bottom rung at once.
+    std::uint64_t max_bucket = 0;
+    /// Cancelled entries skipped while draining buckets / the bottom rung.
+    std::uint64_t dead_skips = 0;
   };
 
   EventQueue() = default;
@@ -108,8 +136,7 @@ class EventQueue {
     } else {
       slot.fn.emplace(std::forward<F>(f));
     }
-    heap_.push_back(HeapEntry{t, next_seq_++, s, slot.generation});
-    std::push_heap(heap_.begin(), heap_.end(), Later{});
+    index_push(IndexEntry{t, next_seq_++, s, slot.generation});
     ++live_;
     ++stats_.pushed;
     if (live_ > stats_.max_live) stats_.max_live = live_;
@@ -142,8 +169,8 @@ class EventQueue {
 
   /// Timestamp of the earliest live event; kNever when empty.
   [[nodiscard]] Time next_time() const {
-    drop_dead_top();
-    return heap_.empty() ? kNever : heap_.front().time;
+    index_prepare();
+    return index_has_top() ? index_top_time() : kNever;
   }
 
   /// Executes the earliest live event's callback in place in the slab —
@@ -155,9 +182,9 @@ class EventQueue {
   /// reusable only after the callback returns, and the callback may freely
   /// push or cancel.
   void run_next(Time& clock_out) {
-    drop_dead_top();
-    assert(!heap_.empty() && "run_next() on empty EventQueue");
-    const HeapEntry top = heap_pop_top();
+    index_prepare();
+    assert(index_has_top() && "run_next() on empty EventQueue");
+    const IndexEntry top = index_pop();
     Slot& slot = slot_at(top.slot);
     // Retire the id first: during its own execution the event is no longer
     // pending and cannot be cancelled (so a self-cancel cannot free the
@@ -207,9 +234,9 @@ class EventQueue {
     Callback callback;
   };
   Popped pop() {
-    drop_dead_top();
-    assert(!heap_.empty() && "pop() on empty EventQueue");
-    const HeapEntry top = heap_pop_top();
+    index_prepare();
+    assert(index_has_top() && "pop() on empty EventQueue");
+    const IndexEntry top = index_pop();
     Slot& slot = slot_at(top.slot);
     Popped out{top.time, EventId::pack(top.slot, top.generation),
                std::move(slot.fn)};
@@ -219,8 +246,10 @@ class EventQueue {
   }
 
   /// Drops everything (cancels all pending events) and zeroes stats().
-  /// Slab capacity is retained so a reused queue (world::Workspace)
-  /// schedules into warm memory.
+  /// Slab capacity, bucket arrays and rung storage are retained so a reused
+  /// queue (world::Workspace) schedules into warm memory; the *logical*
+  /// index state resets completely, so a reused queue dispatches — and
+  /// counts its Stats — exactly like a fresh one.
   void clear();
 
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
@@ -239,7 +268,9 @@ class EventQueue {
   static constexpr std::uint32_t kChunkShift = 8;
   static constexpr std::uint32_t kChunkSize = 1U << kChunkShift;
 
-  struct HeapEntry {
+  /// One pending event as seen by the index: everything pop needs without
+  /// touching the slab until dispatch.
+  struct IndexEntry {
     Time time;
     std::uint64_t seq;
     std::uint32_t slot;
@@ -251,14 +282,14 @@ class EventQueue {
     ExecFrame* prev;
   };
   struct Later {
-    bool operator()(const HeapEntry& a, const HeapEntry& b) const noexcept {
+    bool operator()(const IndexEntry& a, const IndexEntry& b) const noexcept {
       if (a.time != b.time) return a.time > b.time;
       return a.seq > b.seq;
     }
   };
   struct Slot {
     SmallFn fn;
-    /// Bumped on every release; a generation mismatch is how stale heap
+    /// Bumped on every release; a generation mismatch is how stale index
     /// entries and cancelled/executed EventIds are recognised. 32 bits give
     /// 4 billion reuses per slot before an ABA collision could matter.
     std::uint32_t generation = 1;
@@ -272,16 +303,8 @@ class EventQueue {
     return chunks_[s >> kChunkShift][s & (kChunkSize - 1)];
   }
 
-  [[nodiscard]] bool entry_live(const HeapEntry& e) const noexcept {
+  [[nodiscard]] bool entry_live(const IndexEntry& e) const noexcept {
     return slot_at(e.slot).generation == e.generation;
-  }
-
-  /// Removes and returns the heap's top entry.
-  HeapEntry heap_pop_top() const noexcept {
-    std::pop_heap(heap_.begin(), heap_.end(), Later{});
-    const HeapEntry top = heap_.back();
-    heap_.pop_back();
-    return top;
   }
 
   std::uint32_t acquire_slot() {
@@ -293,7 +316,7 @@ class EventQueue {
     return grow_slots();
   }
 
-  /// Invalidates the released id and its heap entry. Generations skip 0 on
+  /// Invalidates the released id and its index entry. Generations skip 0 on
   /// wrap-around: generation 0 is reserved so that the default EventId
   /// (value 0) can never match a slot, even after 2^32 reuses.
   static void bump_generation(Slot& slot) noexcept {
@@ -308,12 +331,6 @@ class EventQueue {
     free_head_ = s;
   }
 
-  void drop_dead_top() const {
-    while (!heap_.empty() && !entry_live(heap_.front())) {
-      heap_pop_top();
-    }
-  }
-
   /// Cold path of acquire_slot: appends a chunk when the slab is full.
   std::uint32_t grow_slots();
 
@@ -325,9 +342,177 @@ class EventQueue {
     return false;
   }
 
-  // Lazy deletion: cancelled entries linger in the heap until they reach the
-  // top. Pruning them is logically const, hence the mutable heap.
-  mutable std::vector<HeapEntry> heap_;
+#if defined(PAS_EVENTQ_HEAP)
+  // ---- Index A: binary heap (differential / A-B build) --------------------
+  //
+  // The original index: std::push_heap/pop_heap over one array, dead
+  // entries skipped when they surface at the top. Kept bit-compatible in
+  // dispatch order with the ladder below so the two builds can be compared
+  // event-for-event.
+
+  void index_push(const IndexEntry& e) {
+    heap_.push_back(e);
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+  }
+
+  /// Drops dead entries off the top. Logically const (lazy deletion),
+  /// hence the mutable storage.
+  void index_prepare() const {
+    while (!heap_.empty() && !entry_live(heap_.front())) {
+      heap_pop_top();
+    }
+  }
+
+  [[nodiscard]] bool index_has_top() const noexcept { return !heap_.empty(); }
+  [[nodiscard]] Time index_top_time() const noexcept {
+    return heap_.front().time;
+  }
+
+  IndexEntry index_pop() const { return heap_pop_top(); }
+
+  IndexEntry heap_pop_top() const noexcept {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    const IndexEntry top = heap_.back();
+    heap_.pop_back();
+    return top;
+  }
+
+  mutable std::vector<IndexEntry> heap_;
+#else
+  // ---- Index B (default): ladder/calendar hybrid --------------------------
+  //
+  // Three regions partitioned by time thresholds, earliest first:
+  //
+  //   bottom_   sorted descending (back = earliest); the dispatch rung.
+  //   rungs_    nested calendar rungs, outermost (coarsest) first; rung r
+  //             owns [cur_start(r), its outer boundary) in unsorted buckets
+  //             of equal width. rungs_.back() is the finest and earliest.
+  //   top_      unsorted overflow for t >= top_start_.
+  //
+  // Invariants that make dispatch order exact:
+  //   * every bottom_ entry precedes (in (time, seq)) every rung/top entry;
+  //   * region thresholds (cur_start per rung, top_start_) only ever move
+  //     forward, so for equal times a later push always lands in the same
+  //     or a later region/bucket than an earlier one — and the final
+  //     per-batch sort orders equal times by seq anyway.
+  //
+  // Draining: pop takes bottom_.back(); when bottom_ empties, the next
+  // non-empty bucket of the innermost rung is filtered of dead entries and
+  // either sorted into bottom_ or — if it still holds more than
+  // kSortThreshold live events spanning distinct times — spawned into a
+  // finer sub-rung. When all rungs drain, the overflow list reseeds the
+  // calendar sized to the live count. All of it is logically const lazy
+  // work driven by next_time()/pop(), hence the mutable storage.
+
+  /// Live entries at or below this count are sorted straight into bottom_;
+  /// larger batches spawn a sub-rung (unless all times are equal).
+  static constexpr std::size_t kSortThreshold = 64;
+  /// Rung-stack depth cap: beyond it batches are sorted regardless. Each
+  /// spawn narrows the covered span by >= the bucket count, so real
+  /// schedules never get near this; it bounds adversarial clustering.
+  static constexpr std::size_t kMaxRungs = 40;
+  static constexpr std::size_t kMinBuckets = 8;
+  static constexpr std::size_t kMaxBuckets = 32768;
+  /// Retired rungs kept (with their bucket arrays) for reuse.
+  static constexpr std::size_t kMaxSpareRungs = 8;
+
+  struct Rung {
+    Time start = 0.0;
+    Time width = 0.0;
+    /// First undrained bucket; buckets before it have been dispatched (or
+    /// redistributed), so pushes clamp to >= cur.
+    std::size_t cur = 0;
+    std::vector<std::vector<IndexEntry>> buckets;
+  };
+
+  [[nodiscard]] static Time rung_cur_start(const Rung& r) noexcept {
+    return r.start + r.width * static_cast<Time>(r.cur);
+  }
+
+  /// Bucket placement is a heuristic (clamped to the rung's undrained
+  /// range); the per-batch sort at drain time is what guarantees order, so
+  /// floating-point edge cases here cost locality, never correctness.
+  static void rung_insert(Rung& r, const IndexEntry& e) {
+    const Time off = (e.time - r.start) / r.width;
+    const std::size_t nb = r.buckets.size();
+    std::size_t idx;
+    if (!(off > 0.0)) {
+      idx = 0;
+    } else if (off >= static_cast<Time>(nb)) {
+      idx = nb - 1;
+    } else {
+      idx = static_cast<std::size_t>(off);
+    }
+    if (idx < r.cur) idx = r.cur;
+    r.buckets[idx].push_back(e);
+  }
+
+  void index_push(const IndexEntry& e) {
+    if (e.time >= top_start_) {
+      top_.push_back(e);
+      return;
+    }
+    for (Rung& r : rungs_) {  // outermost first: largest cur_start wins
+      if (e.time >= rung_cur_start(r)) {
+        rung_insert(r, e);
+        return;
+      }
+    }
+    bottom_insert(e);
+  }
+
+  /// Sorted insert into the (usually tiny) bottom rung; the common case —
+  /// an event earlier than everything pending — lands at the back.
+  void bottom_insert(const IndexEntry& e) {
+    const auto it =
+        std::lower_bound(bottom_.begin(), bottom_.end(), e, Later{});
+    bottom_.insert(it, e);
+  }
+
+  /// Exposes the earliest live entry at bottom_.back(), refilling from the
+  /// rungs/overflow as needed. Logically const lazy maintenance.
+  void index_prepare() const {
+    for (;;) {
+      while (!bottom_.empty() && !entry_live(bottom_.back())) {
+        bottom_.pop_back();
+        ++stats_.dead_skips;
+      }
+      if (!bottom_.empty()) return;
+      if (!refill_bottom()) return;
+    }
+  }
+
+  [[nodiscard]] bool index_has_top() const noexcept {
+    return !bottom_.empty();
+  }
+  [[nodiscard]] Time index_top_time() const noexcept {
+    return bottom_.back().time;
+  }
+
+  IndexEntry index_pop() const {
+    const IndexEntry e = bottom_.back();
+    bottom_.pop_back();
+    return e;
+  }
+
+  // Cold paths, defined in event_queue.cpp.
+  bool refill_bottom() const;
+  bool spawn_rung_from_scratch() const;
+  Rung& push_rung(std::size_t buckets) const;
+  void retire_rung() const;
+  static std::size_t bucket_count_for(std::size_t n) noexcept;
+
+  mutable std::vector<IndexEntry> bottom_;
+  mutable std::vector<Rung> rungs_;
+  mutable std::vector<IndexEntry> top_;
+  /// Events at or after this time go to top_. kLongAgo until the first
+  /// reseed (everything starts in the overflow list); from then on it only
+  /// moves forward within a run. clear() resets it.
+  mutable Time top_start_ = kLongAgo;
+  mutable std::vector<IndexEntry> scratch_;
+  mutable std::vector<Rung> spare_rungs_;
+#endif
+
   std::vector<std::unique_ptr<Slot[]>> chunks_;
   std::uint32_t slot_count_ = 0;
   std::uint32_t free_head_ = kNilSlot;
@@ -337,7 +522,9 @@ class EventQueue {
   ExecFrame* executing_ = nullptr;
   std::uint64_t next_seq_ = 0;
   std::size_t live_ = 0;
-  Stats stats_{};
+  /// Mutable because lazy index maintenance (dead-entry skips) happens
+  /// inside logically-const reads like next_time().
+  mutable Stats stats_{};
 };
 
 }  // namespace pas::sim

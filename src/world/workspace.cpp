@@ -182,6 +182,10 @@ void Workspace::execute(const ScenarioConfig& config,
   metrics_.kernel.events_cancelled = queue.cancelled;
   metrics_.kernel.max_pending = queue.max_live;
   metrics_.kernel.timer_reschedules = protocol.timer_reschedules();
+  metrics_.kernel.rung_spawns = queue.rung_spawns;
+  metrics_.kernel.bucket_resizes = queue.bucket_resizes;
+  metrics_.kernel.max_bucket = queue.max_bucket;
+  metrics_.kernel.dead_skips = queue.dead_skips;
 
   // Net-layer counters, same pattern: the summarizer never sees the MAC.
   metrics_.mac = config.mac.enabled ? mac_->stats() : net::MacStats{};

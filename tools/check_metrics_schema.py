@@ -36,6 +36,10 @@ KERNEL_KEYS = {
     "events_cancelled",
     "max_pending",
     "timer_reschedules",
+    "rung_spawns",
+    "bucket_resizes",
+    "max_bucket",
+    "dead_skips",
 }
 PROTOCOL_KEYS = {
     "wakeups",
