@@ -4,13 +4,18 @@
 // The CI perf gate (tools/check_bench_regression.py against
 // bench/BENCH_kernel_baseline.json) watches BM_Simulator_EventStorm,
 // BM_Simulator_EventStormPayload, BM_Scenario_SingleRun,
-// BM_EventQueue_MacShaped and BM_EventQueue_Sparse; keep their workloads
-// stable.
+// BM_EventQueue_MacShaped and BM_EventQueue_Sparse at 15%, and
+// BM_Aggregator_Record / BM_Aggregator_Finalize (filesystem-bound) at a
+// looser 50%; keep their workloads stable.
 #include <benchmark/benchmark.h>
 
 #include <cstddef>
+#include <filesystem>
+#include <string>
 #include <vector>
 
+#include "exp/aggregate.hpp"
+#include "exp/row_store.hpp"
 #include "net/message.hpp"
 #include "runtime/parallel_for.hpp"
 #include "runtime/thread_pool.hpp"
@@ -243,6 +248,97 @@ void BM_Sweep_Parallel(benchmark::State& state) {
   state.SetItemsProcessed(16 * state.iterations());
 }
 BENCHMARK(BM_Sweep_Parallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+// --- Aggregation pipeline ---------------------------------------------------
+
+pas::world::ReplicatedMetrics bench_point_metrics(std::size_t point,
+                                                  std::size_t reps) {
+  pas::world::ReplicatedMetrics m;
+  const double d = 0.25 + 0.001 * static_cast<double>(point % 97);
+  m.delay_s = {.n = reps, .mean = d, .stddev = 0.01, .min = d * 0.9,
+               .max = d * 1.4, .ci95_half = 0.005};
+  m.energy_j = {.n = reps, .mean = 1.5, .stddev = 0.02, .min = 1.4,
+                .max = 1.6, .ci95_half = 0.01};
+  m.active_fraction = {.n = reps, .mean = 0.05, .stddev = 0.0, .min = 0.05,
+                       .max = 0.05, .ci95_half = 0.0};
+  m.mean_missed = static_cast<double>(point % 3);
+  m.mean_broadcasts = 100.0;
+  m.runs.resize(reps);
+  for (std::size_t r = 0; r < reps; ++r) {
+    m.runs[r].avg_delay_s = d + 0.01 * static_cast<double>(r);
+    m.runs[r].avg_energy_j = 1.5;
+  }
+  return m;
+}
+
+pas::exp::AggregatorOptions bench_agg_options(const std::filesystem::path& dir,
+                                              std::size_t points,
+                                              std::size_t reps) {
+  pas::exp::AggregatorOptions options;
+  options.csv_path = (dir / "out.csv").string();
+  options.json_path = (dir / "out.jsonl").string();
+  options.per_run_path = (dir / "runs.csv").string();
+  options.axis_names = {"x"};
+  options.total_points = points;
+  options.replications = reps;
+  options.store_path = pas::exp::RowStore::path_for(options.csv_path);
+  // Small budget relative to the campaign so finalize really runs the
+  // external merge instead of a single-buffer fast path.
+  options.spill_budget_bytes = 256 * 1024;
+  return options;
+}
+
+void BM_Aggregator_Record(benchmark::State& state) {
+  // Store-mode record throughput: per-run rows + summary encoded, CRC'd,
+  // batched and flushed once per point. The cost every worker pays per
+  // completed grid point.
+  constexpr std::size_t kPoints = 512;
+  constexpr std::size_t kReps = 4;
+  const auto dir = std::filesystem::temp_directory_path() / "pas_bench_agg_r";
+  for (auto _ : state) {
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    pas::exp::Aggregator agg(bench_agg_options(dir, kPoints, kReps));
+    agg.load_existing();
+    for (std::size_t p = 0; p < kPoints; ++p) {
+      agg.record(p, 1000 + p, {std::to_string(p)},
+                 bench_point_metrics(p, kReps));
+    }
+    benchmark::DoNotOptimize(agg.done_count());
+  }
+  std::filesystem::remove_all(dir);
+  state.SetItemsProcessed(static_cast<std::int64_t>(kPoints) *
+                          state.iterations());
+}
+BENCHMARK(BM_Aggregator_Record)->Unit(benchmark::kMillisecond);
+
+void BM_Aggregator_Finalize(benchmark::State& state) {
+  // External-merge finalize over a recorded store: spill sorted runs, k-way
+  // merge, stream the CSV/JSONL artifacts. Timed without the record phase.
+  constexpr std::size_t kPoints = 2048;
+  constexpr std::size_t kReps = 4;
+  const auto dir = std::filesystem::temp_directory_path() / "pas_bench_agg_f";
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    {
+      pas::exp::Aggregator agg(bench_agg_options(dir, kPoints, kReps));
+      agg.load_existing();
+      for (std::size_t p = 0; p < kPoints; ++p) {
+        agg.record(p, 1000 + p, {std::to_string(p)},
+                   bench_point_metrics(p, kReps));
+      }
+      state.ResumeTiming();
+      agg.finalize();
+    }
+    benchmark::DoNotOptimize(dir);
+  }
+  std::filesystem::remove_all(dir);
+  state.SetItemsProcessed(static_cast<std::int64_t>(kPoints) *
+                          state.iterations());
+}
+BENCHMARK(BM_Aggregator_Finalize)->Unit(benchmark::kMillisecond);
 
 void BM_Pcg32_Uniform(benchmark::State& state) {
   pas::sim::Pcg32 rng(42, 1);

@@ -16,17 +16,31 @@
 // `owned_points` — each shard aggregates only its own subset of the grid
 // into its own files, and merge_outputs() recombines the finalized shard
 // files into the exact bytes an unsharded run would have written.
+//
+// Store mode (AggregatorOptions::store_path): instead of keeping every row
+// in memory and rewriting whole CSVs, rows are appended to a binary
+// ".pasrows" log (see row_store.hpp) and the aggregator keeps only O(grid)
+// bitmaps. finalize()/compact() render the CSV/JSONL artifacts through an
+// external-merge export — sorted spill runs of bounded size, k-way merged
+// by (point, rep) — so memory stays O(spill budget) no matter how large
+// the campaign is, and the exported bytes are identical to what the
+// in-memory path writes. In flight the store is the ground truth (the CSV
+// only materializes at export); a finalized campaign deletes the store and
+// looks exactly like a legacy one, and resuming from a bare CSV seeds a
+// fresh store through the legacy readers, so both histories interoperate.
 #pragma once
 
 #include <cstdint>
 #include <fstream>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "exp/manifest.hpp"
+#include "exp/row_store.hpp"
 #include "world/sweep.hpp"
 
 namespace pas::exp {
@@ -67,6 +81,14 @@ struct AggregatorOptions {
   /// pending()/finalize() consider only owned points, and resume rejects
   /// rows for foreign points (they signal a wrong --shard/--out pairing).
   std::vector<std::size_t> owned_points;
+  /// Binary row-store path (conventionally RowStore::path_for(csv_path)).
+  /// Non-empty switches the aggregator to bounded-memory store mode;
+  /// empty keeps the legacy in-memory row maps. Requires csv_path.
+  std::string store_path;
+  /// Spill-buffer budget for the external-merge export, in bytes.
+  /// 0 selects the default (32 MiB); tests shrink it to force multi-run
+  /// spills on small campaigns.
+  std::size_t spill_budget_bytes = 0;
 };
 
 class Aggregator {
@@ -150,6 +172,9 @@ class Aggregator {
   /// The metric column names of the per-replication CSV.
   [[nodiscard]] static std::vector<std::string> per_run_metric_columns();
 
+  /// True when this aggregator runs on the binary row store.
+  [[nodiscard]] bool store_mode() const noexcept { return !store_path_.empty(); }
+
  private:
   [[nodiscard]] std::string csv_line(const std::vector<std::string>& cells) const;
   [[nodiscard]] std::string json_line(const std::vector<std::string>& cells) const;
@@ -170,6 +195,15 @@ class Aggregator {
                                std::vector<std::string>)>& on_row);
   void load_point_rows();
   void load_per_run_rows();
+  /// Store mode: creates/opens the store lazily. Caller must hold mutex_.
+  void ensure_store();
+  /// Store mode load_existing: scans the store into the done bitmap, or
+  /// seeds a fresh store from an existing CSV (legacy/finalized artifact).
+  std::size_t load_store();
+  std::size_t seed_store_from_csv();
+  /// Store mode finalize/compact: external-merge export of the CSV/JSONL/
+  /// per-run artifacts (spill runs + k-way merge). Caller must hold mutex_.
+  void export_store();
 
   std::string csv_path_;
   std::string json_path_;
@@ -195,6 +229,15 @@ class Aggregator {
   std::ofstream json_out_;
   std::ofstream per_run_out_;
   bool loaded_ = false;
+
+  // Store mode state: the open row store plus O(grid) completion bitmaps —
+  // no row content is held in memory.
+  std::string store_path_;
+  std::size_t spill_budget_bytes_ = 0;
+  std::uint64_t identity_hash_ = 0;
+  std::unique_ptr<RowStore> store_;
+  std::vector<std::uint8_t> store_done_;
+  std::size_t store_done_count_ = 0;
 };
 
 /// Recombines finalized shard outputs into `out_path`, byte-identical to

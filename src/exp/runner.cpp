@@ -165,9 +165,13 @@ CampaignReport run_campaign(const Manifest& manifest,
   }
   const auto points = expand_grid(manifest);
 
+  const bool store_mode = options.use_store && !options.out_csv.empty();
+  const std::string store_path =
+      store_mode ? RowStore::path_for(options.out_csv) : std::string();
   if (!options.resume) {
     for (const auto& path : {options.out_csv, options.out_json,
-                             options.per_run_csv, options.metrics_path}) {
+                             options.per_run_csv, options.metrics_path,
+                             store_path}) {
       if (!path.empty() && std::filesystem::exists(path)) {
         throw std::runtime_error("run_campaign: " + path +
                                  " exists; pass resume to continue it or "
@@ -192,6 +196,8 @@ CampaignReport run_campaign(const Manifest& manifest,
   // Resume rejects rows produced by a different manifest via the expected
   // per-point identity cells.
   agg_options.expected_identity = grid_identity(points);
+  agg_options.store_path = store_path;
+  agg_options.spill_budget_bytes = options.spill_budget_bytes;
   if (!options.owned_points.empty()) {
     agg_options.owned_points = options.owned_points;
   } else if (options.shard_count > 1) {

@@ -53,8 +53,10 @@ class TelemetrySink {
   /// campaign validates against; the telemetry file only needs to keep the
   /// rows that are still meaningful. Unparsable lines, rows for foreign
   /// points, and stale trailer rows are dropped (trailers are re-emitted at
-  /// finalize). Returns the number of points recovered. Call before the
-  /// first record().
+  /// finalize). The surviving rows are streamed into a compacted file
+  /// (temp + rename) rather than held in memory — the sink keeps only a
+  /// presence bitmap. Returns the number of points recovered. Call before
+  /// the first record().
   std::size_t load_existing();
 
   /// Records one completed point. Thread-safe; appends + flushes so the row
@@ -70,10 +72,16 @@ class TelemetrySink {
   [[nodiscard]] std::size_t recorded_count() const;
 
  private:
+  /// Marks a point as present; returns false if it already was. Grows the
+  /// bitmap on demand when total_points is unknown (0).
+  bool mark_seen(std::size_t point);
+
   TelemetryOptions options_;
   mutable std::mutex mutex_;
-  /// point index → serialized row (no trailing newline).
-  std::map<std::size_t, std::string> rows_;
+  /// Presence bitmap indexed by point — the file itself holds the rows, so
+  /// the sink's memory is O(total_points) bits, not O(rows).
+  std::vector<std::uint8_t> seen_;
+  std::size_t count_ = 0;
   std::ofstream out_;
 };
 

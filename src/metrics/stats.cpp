@@ -77,10 +77,19 @@ std::vector<double> quantiles(std::vector<double> values,
 }
 
 Percentiles Percentiles::of(std::vector<double> values) {
+  return of_inplace(values);
+}
+
+Percentiles Percentiles::of(std::span<const double> values) {
+  return of(std::vector<double>(values.begin(), values.end()));
+}
+
+Percentiles Percentiles::of_inplace(std::span<double> values) {
   if (values.empty()) return {};
-  static constexpr double kQs[] = {0.50, 0.95, 0.99};
-  const auto v = quantiles(std::move(values), kQs);
-  return Percentiles{.p50 = v[0], .p95 = v[1], .p99 = v[2]};
+  std::sort(values.begin(), values.end());
+  return Percentiles{.p50 = quantile_sorted(values, 0.50),
+                     .p95 = quantile_sorted(values, 0.95),
+                     .p99 = quantile_sorted(values, 0.99)};
 }
 
 }  // namespace pas::metrics

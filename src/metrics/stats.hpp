@@ -70,6 +70,11 @@ struct Percentiles {
   double p99 = 0.0;
 
   [[nodiscard]] static Percentiles of(std::vector<double> values);
+  /// Non-owning overload; copies into a scratch vector before sorting.
+  [[nodiscard]] static Percentiles of(std::span<const double> values);
+  /// Sorts `values` in place — no copy. For hot paths that own a scratch
+  /// buffer and don't care about its order afterwards.
+  [[nodiscard]] static Percentiles of_inplace(std::span<double> values);
 };
 
 }  // namespace pas::metrics

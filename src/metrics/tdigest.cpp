@@ -1,0 +1,141 @@
+#include "metrics/tdigest.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace pas::metrics {
+
+namespace {
+
+/// The k1 scale function and its inverse: k(q) = (δ/2π)·asin(2q−1).
+double scale_k(double q, double compression) {
+  q = std::clamp(q, 0.0, 1.0);
+  return compression / (2.0 * std::numbers::pi) * std::asin(2.0 * q - 1.0);
+}
+
+double scale_k_inv(double k, double compression) {
+  const double x = std::sin(k * 2.0 * std::numbers::pi / compression);
+  return std::clamp((x + 1.0) / 2.0, 0.0, 1.0);
+}
+
+}  // namespace
+
+TDigest::TDigest(double compression) : compression_(compression) {
+  if (!(compression_ >= 10.0)) {
+    throw std::invalid_argument("TDigest: compression must be >= 10");
+  }
+  // Buffering several multiples of the centroid budget amortizes the sort:
+  // compress cost is O(buffer log buffer) per ~4δ adds.
+  buffer_.reserve(static_cast<std::size_t>(4.0 * compression_));
+}
+
+void TDigest::add(double x, double weight) {
+  if (!(weight > 0.0)) return;
+  if (!seen_any_) {
+    min_ = max_ = x;
+    seen_any_ = true;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  buffer_.push_back(Centroid{.mean = x, .weight = weight});
+  buffered_weight_ += weight;
+  if (buffer_.size() >= buffer_.capacity()) compress();
+}
+
+void TDigest::merge(const TDigest& other) {
+  other.compress();
+  if (other.centroids_.empty()) return;
+  for (const auto& c : other.centroids_) add(c.mean, c.weight);
+  // Centroid means under-cover the extremes; carry the true ones over.
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void TDigest::compress() const {
+  if (buffer_.empty()) return;
+  // Stable sort keeps equal-mean centroids in insertion order, so the
+  // resulting digest is a pure function of the add sequence.
+  std::stable_sort(buffer_.begin(), buffer_.end(),
+                   [](const Centroid& a, const Centroid& b) {
+                     return a.mean < b.mean;
+                   });
+  std::vector<Centroid> merged;
+  merged.reserve(centroids_.size() + buffer_.size());
+  std::merge(centroids_.begin(), centroids_.end(), buffer_.begin(),
+             buffer_.end(), std::back_inserter(merged),
+             [](const Centroid& a, const Centroid& b) {
+               return a.mean < b.mean;
+             });
+  buffer_.clear();
+
+  const double total = total_weight_ + buffered_weight_;
+  total_weight_ = total;
+  buffered_weight_ = 0.0;
+
+  std::vector<Centroid> out;
+  out.reserve(static_cast<std::size_t>(2.0 * compression_) + 8);
+  Centroid cur = merged.front();
+  double emitted = 0.0;  // weight of centroids already appended to `out`
+  double q_limit = scale_k_inv(scale_k(0.0, compression_) + 1.0, compression_);
+  for (std::size_t i = 1; i < merged.size(); ++i) {
+    const Centroid& next = merged[i];
+    const double q = (emitted + cur.weight + next.weight) / total;
+    if (q <= q_limit) {
+      // Within the k1 bound: absorb into the current centroid.
+      cur.mean = (cur.mean * cur.weight + next.mean * next.weight) /
+                 (cur.weight + next.weight);
+      cur.weight += next.weight;
+    } else {
+      out.push_back(cur);
+      emitted += cur.weight;
+      q_limit = scale_k_inv(scale_k(emitted / total, compression_) + 1.0,
+                            compression_);
+      cur = next;
+    }
+  }
+  out.push_back(cur);
+  centroids_ = std::move(out);
+}
+
+double TDigest::min() const noexcept { return seen_any_ ? min_ : 0.0; }
+double TDigest::max() const noexcept { return seen_any_ ? max_ : 0.0; }
+
+std::size_t TDigest::centroid_count() const {
+  compress();
+  return centroids_.size();
+}
+
+double TDigest::quantile(double q) const {
+  compress();
+  if (centroids_.empty()) return 0.0;
+  if (q <= 0.0) return min_;
+  if (q >= 1.0) return max_;
+  if (centroids_.size() == 1) return centroids_.front().mean;
+
+  const double target = q * total_weight_;
+  // Each centroid is anchored at the midpoint of its weight span; the
+  // estimate interpolates between neighbouring midpoints, with the global
+  // min/max capping the extremes.
+  double cum = 0.0;
+  double prev_mid = 0.0;
+  double prev_mean = min_;
+  for (std::size_t i = 0; i < centroids_.size(); ++i) {
+    const double mid = cum + centroids_[i].weight / 2.0;
+    if (target <= mid) {
+      const double span = mid - prev_mid;
+      const double t = span > 0.0 ? (target - prev_mid) / span : 1.0;
+      return prev_mean + t * (centroids_[i].mean - prev_mean);
+    }
+    cum += centroids_[i].weight;
+    prev_mid = mid;
+    prev_mean = centroids_[i].mean;
+  }
+  const double span = total_weight_ - prev_mid;
+  const double t = span > 0.0 ? (target - prev_mid) / span : 1.0;
+  return prev_mean + t * (max_ - prev_mean);
+}
+
+}  // namespace pas::metrics

@@ -1,0 +1,76 @@
+// Streaming percentile sketch (merging t-digest).
+//
+// Dunning & Ertl's t-digest in its merging form: incoming values buffer
+// until a threshold, then a single sorted merge compresses buffer +
+// centroids under the k1 scale function k(q) = (δ/2π)·asin(2q−1), which
+// keeps centroids small near the tails — exactly where the campaign's
+// p95/p99 columns read. Memory is O(compression) regardless of how many
+// values stream in, so quantiles over 100k+ replications no longer require
+// materializing (and sorting) the full sample.
+//
+// Determinism: compression points depend only on the insertion sequence
+// (buffered merges use stable sorts and fixed thresholds), so a given run
+// order always yields the same digest — replications are reduced in
+// replication order, which makes campaign outputs reproducible.
+//
+// Accuracy is a rank error of roughly 1/compression near the median and
+// far better at the tails; the Aggregator keeps exact quantiles for small
+// replication counts so existing golden CSVs stay bit-identical, and only
+// switches to the sketch beyond that.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace pas::metrics {
+
+class TDigest {
+ public:
+  explicit TDigest(double compression = 100.0);
+
+  /// Adds one observation with the given weight.
+  void add(double x, double weight = 1.0);
+
+  /// Merges another digest into this one.
+  void merge(const TDigest& other);
+
+  /// Interpolated quantile estimate, q in [0, 1]. An empty digest yields
+  /// 0.0, matching Percentiles::of's convention for empty samples.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Total weight added (count when all weights are 1).
+  [[nodiscard]] double total_weight() const noexcept {
+    return total_weight_ + buffered_weight_;
+  }
+  [[nodiscard]] std::size_t count() const noexcept {
+    return static_cast<std::size_t>(total_weight() + 0.5);
+  }
+
+  [[nodiscard]] double min() const noexcept;
+  [[nodiscard]] double max() const noexcept;
+
+  /// Number of centroids after compressing the pending buffer (test hook
+  /// for the O(compression) memory bound).
+  [[nodiscard]] std::size_t centroid_count() const;
+
+ private:
+  struct Centroid {
+    double mean = 0.0;
+    double weight = 0.0;
+  };
+
+  /// Sorts the buffer and merges it into the centroid list under the k1
+  /// size bound. Called from const accessors, hence the mutable state.
+  void compress() const;
+
+  double compression_;
+  mutable std::vector<Centroid> centroids_;
+  mutable std::vector<Centroid> buffer_;
+  mutable double total_weight_ = 0.0;
+  mutable double buffered_weight_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  bool seen_any_ = false;
+};
+
+}  // namespace pas::metrics

@@ -89,7 +89,12 @@ void CampaignFeed::point_done(std::string row_json) {
   const std::lock_guard lock(mutex_);
   ++done_points_;
   ++computed_;
-  if (options_.store_points) point_rows_.push_back(row_json);
+  if (options_.store_points) {
+    point_rows_.push_back(row_json);
+    while (point_rows_.size() > options_.point_log_capacity) {
+      point_rows_.pop_front();
+    }
+  }
   ++points_logged_;
   push_event_locked("point", std::move(row_json));
 }
@@ -205,10 +210,14 @@ std::vector<std::string> CampaignFeed::points_since(
     std::size_t after, std::size_t max_rows) const {
   const std::lock_guard lock(mutex_);
   std::vector<std::string> out;
-  if (after >= point_rows_.size()) return out;
-  const std::size_t n = std::min(max_rows, point_rows_.size() - after);
+  // The log is bounded: the deque holds indices [base, points_logged_).
+  // A cursor inside the dropped prefix resumes at the oldest retained row.
+  const std::size_t base = points_logged_ - point_rows_.size();
+  const std::size_t start = after > base ? after - base : 0;
+  if (start >= point_rows_.size()) return out;
+  const std::size_t n = std::min(max_rows, point_rows_.size() - start);
   out.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) out.push_back(point_rows_[after + i]);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(point_rows_[start + i]);
   return out;
 }
 

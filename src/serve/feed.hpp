@@ -52,6 +52,11 @@ class CampaignFeed {
     bool store_points = false;
     /// Event-ring capacity (oldest entries drop first).
     std::size_t event_capacity = 1 << 16;
+    /// Point-row log capacity (oldest rows drop first), so a 100k-point
+    /// campaign bounds the feed's memory like the event ring does.
+    /// points_since() callers that fall behind the window re-sync from the
+    /// returned log indices; log indices themselves never shift.
+    std::size_t point_log_capacity = 1 << 16;
   };
 
   struct WorkerRow {
@@ -150,7 +155,10 @@ class CampaignFeed {
       std::uint64_t after_seq, std::size_t max_events = 512) const;
 
   /// Completion-ordered point rows starting at log index `after`
-  /// (0-based), at most max_rows. Empty unless options.store_points.
+  /// (0-based), at most max_rows. Empty unless options.store_points. Rows
+  /// older than the bounded log window (point_log_capacity) are gone; the
+  /// reply then starts at the oldest retained index instead, which a
+  /// client detects by comparing its cursor against points_logged.
   [[nodiscard]] std::vector<std::string> points_since(
       std::size_t after, std::size_t max_rows = 1024) const;
 
@@ -196,8 +204,10 @@ class CampaignFeed {
   std::uint64_t next_seq_ = 1;
   std::deque<Event> events_;
 
+  /// Bounded completion-ordered row log: point_rows_ holds log indices
+  /// [points_logged_ - size, points_logged_); older rows have been popped.
   std::size_t points_logged_ = 0;
-  std::vector<std::string> point_rows_;
+  std::deque<std::string> point_rows_;
 
   std::function<io::Json()> metrics_source_;
 

@@ -9,7 +9,9 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 
+#include "exp/row_store.hpp"
 #include "io/csv.hpp"
 #include "io/json.hpp"
 #include "metrics/stats.hpp"
@@ -294,6 +296,200 @@ TEST_F(AggregateTest, InMemoryAggregationNeedsNoFiles) {
   EXPECT_EQ(agg.done_count(), 2U);
   EXPECT_EQ(agg.summaries().at(1).delay_s.mean, 1.0);
   EXPECT_TRUE(fs::directory_iterator(dir_) == fs::directory_iterator());
+}
+
+// --- Store mode -------------------------------------------------------------
+
+class StoreAggregateTest : public AggregateTest {
+ protected:
+  /// Deterministic per-(point, rep) metrics so the legacy and store paths
+  /// see identical inputs — any byte difference is then a pipeline bug.
+  static world::ReplicatedMetrics synth_metrics(std::size_t point,
+                                                std::size_t reps) {
+    world::ReplicatedMetrics m = fake_metrics(
+        0.5 + 0.01 * static_cast<double>(point % 13));
+    m.runs.resize(reps);
+    for (std::size_t r = 0; r < reps; ++r) {
+      m.runs[r] = metrics::RunMetrics{};
+      m.runs[r].avg_delay_s =
+          0.25 + 0.003 * static_cast<double>((point * 7 + r * 3) % 29);
+      m.runs[r].avg_energy_j =
+          1.0 + 0.001 * static_cast<double>((point + r) % 17);
+    }
+    return m;
+  }
+
+  AggregatorOptions store_options(const fs::path& sub,
+                                  std::size_t total_points,
+                                  std::size_t reps,
+                                  std::size_t spill_budget) {
+    fs::create_directories(dir_ / sub);
+    AggregatorOptions options;
+    options.csv_path = (dir_ / sub / "out.csv").string();
+    options.json_path = (dir_ / sub / "out.jsonl").string();
+    options.per_run_path = (dir_ / sub / "runs.csv").string();
+    options.axis_names = {"x"};
+    options.total_points = total_points;
+    options.replications = reps;
+    options.store_path = RowStore::path_for(options.csv_path);
+    options.spill_budget_bytes = spill_budget;
+    return options;
+  }
+};
+
+TEST_F(StoreAggregateTest, OracleMatchesLegacyByteForByte) {
+  constexpr std::size_t kPoints = 37;
+  constexpr std::size_t kReps = 3;
+  auto legacy_options = store_options("legacy", kPoints, kReps, 0);
+  legacy_options.store_path.clear();  // the in-memory oracle
+  // A tiny spill budget forces many sorted runs and a genuine k-way merge
+  // even on this small campaign.
+  const auto store_opts = store_options("store", kPoints, kReps, 512);
+  Aggregator legacy(std::move(legacy_options));
+  Aggregator store{AggregatorOptions(store_opts)};
+  legacy.load_existing();
+  store.load_existing();
+  // Record in a scrambled (but deterministic) completion order.
+  for (std::size_t i = 0; i < kPoints; ++i) {
+    const std::size_t p = (i * 17) % kPoints;
+    const auto m = synth_metrics(p, kReps);
+    legacy.record(p, 1000 + p, {std::to_string(p)}, m);
+    store.record(p, 1000 + p, {std::to_string(p)}, m);
+  }
+  legacy.finalize();
+  store.finalize();
+  for (const char* name : {"out.csv", "out.jsonl", "runs.csv"}) {
+    const auto a = read_lines((dir_ / "legacy" / name).string());
+    const auto b = read_lines((dir_ / "store" / name).string());
+    EXPECT_EQ(a, b) << name;
+  }
+  // finalize retires the store: the completed campaign looks legacy.
+  EXPECT_FALSE(fs::exists(store_opts.store_path));
+}
+
+TEST_F(StoreAggregateTest, ResumeDropsTornBinaryTail) {
+  const auto options = store_options("s", 2, 2, 0);
+  {
+    Aggregator agg{AggregatorOptions(options)};
+    agg.load_existing();
+    agg.record(0, 100, {"0"}, synth_metrics(0, 2));
+    agg.record(1, 101, {"1"}, synth_metrics(1, 2));
+    // No finalize: the campaign dies here, rows live only in the store.
+  }
+  EXPECT_FALSE(fs::exists(options.csv_path));
+  ASSERT_TRUE(fs::exists(options.store_path));
+  // Tear into point 1's trailing summary record, as a kill mid-write would.
+  fs::resize_file(options.store_path, fs::file_size(options.store_path) - 3);
+
+  Aggregator resumed{AggregatorOptions(options)};
+  EXPECT_EQ(resumed.load_existing(), 1U);
+  EXPECT_TRUE(resumed.is_done(0));
+  EXPECT_FALSE(resumed.is_done(1));
+  resumed.record(1, 101, {"1"}, synth_metrics(1, 2));
+  resumed.finalize();
+
+  // The recovered campaign's artifacts equal an uninterrupted run's.
+  const auto clean = store_options("clean", 2, 2, 0);
+  Aggregator oracle{AggregatorOptions(clean)};
+  oracle.load_existing();
+  oracle.record(0, 100, {"0"}, synth_metrics(0, 2));
+  oracle.record(1, 101, {"1"}, synth_metrics(1, 2));
+  oracle.finalize();
+  for (const char* name : {"out.csv", "out.jsonl", "runs.csv"}) {
+    EXPECT_EQ(read_lines((dir_ / "s" / name).string()),
+              read_lines((dir_ / "clean" / name).string()))
+        << name;
+  }
+}
+
+TEST_F(StoreAggregateTest, DiscardPointsTombstonesWithoutRewrite) {
+  const auto options = store_options("s", 3, 2, 0);
+  Aggregator agg{AggregatorOptions(options)};
+  agg.load_existing();
+  for (std::size_t p = 0; p < 3; ++p) {
+    agg.record(p, 100 + p, {std::to_string(p)}, synth_metrics(p, 2));
+  }
+  agg.discard_points({1});
+  EXPECT_EQ(agg.done_points(), (std::vector<std::size_t>{0, 2}));
+  agg.compact();
+  const auto lines = read_lines(options.csv_path);
+  ASSERT_EQ(lines.size(), 3U);
+  EXPECT_EQ(lines[1].substr(0, 2), "0,");
+  EXPECT_EQ(lines[2].substr(0, 2), "2,");
+  // The point is recordable again, and finalize completes normally.
+  agg.record(1, 101, {"1"}, synth_metrics(1, 2));
+  agg.finalize();
+  EXPECT_EQ(read_lines(options.csv_path).size(), 4U);
+  EXPECT_FALSE(fs::exists(options.store_path));
+}
+
+TEST_F(StoreAggregateTest, SeedsFreshStoreFromFinalizedCsv) {
+  const auto options = store_options("s", 2, 2, 0);
+  {
+    Aggregator agg{AggregatorOptions(options)};
+    agg.load_existing();
+    agg.record(0, 100, {"0"}, synth_metrics(0, 2));
+    agg.record(1, 101, {"1"}, synth_metrics(1, 2));
+    agg.finalize();
+  }
+  const auto finalized = read_lines(options.csv_path);
+  // Resume over the finalized artifact: no store on disk, so the legacy
+  // readers seed a fresh one; everything is already done.
+  Aggregator resumed{AggregatorOptions(options)};
+  EXPECT_EQ(resumed.load_existing(), 2U);
+  EXPECT_EQ(resumed.pending(), std::vector<std::size_t>{});
+  resumed.finalize();
+  EXPECT_EQ(read_lines(options.csv_path), finalized);
+  EXPECT_FALSE(fs::exists(options.store_path));
+}
+
+TEST_F(StoreAggregateTest, StoreModeRequiresCsvPath) {
+  AggregatorOptions options;
+  options.axis_names = {"x"};
+  options.total_points = 1;
+  options.store_path = (dir_ / "orphan.pasrows").string();
+  EXPECT_THROW(Aggregator{std::move(options)}, std::logic_error);
+}
+
+TEST_F(StoreAggregateTest, FinalizeRejectsIncompleteCampaignBeforeExport) {
+  const auto options = store_options("s", 2, 2, 0);
+  Aggregator agg{AggregatorOptions(options)};
+  agg.load_existing();
+  agg.record(0, 100, {"0"}, synth_metrics(0, 2));
+  EXPECT_THROW(agg.finalize(), std::logic_error);
+  // The failed finalize touched nothing: no CSV yet, store intact.
+  EXPECT_FALSE(fs::exists(options.csv_path));
+  EXPECT_TRUE(fs::exists(options.store_path));
+}
+
+TEST_F(AggregateTest, SketchQuantilesEngageBeyondExactThreshold) {
+  // Above the exact-quantile retention bound (256 reps) record() reads the
+  // delay percentiles from the streaming digest fed by reduce_runs; with
+  // the digest absent (hand-built metrics, as here) it must fall back to
+  // the exact sort so partial fixtures keep working.
+  constexpr std::size_t kReps = 300;
+  Aggregator agg(csv_, "", {"policy"}, 1);
+  agg.load_existing();
+  world::ReplicatedMetrics m = fake_metrics(1.0);
+  m.runs.resize(kReps);
+  std::vector<double> delays;
+  for (std::size_t r = 0; r < kReps; ++r) {
+    m.runs[r] = metrics::RunMetrics{};
+    m.runs[r].avg_delay_s = static_cast<double>((r * 37) % kReps);
+    delays.push_back(m.runs[r].avg_delay_s);
+    m.delay_digest.add(m.runs[r].avg_delay_s);
+  }
+  agg.record(0, 100, {"PAS"}, m);
+  const auto lines = read_lines(csv_);
+  ASSERT_EQ(lines.size(), 2U);
+  const std::string want = "," + io::format_double(m.delay_digest.quantile(0.50)) +
+                           "," + io::format_double(m.delay_digest.quantile(0.95)) +
+                           "," + io::format_double(m.delay_digest.quantile(0.99)) + ",";
+  EXPECT_NE(lines[1].find(want), std::string::npos);
+  // And the sketch sits within rank tolerance of the exact quantiles.
+  const auto exact = metrics::Percentiles::of(delays);
+  EXPECT_NEAR(m.delay_digest.quantile(0.95), exact.p95,
+              0.02 * static_cast<double>(kReps));
 }
 
 }  // namespace

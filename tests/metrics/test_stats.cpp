@@ -115,7 +115,7 @@ TEST(Percentiles, OfSample) {
 }
 
 TEST(Percentiles, EmptyAndSingle) {
-  const auto empty = Percentiles::of({});
+  const auto empty = Percentiles::of(std::vector<double>{});
   EXPECT_DOUBLE_EQ(empty.p50, 0.0);
   EXPECT_DOUBLE_EQ(empty.p95, 0.0);
   EXPECT_DOUBLE_EQ(empty.p99, 0.0);

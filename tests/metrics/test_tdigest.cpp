@@ -1,0 +1,133 @@
+// TDigest: accuracy bounds vs exact quantiles, memory bound, determinism.
+#include "metrics/tdigest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "metrics/stats.hpp"
+
+namespace pas::metrics {
+namespace {
+
+/// Deterministic uniform doubles in [0, 1) — SplitMix64, no libc RNG.
+class Splitmix {
+ public:
+  explicit Splitmix(std::uint64_t seed) : state_(seed) {}
+  double next() {
+    state_ += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    return static_cast<double>(z >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+double exact_quantile(std::vector<double> xs, double q) {
+  std::sort(xs.begin(), xs.end());
+  return quantile_sorted(xs, q);
+}
+
+TEST(TDigest, EmptyAndSingle) {
+  TDigest d;
+  EXPECT_EQ(d.count(), 0U);
+  EXPECT_DOUBLE_EQ(d.quantile(0.5), 0.0);
+  d.add(3.5);
+  EXPECT_EQ(d.count(), 1U);
+  EXPECT_DOUBLE_EQ(d.quantile(0.0), 3.5);
+  EXPECT_DOUBLE_EQ(d.quantile(0.5), 3.5);
+  EXPECT_DOUBLE_EQ(d.quantile(1.0), 3.5);
+}
+
+TEST(TDigest, RejectsTinyCompression) {
+  EXPECT_THROW(TDigest(1.0), std::invalid_argument);
+}
+
+TEST(TDigest, QuantilesTrackExactWithinRankError) {
+  Splitmix rng(7);
+  std::vector<double> xs;
+  TDigest d;
+  for (int i = 0; i < 50000; ++i) {
+    // Skewed sample (squared uniform) so the tails actually stress the
+    // sketch rather than a flat distribution hiding errors.
+    const double u = rng.next();
+    const double x = u * u * 100.0;
+    xs.push_back(x);
+    d.add(x);
+  }
+  EXPECT_EQ(d.count(), xs.size());
+  // Verify by *rank*: the sketch's value at q must sit within a small rank
+  // band of q in the exact sorted sample — the guarantee t-digests make
+  // (value-space error can be arbitrarily large in sparse regions).
+  std::vector<double> sorted = xs;
+  std::sort(sorted.begin(), sorted.end());
+  for (const double q : {0.50, 0.95, 0.99}) {
+    const double est = d.quantile(q);
+    const auto below =
+        std::lower_bound(sorted.begin(), sorted.end(), est) - sorted.begin();
+    const double rank = static_cast<double>(below) /
+                        static_cast<double>(sorted.size());
+    EXPECT_NEAR(rank, q, 0.02) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(d.quantile(0.0), *sorted.begin());
+  EXPECT_DOUBLE_EQ(d.quantile(1.0), sorted.back());
+}
+
+TEST(TDigest, MemoryStaysBounded) {
+  TDigest d(100.0);
+  Splitmix rng(11);
+  for (int i = 0; i < 200000; ++i) d.add(rng.next());
+  // The k1 scale bounds live centroids to O(compression).
+  EXPECT_LE(d.centroid_count(), 200U);
+}
+
+TEST(TDigest, DeterministicForIdenticalInsertionOrder) {
+  Splitmix rng_a(3), rng_b(3);
+  TDigest a, b;
+  for (int i = 0; i < 10000; ++i) a.add(rng_a.next());
+  for (int i = 0; i < 10000; ++i) b.add(rng_b.next());
+  for (const double q : {0.01, 0.25, 0.50, 0.95, 0.99}) {
+    EXPECT_DOUBLE_EQ(a.quantile(q), b.quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(TDigest, MergeCombinesDigests) {
+  Splitmix rng(5);
+  std::vector<double> xs;
+  TDigest left, right, whole;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.next() * 10.0;
+    xs.push_back(x);
+    (i % 2 == 0 ? left : right).add(x);
+    whole.add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), xs.size());
+  for (const double q : {0.50, 0.95, 0.99}) {
+    EXPECT_NEAR(left.quantile(q), exact_quantile(xs, q), 0.25) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(left.min(), *std::min_element(xs.begin(), xs.end()));
+  EXPECT_DOUBLE_EQ(left.max(), *std::max_element(xs.begin(), xs.end()));
+}
+
+TEST(TDigest, ExactForSmallSamples) {
+  // Below the compression threshold every value is its own centroid, so
+  // interpolation reproduces small samples closely (the Aggregator still
+  // uses exact quantiles there; this pins the sketch's behaviour anyway).
+  TDigest d;
+  for (int i = 1; i <= 10; ++i) d.add(static_cast<double>(i));
+  EXPECT_NEAR(d.quantile(0.5), 5.5, 0.51);
+  EXPECT_DOUBLE_EQ(d.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(d.quantile(1.0), 10.0);
+}
+
+}  // namespace
+}  // namespace pas::metrics
